@@ -1,0 +1,149 @@
+package subgraphmatching_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	sm "subgraphmatching"
+	"subgraphmatching/internal/testutil"
+)
+
+func paperGraphs() (*sm.Graph, *sm.Graph) {
+	return testutil.PaperQuery(), testutil.PaperData()
+}
+
+func TestMatchAllPresets(t *testing.T) {
+	q, g := paperGraphs()
+	for _, a := range sm.Algorithms() {
+		res, err := sm.Match(q, g, sm.Options{Algorithm: a, TimeLimit: time.Minute})
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		if res.Embeddings != 1 {
+			t.Errorf("%v: %d embeddings, want 1", a, res.Embeddings)
+		}
+	}
+}
+
+func TestMatchCustomConfig(t *testing.T) {
+	q, g := paperGraphs()
+	cfg := sm.Config{
+		Filter:      sm.FilterGQL,
+		Order:       sm.OrderRI,
+		Local:       sm.LocalIntersect,
+		FailingSets: true,
+	}
+	n, err := sm.Count(q, g, sm.Options{Custom: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("Count = %d, want 1", n)
+	}
+}
+
+func TestFindAll(t *testing.T) {
+	q, g := paperGraphs()
+	matches, err := sm.FindAll(q, g, sm.Options{Algorithm: sm.AlgoOptimized}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 {
+		t.Fatalf("FindAll returned %d matches", len(matches))
+	}
+	want := testutil.PaperMatch()
+	for u, v := range want {
+		if matches[0][u] != v {
+			t.Errorf("match = %v, want %v", matches[0], want)
+		}
+	}
+	// Limit is respected on a graph with several matches.
+	tri := mustFromEdges(t, make([]sm.Label, 3), [][2]sm.Vertex{{0, 1}, {1, 2}, {0, 2}})
+	k5labels := make([]sm.Label, 5)
+	var edges [][2]sm.Vertex
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			edges = append(edges, [2]sm.Vertex{sm.Vertex(i), sm.Vertex(j)})
+		}
+	}
+	k5 := mustFromEdges(t, k5labels, edges)
+	got, err := sm.FindAll(tri, k5, sm.Options{Algorithm: sm.AlgoOptimized}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Errorf("FindAll limit: got %d", len(got))
+	}
+}
+
+func mustFromEdges(t *testing.T, labels []sm.Label, edges [][2]sm.Vertex) *sm.Graph {
+	t.Helper()
+	g, err := sm.FromEdges(labels, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuilderAndIO(t *testing.T) {
+	b := sm.NewBuilder(3, 2)
+	a := b.AddVertex(0)
+	c := b.AddVertex(1)
+	d := b.AddVertex(0)
+	b.AddEdge(a, c)
+	b.AddEdge(c, d)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sm.WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := sm.ParseGraph(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != 3 || g2.NumEdges() != 2 {
+		t.Errorf("round trip: %v", g2)
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	g, err := sm.GenerateRMAT(sm.RMATConfig{NumVertices: 500, NumEdges: 3000, NumLabels: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := sm.GenerateQueries(g, sm.QueryConfig{NumVertices: 6, Count: 3, Density: sm.QueryDense, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		n, err := sm.Count(q, g, sm.Options{Algorithm: sm.AlgoOptimized, MaxEmbeddings: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			t.Error("extracted query has no matches in its source graph")
+		}
+	}
+}
+
+func TestDatasetCatalogAndParse(t *testing.T) {
+	if len(sm.DatasetCatalog()) != 8 {
+		t.Errorf("catalog has %d entries", len(sm.DatasetCatalog()))
+	}
+	g, err := sm.Dataset("ye")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3112 {
+		t.Errorf("ye has %d vertices", g.NumVertices())
+	}
+	a, err := sm.ParseAlgorithm("DPiso")
+	if err != nil || a != sm.AlgoDPIso {
+		t.Errorf("ParseAlgorithm: %v %v", a, err)
+	}
+}

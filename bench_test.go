@@ -1,0 +1,445 @@
+// Benchmarks mirroring the paper's tables and figures: one bench target
+// per experiment (see DESIGN.md's per-experiment index), each measuring
+// the operation that experiment compares, on small fixtures so the whole
+// suite runs in minutes. The full reproductions with complete sweeps are
+// produced by cmd/experiments.
+package subgraphmatching_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"subgraphmatching/internal/candspace"
+	"subgraphmatching/internal/compress"
+	"subgraphmatching/internal/core"
+	"subgraphmatching/internal/enumerate"
+	"subgraphmatching/internal/filter"
+	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/intersect"
+	"subgraphmatching/internal/order"
+	"subgraphmatching/internal/querygen"
+	"subgraphmatching/internal/rmat"
+)
+
+// benchFixture holds a data graph and query sets shared across benches.
+type benchFixture struct {
+	g        *graph.Graph
+	dense16  []*graph.Graph
+	sparse16 []*graph.Graph
+	dense8   []*graph.Graph
+}
+
+var (
+	fixtureOnce sync.Once
+	fixture     benchFixture
+)
+
+// benchGraph is an RMAT graph sized so every bench iteration is
+// milliseconds: 8K vertices, average degree 12, 12 labels.
+func getFixture(b *testing.B) *benchFixture {
+	b.Helper()
+	fixtureOnce.Do(func() {
+		g, err := rmat.Generate(rmat.Config{NumVertices: 8000, NumEdges: 48000, NumLabels: 12, Seed: 77})
+		if err != nil {
+			panic(err)
+		}
+		fixture.g = g
+		gen := func(size int, d querygen.Density, seed int64) []*graph.Graph {
+			qs, err := querygen.Generate(g, querygen.Config{
+				NumVertices: size, Count: 5, Density: d, Seed: seed,
+			})
+			if err != nil {
+				panic(err)
+			}
+			return qs
+		}
+		fixture.dense16 = gen(16, querygen.Dense, 1)
+		fixture.sparse16 = gen(16, querygen.Sparse, 2)
+		fixture.dense8 = gen(8, querygen.Dense, 3)
+	})
+	return &fixture
+}
+
+var benchLimits = core.Limits{MaxEmbeddings: 100_000, TimeLimit: 5 * time.Second}
+
+// runSet executes every fixture query under cfg once per b.N iteration.
+func runSet(b *testing.B, set []*graph.Graph, g *graph.Graph, cfg core.Config) {
+	b.Helper()
+	var emb uint64
+	for i := 0; i < b.N; i++ {
+		for _, q := range set {
+			res, err := core.Match(q, g, cfg, benchLimits)
+			if err != nil {
+				b.Fatal(err)
+			}
+			emb += res.Embeddings
+		}
+	}
+	b.ReportMetric(float64(emb)/float64(b.N), "embeddings/op")
+}
+
+// --- Figure 7: preprocessing time of filtering methods ---------------
+
+func BenchmarkFig7Filtering(b *testing.B) {
+	f := getFixture(b)
+	for _, m := range []filter.Method{filter.GQL, filter.CFL, filter.CECI, filter.DPIso} {
+		b.Run(m.String(), func(b *testing.B) {
+			q := f.dense16[0]
+			for i := 0; i < b.N; i++ {
+				cand, err := filter.Run(m, q, f.g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if m != filter.GQL && !filter.AnyEmpty(cand) {
+					candspace.BuildFull(q, f.g, cand)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 8: pruning power (candidates/op reported) ----------------
+
+func BenchmarkFig8Candidates(b *testing.B) {
+	f := getFixture(b)
+	for _, m := range []filter.Method{filter.LDF, filter.GQL, filter.CFL, filter.CECI, filter.DPIso, filter.Steady} {
+		b.Run(m.String(), func(b *testing.B) {
+			q := f.dense16[0]
+			mean := 0.0
+			for i := 0; i < b.N; i++ {
+				cand, err := filter.Run(m, q, f.g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mean = filter.MeanCandidates(cand)
+			}
+			b.ReportMetric(mean, "candidates/vertex")
+		})
+	}
+}
+
+// --- Figure 9: set-intersection local candidates ---------------------
+
+func BenchmarkFig9EnumOptimization(b *testing.B) {
+	f := getFixture(b)
+	cases := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"QSI-direct", core.Config{Filter: filter.LDF, Order: order.QSI, Local: enumerate.Direct}},
+		{"QSI-intersect", core.Config{Filter: filter.LDF, Order: order.QSI, Local: enumerate.Intersect}},
+		{"GQL-scan", core.Config{Filter: filter.GQL, Order: order.GQL, Local: enumerate.Scan}},
+		{"GQL-intersect", core.Config{Filter: filter.GQL, Order: order.GQL, Local: enumerate.Intersect}},
+		{"CFL-treeedge", core.Config{Filter: filter.CFL, Order: order.CFL, Local: enumerate.TreeEdge, TreeSpace: true}},
+		{"CFL-intersect", core.Config{Filter: filter.CFL, Order: order.CFL, Local: enumerate.Intersect}},
+		{"2PP-direct", core.Config{Filter: filter.LDF, Order: order.VF2PP, Local: enumerate.Direct, VF2PPRules: true}},
+		{"2PP-intersect", core.Config{Filter: filter.LDF, Order: order.VF2PP, Local: enumerate.Intersect}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) { runSet(b, f.dense16, f.g, c.cfg) })
+	}
+}
+
+// --- Figure 10: intersection kernels ----------------------------------
+
+func BenchmarkFig10Intersection(b *testing.B) {
+	f := getFixture(b)
+	for _, c := range []struct {
+		name  string
+		local enumerate.LocalCandidates
+	}{
+		{"Hybrid", enumerate.Intersect},
+		{"QFilter", enumerate.IntersectBlock},
+	} {
+		cfg := core.Config{Filter: filter.GQL, Order: order.GQL, Local: c.local}
+		b.Run(c.name, func(b *testing.B) { runSet(b, f.dense16, f.g, cfg) })
+	}
+}
+
+// --- Figure 11: ordering methods --------------------------------------
+
+func BenchmarkFig11Ordering(b *testing.B) {
+	f := getFixture(b)
+	for _, om := range order.Methods() {
+		cfg := core.OrderingStudyConfig(om, false)
+		b.Run(om.String(), func(b *testing.B) { runSet(b, f.dense16, f.g, cfg) })
+	}
+}
+
+// --- Table 5 / Figure 15: failing sets --------------------------------
+
+func BenchmarkTable5Unsolved(b *testing.B) {
+	f := getFixture(b)
+	for _, fs := range []struct {
+		name string
+		on   bool
+	}{{"wo-fs", false}, {"w-fs", true}} {
+		cfg := core.OrderingStudyConfig(order.GQL, fs.on)
+		b.Run(fs.name, func(b *testing.B) { runSet(b, f.dense16, f.g, cfg) })
+	}
+}
+
+func BenchmarkFig15FailingSets(b *testing.B) {
+	f := getFixture(b)
+	for _, size := range []struct {
+		name string
+		set  []*graph.Graph
+	}{{"Q8D", f.dense8}, {"Q16D", f.dense16}} {
+		for _, fs := range []struct {
+			name string
+			on   bool
+		}{{"wo-fs", false}, {"w-fs", true}} {
+			cfg := core.OrderingStudyConfig(order.DPIso, fs.on)
+			b.Run(size.name+"/"+fs.name, func(b *testing.B) { runSet(b, size.set, f.g, cfg) })
+		}
+	}
+}
+
+// --- Figure 14 / Table 6: spectrum analysis ---------------------------
+
+func BenchmarkFig14Spectrum(b *testing.B) {
+	f := getFixture(b)
+	q := f.dense16[0]
+	cand := filter.RunGraphQL(q, f.g, filter.DefaultGQLRounds)
+	phiGQL, err := order.Compute(order.GQL, q, f.g, cand)
+	if err != nil {
+		b.Fatal(err)
+	}
+	phiRI, err := order.Compute(order.RI, q, f.g, cand)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range []struct {
+		name string
+		phi  []graph.Vertex
+	}{{"GQL-order", phiGQL}, {"RI-order", phiRI}} {
+		cfg := core.OrderingStudyConfig(order.GQL, false)
+		cfg.FixedOrder = c.phi
+		b.Run(c.name, func(b *testing.B) { runSet(b, []*graph.Graph{q}, f.g, cfg) })
+	}
+}
+
+// --- Figure 16: overall performance -----------------------------------
+
+func BenchmarkFig16Overall(b *testing.B) {
+	f := getFixture(b)
+	cases := []struct {
+		name string
+		cfg  func(q *graph.Graph) core.Config
+	}{
+		{"GQLfs", func(*graph.Graph) core.Config { return core.OrderingStudyConfig(order.GQL, true) }},
+		{"RIfs", func(*graph.Graph) core.Config { return core.OrderingStudyConfig(order.RI, true) }},
+		{"O-CECI", func(q *graph.Graph) core.Config { return core.PresetConfig(core.CECI, q, fixture.g) }},
+		{"O-DP", func(q *graph.Graph) core.Config { return core.PresetConfig(core.DPIso, q, fixture.g) }},
+		{"O-RI", func(q *graph.Graph) core.Config { return core.PresetConfig(core.RI, q, fixture.g) }},
+		{"O-2PP", func(q *graph.Graph) core.Config { return core.PresetConfig(core.VF2PP, q, fixture.g) }},
+		{"GLW", func(*graph.Graph) core.Config { return core.Config{UseGlasgow: true} }},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, q := range f.dense8 {
+					if _, err := core.Match(q, f.g, c.cfg(q), benchLimits); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// --- Figures 17-18: scalability ---------------------------------------
+
+func BenchmarkFig17Scalability(b *testing.B) {
+	for _, d := range []int{8, 16} {
+		g, err := rmat.Generate(rmat.Config{NumVertices: 8000, NumEdges: 4000 * d, NumLabels: 16, Seed: 500 + int64(d)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		qs, err := querygen.Generate(g, querygen.Config{NumVertices: 16, Count: 3, Density: querygen.Dense, Seed: 1})
+		if err != nil {
+			b.Skip("no dense queries at this density")
+		}
+		cfg := core.OrderingStudyConfig(order.GQL, true)
+		b.Run("d="+string(rune('0'+d/8))+"x8", func(b *testing.B) { runSet(b, qs, g, cfg) })
+	}
+}
+
+func BenchmarkFig18Friendster(b *testing.B) {
+	for _, labels := range []int{16, 64} {
+		g, err := rmat.Generate(rmat.Config{NumVertices: 10000, NumEdges: 120000, NumLabels: labels, Seed: 1800})
+		if err != nil {
+			b.Fatal(err)
+		}
+		qs, err := querygen.Generate(g, querygen.Config{NumVertices: 16, Count: 3, Density: querygen.Dense, Seed: 1})
+		if err != nil {
+			b.Skip("no dense queries")
+		}
+		cfg := core.OrderingStudyConfig(order.GQL, true)
+		name := "labels=16"
+		if labels == 64 {
+			name = "labels=64"
+		}
+		b.Run(name, func(b *testing.B) { runSet(b, qs, g, cfg) })
+	}
+}
+
+// --- Historical baselines: Ullmann vs VF2 vs VF2++ ---------------------
+
+// BenchmarkBaselineLineage reproduces the lineage claim of the paper's
+// introduction: VF2++ significantly outperforms VF2, which in turn
+// improves on Ullmann's per-node refinement.
+func BenchmarkBaselineLineage(b *testing.B) {
+	f := getFixture(b)
+	for _, c := range []struct {
+		name string
+		algo core.Algorithm
+	}{
+		{"Ullmann", core.Ullmann},
+		{"VF2", core.VF2Classic},
+		{"VF2PP", core.VF2PP},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, q := range f.dense8 {
+					if _, err := core.Match(q, f.g, core.PresetConfig(c.algo, q, f.g), benchLimits); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md Section 5) -----------------------------------
+
+// BenchmarkAblationGallopThreshold isolates the intersection kernels on
+// skewed sorted sets, the trade-off behind the Hybrid kernel's
+// threshold.
+func BenchmarkAblationGallopThreshold(b *testing.B) {
+	small := make([]uint32, 64)
+	for i := range small {
+		small[i] = uint32(i * 997)
+	}
+	large := make([]uint32, 64*64)
+	for i := range large {
+		large[i] = uint32(i * 17)
+	}
+	dst := make([]uint32, 0, 64)
+	b.Run("merge", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dst = intersect.Merge(dst[:0], small, large)
+		}
+	})
+	b.Run("galloping", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dst = intersect.Galloping(dst[:0], small, large)
+		}
+	})
+	b.Run("hybrid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dst = intersect.Hybrid(dst[:0], small, large)
+		}
+	})
+}
+
+// BenchmarkAblationCandSpace compares building the tree-edge vs the
+// full-edge auxiliary structure (the space/time trade between CFL and
+// CECI/DP-iso).
+func BenchmarkAblationCandSpace(b *testing.B) {
+	f := getFixture(b)
+	q := f.dense16[0]
+	cand := filter.RunCFL(q, f.g)
+	tree := graph.NewBFSTree(q, filter.CFLRoot(q, f.g))
+	b.Run("tree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			candspace.BuildTree(q, f.g, cand, tree.Parent)
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			candspace.BuildFull(q, f.g, cand)
+		}
+	})
+}
+
+// BenchmarkAblationNLF measures the neighbor-label-frequency check's
+// cost against plain LDF.
+func BenchmarkAblationNLF(b *testing.B) {
+	f := getFixture(b)
+	q := f.dense16[0]
+	b.Run("LDF", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			filter.RunLDF(q, f.g)
+		}
+	})
+	b.Run("NLF", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			filter.RunNLF(q, f.g)
+		}
+	})
+}
+
+// BenchmarkAblationGQLRounds sweeps GraphQL's global-refinement
+// iteration count.
+func BenchmarkAblationGQLRounds(b *testing.B) {
+	f := getFixture(b)
+	q := f.dense16[0]
+	for _, rounds := range []int{1, 2, 4} {
+		name := []string{"", "k=1", "k=2", "", "k=4"}[rounds]
+		b.Run(name, func(b *testing.B) {
+			mean := 0.0
+			for i := 0; i < b.N; i++ {
+				cand := filter.RunGraphQL(q, f.g, rounds)
+				mean = filter.MeanCandidates(cand)
+			}
+			b.ReportMetric(mean, "candidates/vertex")
+		})
+	}
+}
+
+// BenchmarkAblationCompression compares direct enumeration against the
+// BoostIso-style compressed count on a twin-rich graph (a hub-and-spoke
+// "blown-up" structure where compression shines) — the Section 3.4
+// trade-off.
+func BenchmarkAblationCompression(b *testing.B) {
+	// 40 hubs in a cycle, each with 20 interchangeable leaves.
+	bld := graph.NewBuilder(40*21, 40*21)
+	for h := 0; h < 40; h++ {
+		bld.AddVertex(1)
+	}
+	for h := 0; h < 40; h++ {
+		bld.AddEdge(graph.Vertex(h), graph.Vertex((h+1)%40))
+		for l := 0; l < 20; l++ {
+			leaf := bld.AddVertex(0)
+			bld.AddEdge(graph.Vertex(h), leaf)
+		}
+	}
+	g := bld.MustBuild()
+	// Pattern: hub with 3 leaves plus a hub neighbor.
+	q := graph.MustFromEdges([]graph.Label{1, 0, 0, 0, 1},
+		[][2]graph.Vertex{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := core.Match(q, g, core.PresetConfig(core.Optimized, q, g), core.Limits{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Embeddings), "embeddings")
+		}
+	})
+	b.Run("compressed", func(b *testing.B) {
+		c, err := compress.Build(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			res, err := compress.Count(q, c, compress.CountOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Embeddings), "embeddings")
+		}
+	})
+}

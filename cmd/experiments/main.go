@@ -1,0 +1,105 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (Section 5) over the dataset stand-ins. Absolute numbers
+// differ from the paper (scaled datasets and limits); the comparative
+// shapes — which method wins, by roughly what factor, where crossovers
+// fall — are the reproduction target.
+//
+// Usage:
+//
+//	experiments list
+//	experiments all [flags]
+//	experiments fig11 table5 ... [flags]
+//
+// Flags:
+//
+//	-datasets ye,hp,yt   restrict datasets (default: all eight)
+//	-per-set 10          queries per query set (paper: 200)
+//	-timeout 1s          per-query time limit (paper: 5m)
+//	-limit 100000        embedding cap per query (paper: 1e5)
+//	-seed 1              query-generation seed
+//	-orders 200          sampled orders in the spectrum analysis (paper: 1000)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"subgraphmatching/internal/experiments"
+)
+
+func main() {
+	var (
+		datasetsFlag = flag.String("datasets", "", "comma-separated dataset names (default: all)")
+		perSet       = flag.Int("per-set", 0, "queries per query set")
+		timeout      = flag.Duration("timeout", 0, "per-query time limit")
+		limit        = flag.Uint64("limit", 0, "embedding cap per query")
+		seed         = flag.Int64("seed", 0, "query-generation seed")
+		orders       = flag.Int("orders", 0, "spectrum-analysis order samples")
+		csvPath      = flag.String("csv", "", "also write result tables as CSV to this file")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	env := experiments.Env{
+		Out:            os.Stdout,
+		PerSet:         *perSet,
+		TimeLimit:      *timeout,
+		MaxEmbeddings:  *limit,
+		Seed:           *seed,
+		SpectrumOrders: *orders,
+	}
+	if *datasetsFlag != "" {
+		env.Datasets = strings.Split(*datasetsFlag, ",")
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		env.CSV = f
+	}
+
+	if args[0] == "list" {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("  %-8s %s\n", e.Name, e.Description)
+		}
+		return
+	}
+
+	var names []string
+	if args[0] == "all" {
+		for _, e := range experiments.Registry() {
+			names = append(names, e.Name)
+		}
+	} else {
+		names = args
+	}
+	start := time.Now()
+	for _, name := range names {
+		run, err := experiments.Lookup(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if err := run(env); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("completed %d experiment(s) in %v\n", len(names), time.Since(start).Round(time.Millisecond))
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: experiments [flags] list | all | <name>...
+run "experiments list" to see available experiments`)
+	flag.PrintDefaults()
+}

@@ -1,0 +1,74 @@
+// Command gengraph generates graphs in the text format: synthetic R-MAT
+// power-law graphs (the paper's synthetic datasets) or one of the eight
+// dataset stand-ins.
+//
+// Usage:
+//
+//	gengraph -o data.graph -n 100000 -m 800000 -labels 16 [-seed 1] [-skew 0]
+//	gengraph -o yeast.graph -dataset ye
+//	gengraph -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	sm "subgraphmatching"
+)
+
+func main() {
+	var (
+		out      = flag.String("o", "", "output file (required unless -list)")
+		n        = flag.Int("n", 10000, "number of vertices")
+		m        = flag.Int("m", 80000, "number of edges")
+		labels   = flag.Int("labels", 16, "label-set size")
+		seed     = flag.Int64("seed", 1, "random seed")
+		skew     = flag.Float64("skew", 0, "probability mass of label 0 (0 = uniform)")
+		dataset  = flag.String("dataset", "", "generate a dataset stand-in (ye hu hp wn up yt db eu) instead of plain R-MAT")
+		edgeList = flag.String("from-edgelist", "", "convert a SNAP-style edge list (random labels, see -labels/-seed)")
+		list     = flag.Bool("list", false, "list dataset stand-ins and exit")
+	)
+	flag.Parse()
+	if err := run(*out, *n, *m, *labels, *seed, *skew, *dataset, *edgeList, *list); err != nil {
+		fmt.Fprintln(os.Stderr, "gengraph:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, n, m, labels int, seed int64, skew float64, dataset, edgeList string, list bool) error {
+	if list {
+		fmt.Printf("%-4s %-10s %-9s %10s %10s %7s %7s\n",
+			"name", "original", "category", "|V|", "|E|", "labels", "degree")
+		for _, i := range sm.DatasetCatalog() {
+			fmt.Printf("%-4s %-10s %-9s %10d %10d %7d %7.1f\n",
+				i.Name, i.FullName, i.Category, i.Vertices, i.Edges, i.Labels, i.AvgDegree())
+		}
+		return nil
+	}
+	if out == "" {
+		return fmt.Errorf("-o is required")
+	}
+	var g *sm.Graph
+	var err error
+	switch {
+	case dataset != "" && edgeList != "":
+		return fmt.Errorf("-dataset and -from-edgelist are mutually exclusive")
+	case dataset != "":
+		g, err = sm.Dataset(dataset)
+	case edgeList != "":
+		g, err = sm.LoadEdgeList(edgeList, labels, seed)
+	default:
+		g, err = sm.GenerateRMAT(sm.RMATConfig{
+			NumVertices: n, NumEdges: m, NumLabels: labels, Seed: seed, LabelSkew: skew,
+		})
+	}
+	if err != nil {
+		return err
+	}
+	if err := sm.SaveGraph(out, g); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %v to %s\n", g, out)
+	return nil
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	sm "subgraphmatching"
+)
+
+func quietStdout(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	t.Cleanup(func() { os.Stdout = old })
+}
+
+func TestRunRMAT(t *testing.T) {
+	quietStdout(t)
+	out := filepath.Join(t.TempDir(), "g.graph")
+	if err := run(out, 500, 2000, 4, 1, 0, "", "", false); err != nil {
+		t.Fatal(err)
+	}
+	g, err := sm.LoadGraph(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 500 || g.NumEdges() != 2000 {
+		t.Errorf("generated %v", g)
+	}
+}
+
+func TestRunDataset(t *testing.T) {
+	quietStdout(t)
+	out := filepath.Join(t.TempDir(), "ye.graph")
+	if err := run(out, 0, 0, 0, 0, 0, "ye", "", false); err != nil {
+		t.Fatal(err)
+	}
+	g, err := sm.LoadGraph(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3112 {
+		t.Errorf("ye stand-in has %d vertices", g.NumVertices())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	quietStdout(t)
+	if err := run("", 0, 0, 0, 0, 0, "", "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	quietStdout(t)
+	if err := run("", 10, 5, 2, 1, 0, "", "", false); err == nil {
+		t.Error("expected error for missing output path")
+	}
+	out := filepath.Join(t.TempDir(), "g.graph")
+	if err := run(out, 0, 0, 0, 0, 0, "bogus", "", false); err == nil {
+		t.Error("expected error for unknown dataset")
+	}
+	if err := run(out, 2, 100, 1, 1, 0, "", "", false); err == nil {
+		t.Error("expected error for impossible edge count")
+	}
+}
+
+func TestRunFromEdgeList(t *testing.T) {
+	quietStdout(t)
+	dir := t.TempDir()
+	el := filepath.Join(dir, "edges.txt")
+	if err := os.WriteFile(el, []byte("# comment\n1 2\n2 3\n3 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "g.graph")
+	if err := run(out, 0, 0, 4, 1, 0, "", el, false); err != nil {
+		t.Fatal(err)
+	}
+	g, err := sm.LoadGraph(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Errorf("converted graph %v", g)
+	}
+	// Mutually exclusive flags.
+	if err := run(out, 0, 0, 4, 1, 0, "ye", el, false); err == nil {
+		t.Error("expected error for -dataset with -from-edgelist")
+	}
+}

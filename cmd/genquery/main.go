@@ -1,0 +1,75 @@
+// Command genquery extracts query graphs from a data graph by random
+// walk, following the paper's query-set methodology: connected induced
+// subgraphs with a fixed vertex count and a density class (dense:
+// average degree >= 3; sparse: < 3).
+//
+// Usage:
+//
+//	genquery -d data.graph -o queries/ -size 8 -count 200 -density dense [-seed 1]
+//
+// Queries are written to <out>/q_<size><D|S|A>_<i>.graph.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	sm "subgraphmatching"
+)
+
+func main() {
+	var (
+		dataPath = flag.String("d", "", "data graph file (required)")
+		outDir   = flag.String("o", "", "output directory (required)")
+		size     = flag.Int("size", 8, "query vertex count")
+		count    = flag.Int("count", 200, "number of queries")
+		density  = flag.String("density", "any", "density class: dense, sparse, any")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if err := run(*dataPath, *outDir, *size, *count, *density, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "genquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataPath, outDir string, size, count int, density string, seed int64) error {
+	if dataPath == "" || outDir == "" {
+		return fmt.Errorf("both -d and -o are required")
+	}
+	var dc sm.QueryDensity
+	var suffix string
+	switch density {
+	case "dense":
+		dc, suffix = sm.QueryDense, "D"
+	case "sparse":
+		dc, suffix = sm.QuerySparse, "S"
+	case "any":
+		dc, suffix = sm.QueryAny, "A"
+	default:
+		return fmt.Errorf("unknown density %q (want dense, sparse or any)", density)
+	}
+	g, err := sm.LoadGraph(dataPath)
+	if err != nil {
+		return err
+	}
+	qs, err := sm.GenerateQueries(g, sm.QueryConfig{
+		NumVertices: size, Count: count, Density: dc, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	for i, q := range qs {
+		path := filepath.Join(outDir, fmt.Sprintf("q_%d%s_%d.graph", size, suffix, i))
+		if err := sm.SaveGraph(path, q); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d queries (size %d, %s) to %s\n", len(qs), size, density, outDir)
+	return nil
+}

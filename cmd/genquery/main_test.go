@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	sm "subgraphmatching"
+)
+
+func setup(t *testing.T) (dataPath, outDir string) {
+	t.Helper()
+	old := os.Stdout
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	t.Cleanup(func() { os.Stdout = old })
+
+	dir := t.TempDir()
+	dataPath = filepath.Join(dir, "data.graph")
+	g, err := sm.GenerateRMAT(sm.RMATConfig{NumVertices: 1000, NumEdges: 8000, NumLabels: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.SaveGraph(dataPath, g); err != nil {
+		t.Fatal(err)
+	}
+	return dataPath, filepath.Join(dir, "queries")
+}
+
+func TestRunDense(t *testing.T) {
+	dataPath, outDir := setup(t)
+	if err := run(dataPath, outDir, 6, 4, "dense", 1); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(outDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("wrote %d files, want 4", len(entries))
+	}
+	q, err := sm.LoadGraph(filepath.Join(outDir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumVertices() != 6 || q.AverageDegree() < 3 {
+		t.Errorf("query %v not a 6-vertex dense graph", q)
+	}
+}
+
+func TestRunSparseAndAny(t *testing.T) {
+	dataPath, outDir := setup(t)
+	if err := run(dataPath, outDir, 5, 2, "sparse", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(dataPath, outDir, 5, 2, "any", 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dataPath, outDir := setup(t)
+	if err := run("", outDir, 5, 1, "any", 1); err == nil {
+		t.Error("expected error for missing data path")
+	}
+	if err := run(dataPath, "", 5, 1, "any", 1); err == nil {
+		t.Error("expected error for missing out dir")
+	}
+	if err := run(dataPath, outDir, 5, 1, "weird", 1); err == nil {
+		t.Error("expected error for unknown density")
+	}
+	if err := run(dataPath+".missing", outDir, 5, 1, "any", 1); err == nil {
+		t.Error("expected error for missing data file")
+	}
+}

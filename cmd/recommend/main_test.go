@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	sm "subgraphmatching"
+)
+
+func TestRunRecommend(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "data.graph")
+	g, err := sm.GenerateRMAT(sm.RMATConfig{NumVertices: 800, NumEdges: 6000, NumLabels: 6, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.SaveGraph(dataPath, g); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.Create(filepath.Join(dir, "out.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	if err := run(out, dataPath, 8, 2, 500*time.Millisecond, 1); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("no output written")
+	}
+	s := string(data)
+	for _, want := range []string{"density class", "winner:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunRecommendErrors(t *testing.T) {
+	if err := run(os.Stdout, "", 8, 1, time.Second, 1); err == nil {
+		t.Error("expected error for missing data path")
+	}
+	if err := run(os.Stdout, "/nonexistent.graph", 8, 1, time.Second, 1); err == nil {
+		t.Error("expected error for missing file")
+	}
+}

@@ -1,0 +1,206 @@
+// Command smatch runs subgraph matching queries: it loads a query graph
+// (or a directory of them) and a data graph in the text format (t/v/e
+// records), executes the selected algorithm, and reports the embedding
+// counts and the preprocessing/enumeration time split the paper
+// measures.
+//
+// Usage:
+//
+//	smatch -q query.graph -d data.graph [-algo Optimized] [-limit 100000]
+//	       [-timeout 5m] [-print 3] [-profile] [-parallel 4]
+//	smatch -q queries/ -d data.graph [-csv out.csv]   # batch mode
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	sm "subgraphmatching"
+)
+
+func main() {
+	var (
+		queryPath = flag.String("q", "", "query graph file (required)")
+		dataPath  = flag.String("d", "", "data graph file (required)")
+		algoName  = flag.String("algo", "Optimized", "algorithm: QSI GQL CFL CECI DPiso RI VF2PP Optimized GLW")
+		limit     = flag.Uint64("limit", 100_000, "stop after this many embeddings (0 = all)")
+		timeout   = flag.Duration("timeout", 5*time.Minute, "per-query time limit (0 = none)")
+		printN    = flag.Int("print", 0, "print up to N embeddings")
+		parallel  = flag.Int("parallel", 1, "enumeration worker goroutines")
+		profile   = flag.Bool("profile", false, "print a per-depth search profile")
+		hom       = flag.Bool("hom", false, "count homomorphisms instead of isomorphisms")
+		sym       = flag.Bool("sym", false, "enable symmetry breaking (NEC orbit counting)")
+		estimate  = flag.Bool("estimate", false, "print the spanning-tree cardinality estimate first")
+		csvPath   = flag.String("csv", "", "batch mode: also write per-query results as CSV")
+	)
+	flag.Parse()
+	if info, err := os.Stat(*queryPath); err == nil && info.IsDir() {
+		if err := runBatch(*queryPath, *dataPath, *algoName, *limit, *timeout, *csvPath); err != nil {
+			fmt.Fprintln(os.Stderr, "smatch:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*queryPath, *dataPath, *algoName, *limit, *timeout, *printN, *parallel,
+		*profile, *hom, *sym, *estimate); err != nil {
+		fmt.Fprintln(os.Stderr, "smatch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(queryPath, dataPath, algoName string, limit uint64, timeout time.Duration, printN, parallel int,
+	profile, hom, sym, estimate bool) error {
+	if queryPath == "" || dataPath == "" {
+		return fmt.Errorf("both -q and -d are required")
+	}
+	algo, err := sm.ParseAlgorithm(algoName)
+	if err != nil {
+		return err
+	}
+	q, err := sm.LoadGraph(queryPath)
+	if err != nil {
+		return err
+	}
+	g, err := sm.LoadGraph(dataPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query: %v\ndata:  %v\nalgo:  %v\n", q, g, algo)
+
+	if estimate {
+		est, err := sm.EstimateEmbeddings(q, g)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("estimate:      %.0f (spanning-tree upper bound)\n", est)
+	}
+
+	printed := 0
+	opts := sm.Options{Algorithm: algo, MaxEmbeddings: limit, TimeLimit: timeout, Parallel: parallel}
+	if profile || hom || sym {
+		cfg := sm.PresetConfig(algo, q, g)
+		cfg.Profile = profile
+		cfg.Homomorphism = hom
+		cfg.SymmetryBreaking = sym
+		if hom {
+			// Homomorphism mode needs the pipeline engine, not the
+			// external solvers, and ignores structural filters.
+			cfg.UseGlasgow, cfg.UseVF2, cfg.UseUllmann = false, false, false
+			if cfg.Local == sm.LocalDirect && cfg.VF2PPRules {
+				cfg.VF2PPRules = false
+			}
+		}
+		opts.Custom = &cfg
+	}
+	if printN > 0 {
+		opts.OnMatch = func(m []sm.Vertex) bool {
+			if printed < printN {
+				fmt.Printf("match %d: %v\n", printed+1, m)
+				printed++
+			}
+			return true
+		}
+	}
+	res, err := sm.Match(q, g, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("embeddings:    %d", res.Embeddings)
+	if res.LimitHit {
+		fmt.Printf(" (limit reached)")
+	}
+	fmt.Println()
+	fmt.Printf("search nodes:  %d\n", res.Nodes)
+	fmt.Printf("preprocessing: %v (filter %v, build %v, order %v)\n",
+		res.PreprocessTime(), res.FilterTime, res.BuildTime, res.OrderTime)
+	fmt.Printf("enumeration:   %v\n", res.EnumTime)
+	fmt.Printf("candidates:    %.1f per query vertex\n", res.MeanCandidates)
+	fmt.Printf("memory:        %d bytes\n", res.MemoryBytes)
+	if res.TimedOut {
+		fmt.Println("status:        UNSOLVED (time limit)")
+	} else {
+		fmt.Println("status:        solved")
+	}
+	if res.Profile != nil {
+		fmt.Println("\nsearch profile:")
+		res.Profile.Render(os.Stdout)
+		fmt.Println(res.Profile.BranchingSummary())
+	}
+	return nil
+}
+
+// runBatch executes every query in a directory and prints the paper's
+// aggregate metrics, optionally dumping per-query rows as CSV.
+func runBatch(queryDir, dataPath, algoName string, limit uint64, timeout time.Duration, csvPath string) error {
+	if dataPath == "" {
+		return fmt.Errorf("-d is required")
+	}
+	algo, err := sm.ParseAlgorithm(algoName)
+	if err != nil {
+		return err
+	}
+	queries, err := sm.LoadQueryDir(queryDir)
+	if err != nil {
+		return err
+	}
+	g, err := sm.LoadGraph(dataPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("data:    %v\nalgo:    %v\nqueries: %d from %s\n\n", g, algo, len(queries), queryDir)
+
+	var totalEmb uint64
+	var totalPre, totalEnum time.Duration
+	unsolved := 0
+	var results []*sm.Result
+	errored := 0
+	for i, q := range queries {
+		res, err := sm.Match(q, g, sm.Options{Algorithm: algo, MaxEmbeddings: limit, TimeLimit: timeout})
+		if err != nil {
+			// A malformed query (e.g. disconnected) fails alone, not the
+			// batch.
+			fmt.Printf("  query %3d: error: %v\n", i, err)
+			errored++
+			results = append(results, nil)
+			continue
+		}
+		results = append(results, res)
+		status := "solved"
+		if res.TimedOut {
+			status = "UNSOLVED"
+			unsolved++
+		}
+		fmt.Printf("  query %3d: %9d embeddings  %12v preprocess  %12v enumerate  [%s]\n",
+			i, res.Embeddings, res.PreprocessTime().Round(time.Microsecond),
+			res.EnumTime.Round(time.Microsecond), status)
+		totalEmb += res.Embeddings
+		totalPre += res.PreprocessTime()
+		totalEnum += res.EnumTime
+	}
+	if n := time.Duration(len(queries) - errored); n > 0 {
+		fmt.Printf("\ntotal embeddings: %d\nmean preprocess:  %v\nmean enumerate:   %v\nunsolved:         %d/%d  errors: %d\n",
+			totalEmb, (totalPre / n).Round(time.Microsecond), (totalEnum / n).Round(time.Microsecond),
+			unsolved, len(queries), errored)
+	}
+
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		fmt.Fprintln(f, "query,embeddings,nodes,preprocess_ms,enum_ms,timed_out")
+		for i, r := range results {
+			if r == nil {
+				continue
+			}
+			fmt.Fprintf(f, "%d,%d,%d,%.3f,%.3f,%t\n", i, r.Embeddings, r.Nodes,
+				float64(r.PreprocessTime())/float64(time.Millisecond),
+				float64(r.EnumTime)/float64(time.Millisecond), r.TimedOut)
+		}
+		fmt.Printf("per-query CSV written to %s\n", csvPath)
+	}
+	return nil
+}

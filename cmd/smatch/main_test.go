@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	sm "subgraphmatching"
+	"subgraphmatching/internal/testutil"
+)
+
+func writeGraphs(t *testing.T) (qPath, gPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	qPath = filepath.Join(dir, "q.graph")
+	gPath = filepath.Join(dir, "g.graph")
+	if err := sm.SaveGraph(qPath, testutil.PaperQuery()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.SaveGraph(gPath, testutil.PaperData()); err != nil {
+		t.Fatal(err)
+	}
+	return qPath, gPath
+}
+
+func TestRunPaperExample(t *testing.T) {
+	qPath, gPath := writeGraphs(t)
+	// Suppress stdout noise by pointing it at a pipe we discard.
+	old := os.Stdout
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	defer func() { os.Stdout = old }()
+
+	for _, algo := range []string{"Optimized", "DPiso", "GLW"} {
+		if err := run(qPath, gPath, algo, 1000, time.Minute, 2, 2, true, false, false, true); err != nil {
+			t.Errorf("run with %s: %v", algo, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	qPath, gPath := writeGraphs(t)
+	cases := []struct {
+		name       string
+		q, g, algo string
+	}{
+		{"missing q", "", gPath, "Optimized"},
+		{"missing g", qPath, "", "Optimized"},
+		{"bad algo", qPath, gPath, "nope"},
+		{"q not found", qPath + ".missing", gPath, "Optimized"},
+		{"g not found", qPath, gPath + ".missing", "Optimized"},
+	}
+	for _, c := range cases {
+		if err := run(c.q, c.g, c.algo, 0, 0, 0, 1, false, false, false, false); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestRunModes(t *testing.T) {
+	qPath, gPath := writeGraphs(t)
+	old := os.Stdout
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	defer func() { os.Stdout = old }()
+
+	// Homomorphism mode.
+	if err := run(qPath, gPath, "Optimized", 100, time.Minute, 0, 1, false, true, false, false); err != nil {
+		t.Errorf("hom mode: %v", err)
+	}
+	// Symmetry breaking.
+	if err := run(qPath, gPath, "GQL", 100, time.Minute, 0, 1, false, false, true, false); err != nil {
+		t.Errorf("sym mode: %v", err)
+	}
+	// Homomorphism routed away from an external engine.
+	if err := run(qPath, gPath, "GLW", 100, time.Minute, 0, 1, false, true, false, false); err != nil {
+		t.Errorf("hom with GLW preset: %v", err)
+	}
+}
+
+func TestRunBatch(t *testing.T) {
+	old := os.Stdout
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	defer func() { os.Stdout = old }()
+
+	dir := t.TempDir()
+	qDir := filepath.Join(dir, "queries")
+	if err := os.MkdirAll(qDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	gPath := filepath.Join(dir, "g.graph")
+	if err := sm.SaveGraph(gPath, testutil.PaperData()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := sm.SaveGraph(filepath.Join(qDir, "q_"+string(rune('0'+i))+".graph"), testutil.PaperQuery()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	csvPath := filepath.Join(dir, "out.csv")
+	if err := runBatch(qDir, gPath, "Optimized", 1000, time.Minute, csvPath); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := len(data)
+	if lines == 0 {
+		t.Fatal("empty CSV")
+	}
+	// Batch errors.
+	if err := runBatch(qDir, "", "Optimized", 0, 0, ""); err == nil {
+		t.Error("expected error for missing data path")
+	}
+	if err := runBatch(qDir, gPath, "nope", 0, 0, ""); err == nil {
+		t.Error("expected error for bad algorithm")
+	}
+	if err := runBatch(filepath.Join(dir, "missing"), gPath, "RI", 0, 0, ""); err == nil {
+		t.Error("expected error for missing query dir")
+	}
+}

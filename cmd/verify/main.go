@@ -1,0 +1,88 @@
+// Command verify is a randomized consistency checker: it generates
+// random data graphs and queries, runs every algorithm preset plus a
+// brute-force reference, and reports any disagreement in embedding
+// counts. This is the cross-algorithm agreement invariant from the test
+// suite, packaged as a long-running fuzzer for soak testing.
+//
+// Usage:
+//
+//	verify [-duration 30s] [-seed 1] [-max-vertices 40] [-v]
+//
+// Exit status is non-zero iff a disagreement or error was found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"subgraphmatching/internal/core"
+	"subgraphmatching/internal/testutil"
+)
+
+func main() {
+	var (
+		duration    = flag.Duration("duration", 10*time.Second, "how long to fuzz")
+		seed        = flag.Int64("seed", 0, "starting seed (0 = time-based)")
+		maxVertices = flag.Int("max-vertices", 40, "maximum data-graph size")
+		verbose     = flag.Bool("v", false, "print every trial")
+	)
+	flag.Parse()
+	if *seed == 0 {
+		*seed = time.Now().UnixNano()
+	}
+	trials, failures := fuzz(*duration, *seed, *maxVertices, *verbose)
+	fmt.Printf("verify: %d trials, %d failures (seed %d)\n", trials, failures, *seed)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// fuzz runs randomized agreement trials until the deadline, returning
+// trial and failure counts.
+func fuzz(duration time.Duration, seed int64, maxVertices int, verbose bool) (trials, failures int) {
+	deadline := time.Now().Add(duration)
+	for trial := 0; time.Now().Before(deadline); trial++ {
+		trialSeed := seed + int64(trial)
+		ok, desc := runTrial(trialSeed, maxVertices)
+		trials++
+		if !ok {
+			failures++
+			fmt.Fprintf(os.Stderr, "FAIL seed=%d: %s\n", trialSeed, desc)
+		} else if verbose {
+			fmt.Printf("ok   seed=%d: %s\n", trialSeed, desc)
+		}
+	}
+	return trials, failures
+}
+
+// runTrial executes one randomized agreement check. It returns whether
+// every preset matched the brute-force count, plus a description.
+func runTrial(seed int64, maxVertices int) (bool, string) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 10 + rng.Intn(maxVertices-10+1)
+	g := testutil.RandomGraph(rng, n, 2*n+rng.Intn(3*n), 1+rng.Intn(4))
+	q := testutil.RandomConnectedQuery(rng, g, 3+rng.Intn(4))
+	if q == nil {
+		return true, "no query extracted"
+	}
+	want := testutil.BruteForceCount(q, g, 0)
+	desc := fmt.Sprintf("data %v, query %v, %d embeddings", g, q, want)
+	for _, a := range core.Algorithms() {
+		res, err := core.Match(q, g, core.PresetConfig(a, q, g), core.Limits{})
+		if err != nil {
+			return false, fmt.Sprintf("%s; %v errored: %v", desc, a, err)
+		}
+		if res.Embeddings != want {
+			return false, fmt.Sprintf("%s; %v found %d", desc, a, res.Embeddings)
+		}
+	}
+	// Parallel execution must agree too.
+	res, err := core.Match(q, g, core.PresetConfig(core.Optimized, q, g), core.Limits{Parallel: 4})
+	if err != nil || res.Embeddings != want {
+		return false, fmt.Sprintf("%s; parallel disagreed (%v, err %v)", desc, res, err)
+	}
+	return true, desc
+}

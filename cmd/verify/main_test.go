@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFuzzFindsNoFailures(t *testing.T) {
+	trials, failures := fuzz(2*time.Second, 12345, 30, false)
+	if trials == 0 {
+		t.Fatal("no trials ran")
+	}
+	if failures != 0 {
+		t.Fatalf("%d/%d trials failed", failures, trials)
+	}
+}
+
+func TestRunTrialDeterministic(t *testing.T) {
+	ok1, d1 := runTrial(777, 30)
+	ok2, d2 := runTrial(777, 30)
+	if ok1 != ok2 || d1 != d2 {
+		t.Errorf("runTrial not deterministic: %v %q vs %v %q", ok1, d1, ok2, d2)
+	}
+}

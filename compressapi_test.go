@@ -1,0 +1,54 @@
+package subgraphmatching_test
+
+import (
+	"testing"
+
+	sm "subgraphmatching"
+)
+
+func TestCompressionRatioAndCount(t *testing.T) {
+	// A "blown-up" star: hub plus 6 interchangeable leaves compresses
+	// 7 -> 2.
+	labels := make([]sm.Label, 7)
+	labels[0] = 1
+	var edges [][2]sm.Vertex
+	for i := 1; i < 7; i++ {
+		edges = append(edges, [2]sm.Vertex{0, sm.Vertex(i)})
+	}
+	g, err := sm.FromEdges(labels, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio, err := sm.CompressionRatio(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio != 2.0/7.0 {
+		t.Errorf("ratio = %v, want 2/7", ratio)
+	}
+	// 3-leaf star pattern: 6*5*4 = 120 ordered leaf choices.
+	pattern, _ := sm.FromEdges([]sm.Label{1, 0, 0, 0},
+		[][2]sm.Vertex{{0, 1}, {0, 2}, {0, 3}})
+	got, err := sm.CountCompressed(pattern, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sm.Count(pattern, g, sm.Options{Algorithm: sm.AlgoOptimized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want || got != 120 {
+		t.Errorf("compressed count = %d, direct = %d, want 120", got, want)
+	}
+}
+
+func TestCompressedAgreesOnPaperExample(t *testing.T) {
+	q, g := paperGraphs()
+	got, err := sm.CountCompressed(q, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("compressed count = %d, want 1", got)
+	}
+}

@@ -1,0 +1,97 @@
+package subgraphmatching_test
+
+import (
+	"math/rand"
+	"testing"
+
+	sm "subgraphmatching"
+	"subgraphmatching/internal/testutil"
+)
+
+func TestContains(t *testing.T) {
+	q, g := paperGraphs()
+	ok, err := sm.Contains(q, g, sm.Options{Algorithm: sm.AlgoOptimized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("paper data graph must contain the paper query")
+	}
+	// A query with a label absent from g.
+	missing, err := sm.FromEdges([]sm.Label{9, 9, 9}, [][2]sm.Vertex{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = sm.Contains(missing, g, sm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("graph should not contain a query with unknown labels")
+	}
+}
+
+func TestContainingGraphs(t *testing.T) {
+	q, g := paperGraphs()
+	// A collection: the paper graph (contains q), a copy of q (contains
+	// q trivially), and a tiny graph that cannot.
+	tiny, _ := sm.FromEdges([]sm.Label{0, 1}, [][2]sm.Vertex{{0, 1}})
+	got, err := sm.ContainingGraphs(q, []*sm.Graph{g, tiny, q}, sm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("ContainingGraphs = %v, want [0 2]", got)
+	}
+}
+
+func TestEstimateEmbeddingsUpperBoundsTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	checked := 0
+	for trial := 0; trial < 40 && checked < 15; trial++ {
+		g := testutil.RandomGraph(rng, 20+rng.Intn(20), 50+rng.Intn(50), 2+rng.Intn(2))
+		q := testutil.RandomConnectedQuery(rng, g, 4)
+		if q == nil {
+			continue
+		}
+		checked++
+		est, err := sm.EstimateEmbeddings(q, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := testutil.BruteForceCount(q, g, 0)
+		// The tree estimate ignores non-tree edges and injectivity, so
+		// it must never be below the true count.
+		if est < float64(truth) {
+			t.Errorf("estimate %.0f below true count %d", est, truth)
+		}
+	}
+	if checked == 0 {
+		t.Skip("no queries generated")
+	}
+}
+
+func TestEstimateEmbeddingsZeroWhenNoCandidates(t *testing.T) {
+	_, g := paperGraphs()
+	q, _ := sm.FromEdges([]sm.Label{9, 9, 9}, [][2]sm.Vertex{{0, 1}, {1, 2}})
+	est, err := sm.EstimateEmbeddings(q, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 0 {
+		t.Errorf("estimate = %v, want 0", est)
+	}
+}
+
+func TestEstimateExactOnPaperExample(t *testing.T) {
+	q, g := paperGraphs()
+	est, err := sm.EstimateEmbeddings(q, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On the fully-refined paper example the candidate space is tight;
+	// the tree estimate must be small and at least 1 (one real match).
+	if est < 1 || est > 16 {
+		t.Errorf("estimate = %v, expected a small value >= 1", est)
+	}
+}

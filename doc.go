@@ -1,0 +1,43 @@
+// Package subgraphmatching is a Go reproduction of "In-Memory Subgraph
+// Matching: An In-depth Study" (Sun & Luo, SIGMOD 2020).
+//
+// Subgraph matching finds all embeddings of a query graph q in a data
+// graph G that are subgraph isomorphisms: injective, label-preserving,
+// edge-preserving mappings. The study decomposes in-memory subgraph
+// matching algorithms into four orthogonal components — candidate
+// filtering, query-vertex ordering, local-candidate enumeration, and
+// additional optimizations — and evaluates eight representative
+// algorithms inside one common backtracking framework.
+//
+// This package exposes that framework. Pick an algorithm preset:
+//
+//	res, err := subgraphmatching.Match(q, g, subgraphmatching.Options{
+//	    Algorithm:     subgraphmatching.AlgoOptimized,
+//	    MaxEmbeddings: 100_000,
+//	    TimeLimit:     5 * time.Minute,
+//	})
+//
+// or mix and match components with a custom configuration:
+//
+//	cfg := subgraphmatching.Config{
+//	    Filter:      subgraphmatching.FilterGQL,
+//	    Order:       subgraphmatching.OrderRI,
+//	    Local:       subgraphmatching.LocalIntersect,
+//	    FailingSets: true,
+//	}
+//	res, err := subgraphmatching.Match(q, g, subgraphmatching.Options{Custom: &cfg})
+//
+// The presets reproduce the eight studied algorithms — QuickSI, GraphQL,
+// CFL, CECI, DP-iso, RI, VF2++, and the Glasgow constraint-programming
+// solver — plus AlgoOptimized (the paper's Section 6 recommendation) and
+// the historical baselines AlgoVF2 and AlgoUllmann from the paper's
+// Table 1.
+//
+// Graphs are undirected and vertex-labeled, stored in CSR form. Load
+// them from the text format of the paper's released code (t/v/e
+// records), build them programmatically with a Builder, or generate
+// synthetic R-MAT graphs and random-walk query sets with the included
+// generators. The internal/experiments package (exercised by
+// cmd/experiments and the root benchmarks) regenerates every table and
+// figure of the paper's evaluation.
+package subgraphmatching

@@ -1,0 +1,91 @@
+package subgraphmatching_test
+
+import (
+	"fmt"
+	"time"
+
+	sm "subgraphmatching"
+)
+
+// ExampleMatch demonstrates the basic matching call with the paper's
+// recommended configuration.
+func ExampleMatch() {
+	data, _ := sm.FromEdges(
+		[]sm.Label{0, 0, 0, 1},
+		[][2]sm.Vertex{{0, 1}, {1, 2}, {0, 2}, {2, 3}},
+	)
+	query, _ := sm.FromEdges(
+		[]sm.Label{0, 0, 0},
+		[][2]sm.Vertex{{0, 1}, {1, 2}, {0, 2}},
+	)
+	res, err := sm.Match(query, data, sm.Options{
+		Algorithm:     sm.AlgoOptimized,
+		MaxEmbeddings: 100_000,
+		TimeLimit:     time.Minute,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("embeddings:", res.Embeddings)
+	// Output: embeddings: 6
+}
+
+// ExampleFindAll collects explicit embeddings.
+func ExampleFindAll() {
+	data, _ := sm.FromEdges(
+		[]sm.Label{7, 8, 8},
+		[][2]sm.Vertex{{0, 1}, {0, 2}},
+	)
+	query, _ := sm.FromEdges([]sm.Label{7, 8}, [][2]sm.Vertex{{0, 1}})
+	matches, _ := sm.FindAll(query, data, sm.Options{Algorithm: sm.AlgoRI}, 0)
+	for _, m := range matches {
+		fmt.Printf("u0->v%d u1->v%d\n", m[0], m[1])
+	}
+	// Output:
+	// u0->v0 u1->v1
+	// u0->v0 u1->v2
+}
+
+// ExampleMatch_custom mixes the study's components explicitly.
+func ExampleMatch_custom() {
+	data, _ := sm.FromEdges(
+		[]sm.Label{0, 0, 0, 0},
+		[][2]sm.Vertex{{0, 1}, {1, 2}, {2, 3}, {3, 0}},
+	)
+	query, _ := sm.FromEdges([]sm.Label{0, 0, 0}, [][2]sm.Vertex{{0, 1}, {1, 2}})
+	cfg := sm.Config{
+		Filter:      sm.FilterGQL,      // GraphQL's profile + refinement filter
+		Order:       sm.OrderRI,        // RI's structural order
+		Local:       sm.LocalIntersect, // Algorithm 5 set intersections
+		FailingSets: true,              // DP-iso's pruning
+	}
+	n, _ := sm.Count(query, data, sm.Options{Custom: &cfg})
+	fmt.Println(n)
+	// Output: 8
+}
+
+// ExampleContains answers the containment decision.
+func ExampleContains() {
+	data, _ := sm.FromEdges([]sm.Label{1, 2, 3}, [][2]sm.Vertex{{0, 1}, {1, 2}})
+	query, _ := sm.FromEdges([]sm.Label{1, 2}, [][2]sm.Vertex{{0, 1}})
+	ok, _ := sm.Contains(query, data, sm.Options{})
+	fmt.Println(ok)
+	// Output: true
+}
+
+// ExampleGenerateQueries extracts a paper-style query workload from a
+// synthetic graph.
+func ExampleGenerateQueries() {
+	g, _ := sm.GenerateRMAT(sm.RMATConfig{
+		NumVertices: 1000, NumEdges: 8000, NumLabels: 4, Seed: 7,
+	})
+	queries, _ := sm.GenerateQueries(g, sm.QueryConfig{
+		NumVertices: 8, Count: 2, Density: sm.QueryDense, Seed: 1,
+	})
+	for _, q := range queries {
+		fmt.Println(q.NumVertices(), "vertices, dense:", q.AverageDegree() >= 3)
+	}
+	// Output:
+	// 8 vertices, dense: true
+	// 8 vertices, dense: true
+}

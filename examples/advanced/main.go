@@ -1,0 +1,93 @@
+// Advanced features: cardinality estimation, containment queries over a
+// graph collection, homomorphism semantics, symmetry breaking on
+// automorphic patterns, and parallel enumeration.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	sm "subgraphmatching"
+)
+
+func main() {
+	data, err := sm.GenerateRMAT(sm.RMATConfig{
+		NumVertices: 10_000, NumEdges: 80_000, NumLabels: 8, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("data graph:", data)
+
+	// An unlabeled-ish triangle pattern (single label): highly
+	// automorphic.
+	tri, err := sm.FromEdges([]sm.Label{1, 1, 1}, [][2]sm.Vertex{{0, 1}, {1, 2}, {0, 2}})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Estimate before you enumerate: the spanning-tree upper bound
+	// behind CFL's and DP-iso's cost models.
+	est, err := sm.EstimateEmbeddings(tri, data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nestimated embeddings (tree upper bound): %.0f\n", est)
+
+	// 2. Exact count, sequential vs parallel.
+	for _, workers := range []int{1, 4} {
+		start := time.Now()
+		res, err := sm.Match(tri, data, sm.Options{Algorithm: sm.AlgoOptimized, Parallel: workers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("exact count with %d worker(s): %d embeddings in %v\n",
+			workers, res.Embeddings, time.Since(start).Round(time.Microsecond))
+	}
+
+	// 3. Symmetry breaking: the triangle's three vertices are
+	// interchangeable, so one canonical embedding stands for 3! = 6.
+	cfg := sm.Config{
+		Filter: sm.FilterGQL, Order: sm.OrderGQL,
+		Local: sm.LocalIntersect, SymmetryBreaking: true,
+	}
+	res, err := sm.Match(tri, data, sm.Options{Custom: &cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with symmetry breaking: %d embeddings from %d search nodes\n",
+		res.Embeddings, res.Nodes)
+
+	// 4. Homomorphisms: drop injectivity (the WCOJ systems' default
+	// semantics). A path query can now fold back on itself.
+	path, _ := sm.FromEdges([]sm.Label{1, 1, 1, 1}, [][2]sm.Vertex{{0, 1}, {1, 2}, {2, 3}})
+	iso, err := sm.Count(path, data, sm.Options{Algorithm: sm.AlgoOptimized, MaxEmbeddings: 1_000_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hcfg := sm.Config{Order: sm.OrderGQL, Local: sm.LocalIntersect, Homomorphism: true}
+	hom, err := sm.Count(path, data, sm.Options{Custom: &hcfg, MaxEmbeddings: 1_000_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("path of 4: %d isomorphisms vs %d homomorphisms\n", iso, hom)
+
+	// 5. Containment over a collection: which graphs contain the
+	// triangle pattern at all?
+	collection := make([]*sm.Graph, 0, 4)
+	for seed := int64(0); seed < 4; seed++ {
+		g, err := sm.GenerateRMAT(sm.RMATConfig{
+			NumVertices: 500, NumEdges: 1200 + 400*int(seed), NumLabels: 8, Seed: 100 + seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		collection = append(collection, g)
+	}
+	idx, err := sm.ContainingGraphs(tri, collection, sm.Options{Algorithm: sm.AlgoOptimized})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graphs containing the pattern: %v of %d\n", idx, len(collection))
+}

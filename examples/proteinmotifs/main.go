@@ -1,0 +1,70 @@
+// Protein motif search: the workload that motivates RI and the
+// bioinformatics line of subgraph matching algorithms. The example mines
+// small interaction motifs from the Yeast protein-interaction stand-in
+// (so every motif is guaranteed to occur) and counts all their
+// occurrences, comparing a direct-enumeration algorithm (RI) against the
+// study's optimized configuration.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	sm "subgraphmatching"
+)
+
+func main() {
+	// The Yeast stand-in mirrors the paper's ye dataset: 3112 proteins,
+	// 12519 interactions, 71 functional labels.
+	data, err := sm.Dataset("ye")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("protein interaction network:", data)
+	fmt.Println()
+
+	// Mine motif templates of increasing size from the network itself —
+	// dense ones are interaction complexes, sparse ones are signalling
+	// chains.
+	type motifSpec struct {
+		name    string
+		size    int
+		density sm.QueryDensity
+		seed    int64
+	}
+	specs := []motifSpec{
+		{"small complex (4 proteins, dense)", 4, sm.QueryDense, 11},
+		{"signal chain (5 proteins, sparse)", 5, sm.QuerySparse, 12},
+		{"interaction module (8 proteins, dense)", 8, sm.QueryDense, 13},
+		{"pathway fragment (8 proteins, sparse)", 8, sm.QuerySparse, 14},
+	}
+
+	opts := func(a sm.Algorithm) sm.Options {
+		return sm.Options{Algorithm: a, MaxEmbeddings: 100_000, TimeLimit: 30 * time.Second}
+	}
+	for _, spec := range specs {
+		qs, err := sm.GenerateQueries(data, sm.QueryConfig{
+			NumVertices: spec.size, Count: 1, Density: spec.density, Seed: spec.seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		q := qs[0]
+		fmt.Printf("motif: %s — %d interactions\n", spec.name, q.NumEdges())
+		for _, algo := range []sm.Algorithm{sm.AlgoRI, sm.AlgoOptimized} {
+			res, err := sm.Match(q, data, opts(algo))
+			if err != nil {
+				log.Fatal(err)
+			}
+			note := ""
+			if res.LimitHit {
+				note = " (capped)"
+			}
+			fmt.Printf("  %-9v %8d occurrences%s   %10v preprocess  %10v enumerate\n",
+				algo, res.Embeddings, note, res.PreprocessTime().Round(time.Microsecond),
+				res.EnumTime.Round(time.Microsecond))
+		}
+		fmt.Println()
+	}
+}

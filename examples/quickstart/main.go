@@ -1,0 +1,63 @@
+// Quickstart: build a small labeled data graph, define a query pattern,
+// and enumerate all subgraph isomorphisms with the paper's recommended
+// algorithm configuration.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sm "subgraphmatching"
+)
+
+func main() {
+	// Data graph: a small labeled network. Labels: 0 = user, 1 = group,
+	// 2 = page.
+	const (
+		user  sm.Label = 0
+		group sm.Label = 1
+		page  sm.Label = 2
+	)
+	data, err := sm.FromEdges(
+		[]sm.Label{user, user, user, user, group, group, page, page},
+		[][2]sm.Vertex{
+			{0, 1}, {0, 2}, {1, 2}, {2, 3}, // users know each other
+			{0, 4}, {1, 4}, {2, 4}, {3, 5}, // group memberships
+			{4, 6}, {5, 6}, {5, 7}, {1, 6}, // pages
+		},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Query: two connected users in the same group.
+	query, err := sm.FromEdges(
+		[]sm.Label{user, user, group},
+		[][2]sm.Vertex{{0, 1}, {0, 2}, {1, 2}},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("data: ", data)
+	fmt.Println("query:", query)
+
+	// Find every embedding. AlgoOptimized is the paper's recommended
+	// configuration: GraphQL's filter, a density-chosen ordering, and
+	// set-intersection local candidates.
+	matches, err := sm.FindAll(query, data, sm.Options{Algorithm: sm.AlgoOptimized}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("found %d embeddings:\n", len(matches))
+	for _, m := range matches {
+		fmt.Printf("  u0->v%d  u1->v%d  u2->v%d\n", m[0], m[1], m[2])
+	}
+
+	// Counting is cheaper than collecting when only the number matters.
+	n, err := sm.Count(query, data, sm.Options{Algorithm: sm.AlgoOptimized})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("count: %d\n", n)
+}

@@ -1,0 +1,47 @@
+package subgraphmatching
+
+import (
+	"subgraphmatching/internal/datasets"
+	"subgraphmatching/internal/querygen"
+	"subgraphmatching/internal/rmat"
+)
+
+// RMATConfig parameterizes a synthetic R-MAT power-law graph (the
+// paper's synthetic dataset generator).
+type RMATConfig = rmat.Config
+
+// GenerateRMAT produces a labeled power-law graph, deterministic in the
+// seed.
+func GenerateRMAT(cfg RMATConfig) (*Graph, error) { return rmat.Generate(cfg) }
+
+// QueryDensity classifies generated query sets (dense: average degree
+// >= 3; sparse: < 3), matching the paper's query-set taxonomy.
+type QueryDensity = querygen.Density
+
+// Query density classes.
+const (
+	QueryAny    = querygen.Any
+	QueryDense  = querygen.Dense
+	QuerySparse = querygen.Sparse
+)
+
+// QueryConfig parameterizes random-walk query extraction.
+type QueryConfig = querygen.Config
+
+// GenerateQueries extracts connected query graphs from g by random walk,
+// as the paper generates its query sets. Every generated query has at
+// least one embedding in g (it is an induced subgraph of g).
+func GenerateQueries(g *Graph, cfg QueryConfig) ([]*Graph, error) {
+	return querygen.Generate(g, cfg)
+}
+
+// DatasetInfo describes one of the stand-ins for the paper's eight
+// real-world datasets (Table 3).
+type DatasetInfo = datasets.Info
+
+// DatasetCatalog lists the stand-ins in the paper's order.
+func DatasetCatalog() []DatasetInfo { return datasets.Catalog() }
+
+// Dataset generates the named stand-in graph (ye, hu, hp, wn, up, yt,
+// db, eu), deterministically.
+func Dataset(name string) (*Graph, error) { return datasets.Generate(name) }

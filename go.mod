@@ -1,0 +1,3 @@
+module subgraphmatching
+
+go 1.22

@@ -1,0 +1,72 @@
+package subgraphmatching_test
+
+import (
+	"testing"
+
+	sm "subgraphmatching"
+)
+
+// TestGoldenCountsOnYeastStandIn pins end-to-end embedding counts on the
+// deterministic ye stand-in: the dataset generator, the query sampler
+// and the whole matching pipeline must keep producing exactly these
+// numbers. Any change to a generator's random stream or to matching
+// semantics shows up here.
+func TestGoldenCountsOnYeastStandIn(t *testing.T) {
+	g, err := sm.Dataset("ye")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := []struct {
+		size    int
+		density sm.QueryDensity
+		seed    int64
+		idx     int
+		want    uint64
+	}{
+		{4, sm.QueryAny, 100, 0, 5},
+		{4, sm.QueryAny, 100, 1, 1},
+		{4, sm.QueryAny, 100, 2, 5},
+		{8, sm.QueryDense, 101, 0, 1},
+		{8, sm.QueryDense, 101, 1, 1},
+		{8, sm.QueryDense, 101, 2, 1},
+		{8, sm.QuerySparse, 102, 0, 6},
+		{8, sm.QuerySparse, 102, 1, 2},
+		{8, sm.QuerySparse, 102, 2, 2},
+		{16, sm.QueryDense, 103, 0, 2},
+		{16, sm.QueryDense, 103, 1, 1},
+		{16, sm.QueryDense, 103, 2, 1},
+	}
+	type key struct {
+		size int
+		d    sm.QueryDensity
+		seed int64
+	}
+	queries := map[key][]*sm.Graph{}
+	for _, c := range golden {
+		k := key{c.size, c.density, c.seed}
+		if queries[k] == nil {
+			qs, err := sm.GenerateQueries(g, sm.QueryConfig{
+				NumVertices: c.size, Count: 3, Density: c.density, Seed: c.seed,
+			})
+			if err != nil {
+				t.Fatalf("GenerateQueries(%+v): %v", k, err)
+			}
+			queries[k] = qs
+		}
+	}
+	for _, c := range golden {
+		q := queries[key{c.size, c.density, c.seed}][c.idx]
+		// Every preset must reproduce the golden count, not only the
+		// one that computed it.
+		for _, a := range []sm.Algorithm{sm.AlgoOptimized, sm.AlgoDPIso, sm.AlgoRI, sm.AlgoGraphQL} {
+			got, err := sm.Count(q, g, sm.Options{Algorithm: a, MaxEmbeddings: 100_000})
+			if err != nil {
+				t.Fatalf("%v on size=%d seed=%d idx=%d: %v", a, c.size, c.seed, c.idx, err)
+			}
+			if got != c.want {
+				t.Errorf("%v on size=%d density=%v seed=%d idx=%d: %d embeddings, golden %d",
+					a, c.size, c.density, c.seed, c.idx, got, c.want)
+			}
+		}
+	}
+}

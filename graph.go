@@ -1,0 +1,68 @@
+package subgraphmatching
+
+import (
+	"io"
+
+	"subgraphmatching/internal/graph"
+)
+
+// Graph is an immutable undirected vertex-labeled graph in compressed
+// sparse row form. Construct one with a Builder, FromEdges, the parsers,
+// or the synthetic generators.
+type Graph = graph.Graph
+
+// Builder accumulates vertices and edges and produces an immutable
+// Graph.
+type Builder = graph.Builder
+
+// Vertex identifies a vertex of a Graph (0..n-1).
+type Vertex = graph.Vertex
+
+// Label is a vertex label.
+type Label = graph.Label
+
+// NoVertex is the "no vertex" sentinel.
+const NoVertex = graph.NoVertex
+
+// NewBuilder returns a Builder sized for roughly n vertices and m edges.
+func NewBuilder(n, m int) *Builder { return graph.NewBuilder(n, m) }
+
+// FromEdges builds a graph from a per-vertex label slice and an edge
+// list.
+func FromEdges(labels []Label, edges [][2]Vertex) (*Graph, error) {
+	return graph.FromEdges(labels, edges)
+}
+
+// LoadGraph reads a graph file in the text format used by the paper's
+// released code:
+//
+//	t <numVertices> <numEdges>
+//	v <id> <label> <degree>
+//	e <u> <v>
+func LoadGraph(path string) (*Graph, error) { return graph.Load(path) }
+
+// ParseGraph reads a graph in the text format from r.
+func ParseGraph(r io.Reader) (*Graph, error) { return graph.Parse(r) }
+
+// SaveGraph writes g to a file in the text format.
+func SaveGraph(path string, g *Graph) error { return graph.Save(path, g) }
+
+// LoadEdgeList reads a SNAP-style whitespace-separated edge list ("u v"
+// per line, '#'/'%' comments, arbitrary vertex ids), compacting ids and
+// assigning labels uniformly at random from numLabels labels — the
+// paper's methodology for unlabeled datasets. Deterministic in seed.
+func LoadEdgeList(path string, numLabels int, seed int64) (*Graph, error) {
+	return graph.LoadEdgeList(path, numLabels, seed)
+}
+
+// ParseEdgeList is LoadEdgeList over an io.Reader.
+func ParseEdgeList(r io.Reader, numLabels int, seed int64) (*Graph, error) {
+	return graph.ParseEdgeList(r, numLabels, seed)
+}
+
+// WriteGraph serializes g in the text format.
+func WriteGraph(w io.Writer, g *Graph) error { return graph.Write(w, g) }
+
+// LoadQueryDir loads every *.graph file in a directory sorted by
+// filename — the layout cmd/genquery writes query sets in.
+func LoadQueryDir(dir string) ([]*Graph, error) { return graph.LoadDir(dir) }

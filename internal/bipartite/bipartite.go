@@ -1,0 +1,100 @@
+// Package bipartite implements maximum bipartite matching via Kuhn's
+// augmenting-path algorithm.
+//
+// GraphQL's global refinement (the pseudo subgraph isomorphism test of
+// Section 3.1.1) needs a semi-perfect matching check: given candidate v
+// for query vertex u, build the bipartite graph between N(u) and N(v) and
+// verify that every vertex of N(u) can be matched. Observation 3.2 in the
+// paper is exactly this test.
+package bipartite
+
+// Matcher computes maximum matchings on bipartite graphs with a fixed
+// number of left vertices. It is reusable across calls to avoid
+// allocation in the refinement loop; it is not safe for concurrent use.
+type Matcher struct {
+	adj     [][]int32 // adjacency: left vertex -> right vertices
+	matchR  map[int32]int32
+	visited map[int32]bool
+}
+
+// NewMatcher returns a Matcher for up to maxLeft left vertices.
+func NewMatcher(maxLeft int) *Matcher {
+	return &Matcher{
+		adj:     make([][]int32, maxLeft),
+		matchR:  make(map[int32]int32),
+		visited: make(map[int32]bool),
+	}
+}
+
+// Reset prepares the matcher for a new bipartite graph with nLeft left
+// vertices.
+func (m *Matcher) Reset(nLeft int) {
+	if nLeft > len(m.adj) {
+		m.adj = make([][]int32, nLeft)
+	}
+	for i := 0; i < nLeft; i++ {
+		m.adj[i] = m.adj[i][:0]
+	}
+}
+
+// AddEdge records an edge from left vertex l (0-based) to right vertex r
+// (arbitrary non-negative id).
+func (m *Matcher) AddEdge(l int, r int32) {
+	m.adj[l] = append(m.adj[l], r)
+}
+
+// HasSemiPerfectMatching reports whether all nLeft left vertices can be
+// matched simultaneously.
+func (m *Matcher) HasSemiPerfectMatching(nLeft int) bool {
+	for k := range m.matchR {
+		delete(m.matchR, k)
+	}
+	for l := 0; l < nLeft; l++ {
+		// Fast fail: a left vertex with no edges can never match.
+		if len(m.adj[l]) == 0 {
+			return false
+		}
+	}
+	for l := 0; l < nLeft; l++ {
+		for k := range m.visited {
+			delete(m.visited, k)
+		}
+		if !m.augment(l) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaximumMatchingSize returns the size of a maximum matching over the
+// first nLeft left vertices.
+func (m *Matcher) MaximumMatchingSize(nLeft int) int {
+	for k := range m.matchR {
+		delete(m.matchR, k)
+	}
+	size := 0
+	for l := 0; l < nLeft; l++ {
+		for k := range m.visited {
+			delete(m.visited, k)
+		}
+		if m.augment(l) {
+			size++
+		}
+	}
+	return size
+}
+
+func (m *Matcher) augment(l int) bool {
+	for _, r := range m.adj[l] {
+		if m.visited[r] {
+			continue
+		}
+		m.visited[r] = true
+		owner, taken := m.matchR[r]
+		if !taken || m.augment(int(owner)) {
+			m.matchR[r] = int32(l)
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,122 @@
+package bipartite
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPerfectMatchingExists(t *testing.T) {
+	m := NewMatcher(3)
+	m.Reset(3)
+	// 0-{10,11}, 1-{10}, 2-{12}: matching 0->11, 1->10, 2->12.
+	m.AddEdge(0, 10)
+	m.AddEdge(0, 11)
+	m.AddEdge(1, 10)
+	m.AddEdge(2, 12)
+	if !m.HasSemiPerfectMatching(3) {
+		t.Error("expected semi-perfect matching")
+	}
+}
+
+func TestPerfectMatchingMissing(t *testing.T) {
+	m := NewMatcher(3)
+	m.Reset(3)
+	// Both 0 and 1 can only use right vertex 10.
+	m.AddEdge(0, 10)
+	m.AddEdge(1, 10)
+	m.AddEdge(2, 12)
+	if m.HasSemiPerfectMatching(3) {
+		t.Error("expected no semi-perfect matching")
+	}
+	if got := m.MaximumMatchingSize(3); got != 2 {
+		t.Errorf("MaximumMatchingSize = %d, want 2", got)
+	}
+}
+
+func TestIsolatedLeftVertexFails(t *testing.T) {
+	m := NewMatcher(2)
+	m.Reset(2)
+	m.AddEdge(0, 1)
+	if m.HasSemiPerfectMatching(2) {
+		t.Error("left vertex with no edges cannot be matched")
+	}
+}
+
+func TestMatcherReuse(t *testing.T) {
+	m := NewMatcher(2)
+	m.Reset(2)
+	m.AddEdge(0, 5)
+	m.AddEdge(1, 5)
+	if m.HasSemiPerfectMatching(2) {
+		t.Fatal("first round should fail")
+	}
+	m.Reset(2)
+	m.AddEdge(0, 5)
+	m.AddEdge(1, 6)
+	if !m.HasSemiPerfectMatching(2) {
+		t.Fatal("second round should succeed after Reset")
+	}
+	// Reset growing beyond initial capacity.
+	m.Reset(10)
+	for i := 0; i < 10; i++ {
+		m.AddEdge(i, int32(i))
+	}
+	if !m.HasSemiPerfectMatching(10) {
+		t.Fatal("identity matching should succeed")
+	}
+}
+
+// bruteMaxMatching computes maximum matching size by trying all subsets
+// (inputs are tiny).
+func bruteMaxMatching(nLeft int, edges [][2]int32) int {
+	best := 0
+	var rec func(l int, usedR map[int32]bool, size int)
+	rec = func(l int, usedR map[int32]bool, size int) {
+		if size > best {
+			best = size
+		}
+		if l == nLeft {
+			return
+		}
+		rec(l+1, usedR, size) // leave l unmatched
+		for _, e := range edges {
+			if int(e[0]) == l && !usedR[e[1]] {
+				usedR[e[1]] = true
+				rec(l+1, usedR, size+1)
+				delete(usedR, e[1])
+			}
+		}
+	}
+	rec(0, map[int32]bool{}, 0)
+	return best
+}
+
+func TestMaximumMatchingMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nLeft := 1 + rng.Intn(5)
+		nRight := 1 + rng.Intn(5)
+		var edges [][2]int32
+		m := NewMatcher(nLeft)
+		m.Reset(nLeft)
+		for l := 0; l < nLeft; l++ {
+			for r := 0; r < nRight; r++ {
+				if rng.Intn(3) == 0 {
+					edges = append(edges, [2]int32{int32(l), int32(r)})
+					m.AddEdge(l, int32(r))
+				}
+			}
+		}
+		want := bruteMaxMatching(nLeft, edges)
+		got := m.MaximumMatchingSize(nLeft)
+		if got != want {
+			t.Logf("matching size %d, brute force %d, edges %v", got, want, edges)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,48 @@
+package candspace
+
+import (
+	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/intersect"
+)
+
+// MaterializeBlocks builds the QFilter-style block layout for every
+// materialized candidate adjacency list, enabling word-parallel
+// intersections during enumeration (the Figure 10 comparison). It is
+// idempotent.
+func (s *Space) MaterializeBlocks() {
+	if s.blocks != nil {
+		return
+	}
+	s.blocks = make([][][]*intersect.BlockSet, len(s.edges))
+	for u, row := range s.edges {
+		s.blocks[u] = make([][]*intersect.BlockSet, len(row))
+		for i, csr := range row {
+			if csr == nil {
+				continue
+			}
+			nCand := len(csr.offsets) - 1
+			bs := make([]*intersect.BlockSet, nCand)
+			for ci := 0; ci < nCand; ci++ {
+				bs[ci] = intersect.NewBlockSet(csr.targets[csr.offsets[ci]:csr.offsets[ci+1]])
+			}
+			s.blocks[u][i] = bs
+		}
+	}
+}
+
+// HasBlocks reports whether MaterializeBlocks has run.
+func (s *Space) HasBlocks() bool { return s.blocks != nil }
+
+// AdjacencyBlocks returns the block layout of 𝒜[u->u'](v) where candIdx
+// is v's index in C(u), or nil if blocks are not materialized or the pair
+// is absent.
+func (s *Space) AdjacencyBlocks(u, up graph.Vertex, candIdx int) *intersect.BlockSet {
+	if s.blocks == nil {
+		return nil
+	}
+	pos := s.neighborPos(u, up)
+	if pos < 0 || s.blocks[u][pos] == nil {
+		return nil
+	}
+	return s.blocks[u][pos][candIdx]
+}

@@ -1,0 +1,170 @@
+// Package candspace implements the auxiliary data structure 𝒜 of the
+// paper: for candidate vertex sets C(u), it maintains the edges between
+// candidates of adjacent query vertices, so that
+//
+//	𝒜[u->u'](v) = N(v) ∩ C(u')
+//
+// can be retrieved in O(1) during enumeration. Two variants exist,
+// distinguished by which query edges are materialized:
+//
+//   - Full: every edge of E(q), as in CECI's compact embedding cluster
+//     index and DP-iso's candidate space. Enables the set-intersection
+//     local candidate computation (paper Algorithm 5).
+//   - Tree: only the spanning-tree edges, as in CFL's compressed path
+//     index. Non-tree edges are verified with binary searches during
+//     enumeration (paper Algorithm 4).
+package candspace
+
+import (
+	"sort"
+
+	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/intersect"
+)
+
+// Space is the auxiliary structure 𝒜 over a query graph and candidate
+// sets. It is immutable after Build.
+type Space struct {
+	q          *graph.Graph
+	candidates [][]uint32 // per query vertex, sorted data vertices
+
+	// For each directed adjacent pair (u, i) where i indexes u's
+	// neighbor list, a CSR mapping candidate index of u to the sorted
+	// data vertices of C(neighbor) adjacent to it. nil when the pair is
+	// not materialized (tree variant).
+	edges [][]*edgeCSR
+
+	// blocks mirrors edges with per-candidate QFilter-style block
+	// layouts; nil until MaterializeBlocks runs.
+	blocks [][][]*intersect.BlockSet
+}
+
+type edgeCSR struct {
+	offsets []int32
+	targets []uint32
+}
+
+// BuildFull materializes 𝒜 for every query edge (CECI/DP-iso style).
+// candidates[u] must be sorted; the slice is retained.
+func BuildFull(q *graph.Graph, g *graph.Graph, candidates [][]uint32) *Space {
+	return build(q, g, candidates, nil)
+}
+
+// BuildTree materializes 𝒜 only for the spanning-tree edges given by
+// parent (CFL style): pairs (parent[u], u) and (u, parent[u]).
+func BuildTree(q *graph.Graph, g *graph.Graph, candidates [][]uint32, parent []graph.Vertex) *Space {
+	return build(q, g, candidates, parent)
+}
+
+func build(q, g *graph.Graph, candidates [][]uint32, parent []graph.Vertex) *Space {
+	s := &Space{
+		q:          q,
+		candidates: candidates,
+		edges:      make([][]*edgeCSR, q.NumVertices()),
+	}
+	var scratch []uint32
+	for u := 0; u < q.NumVertices(); u++ {
+		ns := q.Neighbors(graph.Vertex(u))
+		s.edges[u] = make([]*edgeCSR, len(ns))
+		for i, up := range ns {
+			if parent != nil && parent[u] != up && parent[up] != graph.Vertex(u) {
+				continue // tree variant: skip non-tree edges
+			}
+			csr := &edgeCSR{offsets: make([]int32, len(candidates[u])+1)}
+			for ci, v := range candidates[u] {
+				scratch = intersect.Hybrid(scratch[:0], g.Neighbors(v), candidates[up])
+				csr.targets = append(csr.targets, scratch...)
+				csr.offsets[ci+1] = int32(len(csr.targets))
+			}
+			s.edges[u][i] = csr
+		}
+	}
+	return s
+}
+
+// Query returns the query graph the space was built for.
+func (s *Space) Query() *graph.Graph { return s.q }
+
+// Candidates returns C(u). The slice aliases internal storage.
+func (s *Space) Candidates(u graph.Vertex) []uint32 { return s.candidates[u] }
+
+// AllCandidates returns the per-vertex candidate sets.
+func (s *Space) AllCandidates() [][]uint32 { return s.candidates }
+
+// CandidateIndex returns the index of data vertex v within C(u), or -1 if
+// v is not a candidate of u.
+func (s *Space) CandidateIndex(u graph.Vertex, v uint32) int {
+	c := s.candidates[u]
+	i := sort.Search(len(c), func(i int) bool { return c[i] >= v })
+	if i < len(c) && c[i] == v {
+		return i
+	}
+	return -1
+}
+
+// neighborPos returns the position of up within u's neighbor list, or -1.
+func (s *Space) neighborPos(u, up graph.Vertex) int {
+	ns := s.q.Neighbors(u)
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= up })
+	if i < len(ns) && ns[i] == up {
+		return i
+	}
+	return -1
+}
+
+// Adjacency returns 𝒜[u->u'](v) — the sorted data vertices of C(u')
+// adjacent to candidate v of u — where candIdx is v's index in C(u).
+// It returns nil if the directed pair (u, u') is not materialized.
+// The returned slice aliases internal storage.
+func (s *Space) Adjacency(u, up graph.Vertex, candIdx int) []uint32 {
+	pos := s.neighborPos(u, up)
+	if pos < 0 {
+		return nil
+	}
+	csr := s.edges[u][pos]
+	if csr == nil {
+		return nil
+	}
+	return csr.targets[csr.offsets[candIdx]:csr.offsets[candIdx+1]]
+}
+
+// HasPair reports whether the directed pair (u, u') is materialized.
+func (s *Space) HasPair(u, up graph.Vertex) bool {
+	pos := s.neighborPos(u, up)
+	return pos >= 0 && s.edges[u][pos] != nil
+}
+
+// TotalCandidates returns the summed candidate-set sizes.
+func (s *Space) TotalCandidates() int {
+	n := 0
+	for _, c := range s.candidates {
+		n += len(c)
+	}
+	return n
+}
+
+// MeanCandidates returns (1/|V(q)|) * sum |C(u)|, the paper's
+// candidate-count metric.
+func (s *Space) MeanCandidates() float64 {
+	if len(s.candidates) == 0 {
+		return 0
+	}
+	return float64(s.TotalCandidates()) / float64(len(s.candidates))
+}
+
+// MemoryBytes estimates the heap footprint of the candidate sets and the
+// materialized candidate edges, the paper's memory-cost metric.
+func (s *Space) MemoryBytes() int64 {
+	var b int64
+	for _, c := range s.candidates {
+		b += int64(len(c)) * 4
+	}
+	for _, row := range s.edges {
+		for _, csr := range row {
+			if csr != nil {
+				b += int64(len(csr.offsets))*4 + int64(len(csr.targets))*4
+			}
+		}
+	}
+	return b
+}

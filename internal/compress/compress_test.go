@@ -1,0 +1,188 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/testutil"
+)
+
+func TestBuildStar(t *testing.T) {
+	// Star: 4 leaves are open twins; center is a singleton.
+	star := graph.MustFromEdges(make([]graph.Label, 5),
+		[][2]graph.Vertex{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	c, err := Build(star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Hyper.NumVertices() != 2 {
+		t.Fatalf("compressed to %d hypervertices, want 2", c.Hyper.NumVertices())
+	}
+	if c.Ratio() != 2.0/5.0 {
+		t.Errorf("Ratio = %v", c.Ratio())
+	}
+	foundOpen := false
+	for h := range c.Members {
+		if c.Kind[h] == OpenTwins && len(c.Members[h]) == 4 {
+			foundOpen = true
+		}
+	}
+	if !foundOpen {
+		t.Errorf("leaf class missing: members %v kinds %v", c.Members, c.Kind)
+	}
+}
+
+func TestBuildClique(t *testing.T) {
+	// K4: all vertices are closed twins, one hypervertex, no edges.
+	var edges [][2]graph.Vertex
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			edges = append(edges, [2]graph.Vertex{graph.Vertex(i), graph.Vertex(j)})
+		}
+	}
+	k4 := graph.MustFromEdges(make([]graph.Label, 4), edges)
+	c, err := Build(k4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Hyper.NumVertices() != 1 || c.Kind[0] != ClosedTwins {
+		t.Fatalf("K4 compression: %v kinds %v", c.Members, c.Kind)
+	}
+	if c.MemberDegree[0] != 3 {
+		t.Errorf("MemberDegree = %d", c.MemberDegree[0])
+	}
+}
+
+func TestBuildRespectsLabels(t *testing.T) {
+	// Two leaves with different labels must not merge.
+	star := graph.MustFromEdges([]graph.Label{0, 1, 2},
+		[][2]graph.Vertex{{0, 1}, {0, 2}})
+	c, err := Build(star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Hyper.NumVertices() != 3 {
+		t.Errorf("labeled star compressed to %d vertices", c.Hyper.NumVertices())
+	}
+	if c.Ratio() != 1 {
+		t.Errorf("Ratio = %v, want 1", c.Ratio())
+	}
+}
+
+func TestCountTriangleInClique(t *testing.T) {
+	// K6 compresses to one closed hypervertex of size 6; the triangle
+	// count must still be 6*5*4 = 120.
+	var edges [][2]graph.Vertex
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			edges = append(edges, [2]graph.Vertex{graph.Vertex(i), graph.Vertex(j)})
+		}
+	}
+	k6 := graph.MustFromEdges(make([]graph.Label, 6), edges)
+	c, err := Build(k6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tri := graph.MustFromEdges(make([]graph.Label, 3), [][2]graph.Vertex{{0, 1}, {1, 2}, {0, 2}})
+	res, err := Count(tri, c, CountOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Embeddings != 120 {
+		t.Errorf("Embeddings = %d, want 120", res.Embeddings)
+	}
+	// The compressed search should touch far fewer nodes than 120.
+	if res.Nodes > 20 {
+		t.Errorf("compressed search used %d nodes", res.Nodes)
+	}
+}
+
+func TestCountStarPattern(t *testing.T) {
+	// 2-leaf star pattern in a 4-leaf star: center fixed, leaves are an
+	// ordered pair of distinct leaves: 4*3 = 12.
+	star := graph.MustFromEdges(make([]graph.Label, 5),
+		[][2]graph.Vertex{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	c, err := Build(star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern := graph.MustFromEdges(make([]graph.Label, 3), [][2]graph.Vertex{{0, 1}, {0, 2}})
+	res, err := Count(pattern, c, CountOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testutil.BruteForceCount(pattern, star, 0)
+	if res.Embeddings != want {
+		t.Errorf("Embeddings = %d, brute force %d", res.Embeddings, want)
+	}
+}
+
+func TestCountAgreesWithBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Few labels and repeated structure encourage twins.
+		g := testutil.RandomGraph(rng, 10+rng.Intn(12), 18+rng.Intn(25), 1+rng.Intn(2))
+		q := testutil.RandomConnectedQuery(rng, g, 3+rng.Intn(3))
+		if q == nil {
+			return true
+		}
+		c, err := Build(g)
+		if err != nil {
+			t.Logf("Build: %v", err)
+			return false
+		}
+		res, err := Count(q, c, CountOptions{})
+		if err != nil {
+			t.Logf("Count: %v", err)
+			return false
+		}
+		want := testutil.BruteForceCount(q, g, 0)
+		if res.Embeddings != want {
+			t.Logf("compressed count %d, brute force %d (seed %d, %v)", res.Embeddings, want, seed, c)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountEdgeCases(t *testing.T) {
+	g := testutil.PaperData()
+	c, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := graph.MustFromEdges(nil, nil)
+	if res, err := Count(empty, c, CountOptions{}); err != nil || res.Embeddings != 0 {
+		t.Error("empty query should count 0")
+	}
+	disc := graph.MustFromEdges([]graph.Label{0, 0, 0}, [][2]graph.Vertex{{0, 1}})
+	if _, err := Count(disc, c, CountOptions{}); err == nil {
+		t.Error("expected error for disconnected query")
+	}
+	// The paper example: exactly one embedding.
+	res, err := Count(testutil.PaperQuery(), c, CountOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Embeddings != 1 {
+		t.Errorf("paper example compressed count = %d", res.Embeddings)
+	}
+}
+
+func TestStringAndKinds(t *testing.T) {
+	star := graph.MustFromEdges(make([]graph.Label, 5),
+		[][2]graph.Vertex{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	c, _ := Build(star)
+	s := c.String()
+	if s == "" || c.Ratio() >= 1 {
+		t.Errorf("String = %q Ratio = %v", s, c.Ratio())
+	}
+	if Singleton.String() != "singleton" || OpenTwins.String() != "open" || ClosedTwins.String() != "closed" {
+		t.Error("TwinKind.String wrong")
+	}
+}

@@ -1,0 +1,140 @@
+package compress
+
+import (
+	"fmt"
+	"time"
+
+	"subgraphmatching/internal/graph"
+)
+
+// CountOptions bounds a Count call.
+type CountOptions struct {
+	// TimeLimit bounds the wall-clock search time (0 = unlimited).
+	TimeLimit time.Duration
+}
+
+// CountResult reports a Count call.
+type CountResult struct {
+	Embeddings uint64
+	Nodes      uint64
+	TimedOut   bool
+	Duration   time.Duration
+}
+
+// Count enumerates subgraph isomorphisms of q over the compressed graph
+// and returns the exact embedding count in the original graph.
+//
+// Query vertices map to hypervertices; a hypervertex h of size s can
+// host up to s query vertices (each stands for a distinct member), and
+// the count multiplies by the remaining capacity at each placement — the
+// falling factorial s·(s−1)·… per hypervertex. Two adjacent query
+// vertices can share h only if its members are closed twins (pairwise
+// adjacent); non-adjacent query vertices can share any multi-member
+// hypervertex (open twins are pairwise non-adjacent, which is fine, and
+// closed twins are a clique, which a non-edge in q does not forbid —
+// subgraph isomorphism is not induced).
+func Count(q *graph.Graph, c *Graph, opts CountOptions) (*CountResult, error) {
+	if q.NumVertices() == 0 {
+		return &CountResult{}, nil
+	}
+	if !q.IsConnected() {
+		return nil, fmt.Errorf("compress: query graph must be connected")
+	}
+	s := &counter{q: q, c: c, res: &CountResult{}}
+	s.order = graph.NewBFSTree(q, 0).Order
+	s.assign = make([]graph.Vertex, q.NumVertices())
+	s.mapped = make([]bool, q.NumVertices())
+	s.used = make([]int, c.Hyper.NumVertices())
+	start := time.Now()
+	if opts.TimeLimit > 0 {
+		s.deadline = start.Add(opts.TimeLimit)
+	}
+	s.rec(0, 1)
+	s.res.Duration = time.Since(start)
+	return s.res, nil
+}
+
+type counter struct {
+	q      *graph.Graph
+	c      *Graph
+	res    *CountResult
+	order  []graph.Vertex
+	assign []graph.Vertex // query vertex -> hypervertex
+	mapped []bool         // query vertex assigned?
+	used   []int          // members consumed per hypervertex
+
+	deadline time.Time
+	ticker   int
+	aborted  bool
+}
+
+func (s *counter) enterNode() bool {
+	s.res.Nodes++
+	s.ticker++
+	if s.ticker >= 1<<12 {
+		s.ticker = 0
+		if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+			s.res.TimedOut = true
+			s.aborted = true
+			return false
+		}
+	}
+	return true
+}
+
+// rec extends the assignment at the given depth, carrying the product of
+// capacity factors accumulated so far.
+func (s *counter) rec(depth int, factor uint64) {
+	if !s.enterNode() || s.aborted {
+		return
+	}
+	if depth == s.q.NumVertices() {
+		s.res.Embeddings += factor
+		return
+	}
+	u := s.order[depth]
+	for h := 0; h < s.c.Hyper.NumVertices(); h++ {
+		hh := graph.Vertex(h)
+		remaining := s.c.Size(hh) - s.used[h]
+		if remaining <= 0 {
+			continue
+		}
+		if s.c.Hyper.Label(hh) != s.q.Label(u) || s.c.MemberDegree[h] < s.q.Degree(u) {
+			continue
+		}
+		if !s.compatible(u, hh) {
+			continue
+		}
+		s.assign[u] = hh
+		s.mapped[u] = true
+		s.used[h]++
+		s.rec(depth+1, factor*uint64(remaining))
+		s.used[h]--
+		s.mapped[u] = false
+		if s.aborted {
+			return
+		}
+	}
+}
+
+// compatible verifies u's backward edges against the hyper topology:
+// a query edge into the same hypervertex requires closed twins; into a
+// different one requires a hyper edge.
+func (s *counter) compatible(u, h graph.Vertex) bool {
+	for _, un := range s.q.Neighbors(u) {
+		if !s.mapped[un] {
+			continue
+		}
+		hn := s.assign[un]
+		if hn == h {
+			if s.c.Kind[h] != ClosedTwins {
+				return false
+			}
+			continue
+		}
+		if !s.c.Hyper.HasEdge(hn, h) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,370 @@
+// Package core wires the study's components — filtering, ordering,
+// auxiliary-structure construction, and enumeration — into the generic
+// subgraph matching pipeline of the paper's Algorithm 1, and defines the
+// algorithm presets (QuickSI, GraphQL, CFL, CECI, DP-iso, RI, VF2++, the
+// paper's recommended Optimized configuration, and the Glasgow CP
+// solver).
+//
+// The decomposition is the paper's primary contribution: an algorithm is
+// a (filter, order, local-candidate, optimization) tuple, and any
+// combination can be executed and measured, which is how every experiment
+// in Section 5 is expressed.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"subgraphmatching/internal/candspace"
+	"subgraphmatching/internal/enumerate"
+	"subgraphmatching/internal/filter"
+	"subgraphmatching/internal/glasgow"
+	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/order"
+	"subgraphmatching/internal/ullmann"
+	"subgraphmatching/internal/vf2"
+)
+
+// Config selects one point in the study's design space.
+type Config struct {
+	// Filter selects the candidate filtering method.
+	Filter filter.Method
+	// Order selects the ordering method. Ignored when a FixedOrder is
+	// supplied.
+	Order order.Method
+	// FixedOrder, when non-nil, bypasses the ordering method entirely
+	// (used by the spectrum analysis of Figure 14).
+	FixedOrder []graph.Vertex
+	// AutoOrder evaluates every ordering method under the candidate-
+	// space cost model and picks the cheapest — the study's "no single
+	// ordering dominates" finding turned into a chooser. Requires an
+	// auxiliary-structure-based Local method; ignored when FixedOrder is
+	// set.
+	AutoOrder bool
+	// Local selects the local-candidate computation (paper Algorithms
+	// 2-5).
+	Local enumerate.LocalCandidates
+	// TreeSpace builds the auxiliary structure only over spanning-tree
+	// edges (CFL's compressed path index) instead of all query edges.
+	TreeSpace bool
+	// FailingSets enables the failing-sets pruning.
+	FailingSets bool
+	// Adaptive enables DP-iso's dynamic vertex selection; requires an
+	// intersection-based Local method.
+	Adaptive bool
+	// DPWeights computes DP-iso's path-count weight array for the
+	// adaptive selection.
+	DPWeights bool
+	// VF2PPRules enables VF2++'s extra cutoff rules (Direct mode only).
+	VF2PPRules bool
+	// Homomorphism finds subgraph homomorphisms instead of isomorphisms
+	// (injectivity dropped — the WCOJ systems' default semantics, paper
+	// Section 2.2). The Filter setting is ignored: only label-based
+	// candidate generation is sound without injectivity. Incompatible
+	// with SymmetryBreaking, VF2PPRules and UseGlasgow.
+	Homomorphism bool
+	// SymmetryBreaking detects interchangeable query vertices
+	// (neighborhood equivalence classes, the structures behind
+	// TurboIso's query compression in Section 3.4), enumerates one
+	// canonical embedding per orbit and multiplies the count by the
+	// orbit size. OnMatch receives only canonical representatives, and
+	// MaxEmbeddings caps canonical embeddings (the reported total may
+	// exceed it by the orbit factor).
+	SymmetryBreaking bool
+	// GQLRounds overrides GraphQL's global-refinement iteration count
+	// (0 = default).
+	GQLRounds int
+	// GQLRadius overrides GraphQL's local-pruning profile radius
+	// (0 or 1 = the standard one-hop profile).
+	GQLRadius int
+	// DPIsoPasses overrides DP-iso's refinement pass count (0 =
+	// default).
+	DPIsoPasses int
+	// UseGlasgow routes the query to the constraint-programming solver;
+	// all other fields are ignored.
+	UseGlasgow bool
+	// UseVF2 routes the query to the classic VF2 state-space engine;
+	// all other fields are ignored.
+	UseVF2 bool
+	// UseUllmann routes the query to Ullmann's 1976 algorithm; all
+	// other fields are ignored.
+	UseUllmann bool
+	// GlasgowMemoryBudget bounds the CP solver's bitset working set
+	// (0 = glasgow.DefaultMemoryBudget).
+	GlasgowMemoryBudget int64
+	// Profile collects per-depth search statistics into Result.Profile
+	// (sequential runs only; not supported by the Glasgow solver).
+	Profile bool
+}
+
+// Limits bounds a query's execution, mirroring the paper's methodology
+// (10^5 embeddings, five minutes per query).
+type Limits struct {
+	MaxEmbeddings uint64
+	TimeLimit     time.Duration
+	// OnMatch optionally receives every embedding (slice reused between
+	// calls); returning false aborts the search. Under parallel
+	// execution calls are serialized but arrive in no particular order.
+	OnMatch func(mapping []uint32) bool
+	// Parallel runs the enumeration across this many goroutines by
+	// partitioning the start vertex's candidates (0 or 1 = sequential).
+	// Not supported for the Glasgow solver.
+	Parallel int
+}
+
+// Result reports a query's execution, with the time split the paper
+// measures: preprocessing (filtering + auxiliary structure + ordering)
+// versus enumeration.
+type Result struct {
+	Embeddings uint64
+	Nodes      uint64
+	TimedOut   bool
+	LimitHit   bool
+
+	FilterTime time.Duration
+	BuildTime  time.Duration
+	OrderTime  time.Duration
+	EnumTime   time.Duration
+
+	// MeanCandidates is (1/|V(q)|) sum |C(u)|, the Figure 8 metric.
+	MeanCandidates float64
+	// MemoryBytes is the candidate-set plus auxiliary-structure
+	// footprint (Glasgow: the bitset working set).
+	MemoryBytes int64
+	// Order is the matching order used (nil for Glasgow and adaptive
+	// runs, where no static order exists).
+	Order []graph.Vertex
+	// Profile holds per-depth search statistics when Config.Profile was
+	// set.
+	Profile *enumerate.SearchProfile
+}
+
+// PreprocessTime is FilterTime + BuildTime + OrderTime.
+func (r *Result) PreprocessTime() time.Duration {
+	return r.FilterTime + r.BuildTime + r.OrderTime
+}
+
+// TotalTime is preprocessing plus enumeration.
+func (r *Result) TotalTime() time.Duration { return r.PreprocessTime() + r.EnumTime }
+
+// Solved reports whether the query completed within its limits (reaching
+// the embedding cap counts as solved, timing out does not).
+func (r *Result) Solved() bool { return !r.TimedOut }
+
+// Match runs the full pipeline for one query.
+func Match(q, g *graph.Graph, cfg Config, limits Limits) (*Result, error) {
+	if q.NumVertices() == 0 {
+		return nil, fmt.Errorf("core: empty query graph")
+	}
+	if !q.IsConnected() {
+		return nil, fmt.Errorf("core: query graph must be connected")
+	}
+	if cfg.Homomorphism && (cfg.SymmetryBreaking || cfg.VF2PPRules) {
+		return nil, fmt.Errorf("core: homomorphism mode is incompatible with symmetry breaking and VF2++ rules")
+	}
+	if cfg.UseGlasgow || cfg.UseVF2 || cfg.UseUllmann {
+		if cfg.Homomorphism {
+			return nil, fmt.Errorf("core: the external engines do not support homomorphisms")
+		}
+		switch {
+		case cfg.UseGlasgow:
+			return matchGlasgow(q, g, cfg, limits)
+		case cfg.UseVF2:
+			return matchVF2(q, g, limits)
+		default:
+			return matchUllmann(q, g, limits)
+		}
+	}
+
+	res := &Result{}
+
+	// Step 1: filtering (paper line 1 of Algorithm 1).
+	t0 := time.Now()
+	cand, err := runFilter(q, g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.FilterTime = time.Since(t0)
+	if filter.AnyEmpty(cand) {
+		res.MeanCandidates = filter.MeanCandidates(cand)
+		return res, nil
+	}
+
+	// Step 1b: auxiliary structure.
+	t0 = time.Now()
+	var space *candspace.Space
+	needSpace := cfg.Local == enumerate.TreeEdge || cfg.Local == enumerate.Intersect ||
+		cfg.Local == enumerate.IntersectBlock
+	if needSpace {
+		if cfg.TreeSpace {
+			root := filter.CFLRoot(q, g)
+			tree := graph.NewBFSTree(q, root)
+			space = candspace.BuildTree(q, g, cand, tree.Parent)
+		} else {
+			space = candspace.BuildFull(q, g, cand)
+		}
+		if cfg.Local == enumerate.IntersectBlock {
+			space.MaterializeBlocks()
+		}
+	}
+	res.BuildTime = time.Since(t0)
+	res.MeanCandidates = filter.MeanCandidates(cand)
+	if space != nil {
+		res.MemoryBytes = space.MemoryBytes()
+	} else {
+		for _, c := range cand {
+			res.MemoryBytes += int64(len(c)) * 4
+		}
+	}
+
+	// Step 2: ordering (paper line 2).
+	t0 = time.Now()
+	phi := cfg.FixedOrder
+	if phi == nil {
+		if cfg.AutoOrder && space != nil {
+			_, phi, err = order.Best(q, g, cand, space)
+		} else {
+			phi, err = order.Compute(cfg.Order, q, g, cand)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	var weights [][]float64
+	if cfg.Adaptive && cfg.DPWeights && space != nil {
+		weights = order.BuildDPWeights(q, space, phi)
+	}
+	res.OrderTime = time.Since(t0)
+	res.Order = phi
+
+	// Optional symmetry breaking: enumerate canonical orbit
+	// representatives and scale the count.
+	var symClasses [][]graph.Vertex
+	orbit := uint64(1)
+	if cfg.SymmetryBreaking {
+		symClasses = NeighborhoodEquivalenceClasses(q)
+		orbit = OrbitMultiplier(symClasses)
+	}
+
+	// Step 3: enumeration (paper line 3).
+	if limits.Parallel > 1 {
+		if cfg.SymmetryBreaking || cfg.Homomorphism {
+			return nil, fmt.Errorf("core: parallel execution does not yet compose with symmetry breaking or homomorphism mode")
+		}
+		if err := matchParallel(q, g, cand, space, phi, weights, cfg, limits, limits.Parallel, res); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	stats, err := enumerate.Run(q, g, cand, space, phi, enumerate.Options{
+		Local:           cfg.Local,
+		FailingSets:     cfg.FailingSets,
+		Adaptive:        cfg.Adaptive,
+		AdaptiveWeights: weights,
+		VF2PPRules:      cfg.VF2PPRules,
+		Homomorphism:    cfg.Homomorphism,
+		SymmetryClasses: symClasses,
+		MaxEmbeddings:   limits.MaxEmbeddings,
+		TimeLimit:       limits.TimeLimit,
+		OnMatch:         limits.OnMatch,
+		Profile:         cfg.Profile,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Embeddings = stats.Embeddings * orbit
+	res.Nodes = stats.Nodes
+	res.TimedOut = stats.TimedOut
+	res.LimitHit = stats.LimitHit
+	res.EnumTime = stats.Duration
+	res.Profile = stats.Profile
+	return res, nil
+}
+
+func runFilter(q, g *graph.Graph, cfg Config) ([][]uint32, error) {
+	if cfg.Homomorphism {
+		// Structural filters assume injectivity (even LDF's degree
+		// condition); only label candidates are sound for
+		// homomorphisms.
+		return filter.RunLabelOnly(q, g), nil
+	}
+	switch cfg.Filter {
+	case filter.GQL:
+		if cfg.GQLRounds > 0 || cfg.GQLRadius > 1 {
+			rounds := cfg.GQLRounds
+			if rounds == 0 {
+				rounds = filter.DefaultGQLRounds
+			}
+			radius := cfg.GQLRadius
+			if radius == 0 {
+				radius = 1
+			}
+			return filter.RunGraphQLRadius(q, g, rounds, radius), nil
+		}
+	case filter.DPIso:
+		if cfg.DPIsoPasses > 0 {
+			if !q.IsConnected() || q.NumVertices() == 0 {
+				return nil, fmt.Errorf("core: invalid query")
+			}
+			return filter.RunDPIso(q, g, cfg.DPIsoPasses), nil
+		}
+	}
+	return filter.Run(cfg.Filter, q, g)
+}
+
+func matchVF2(q, g *graph.Graph, limits Limits) (*Result, error) {
+	st, err := vf2.Solve(q, g, vf2.Options{
+		MaxEmbeddings: limits.MaxEmbeddings,
+		TimeLimit:     limits.TimeLimit,
+		OnMatch:       limits.OnMatch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Embeddings: st.Embeddings,
+		Nodes:      st.Nodes,
+		TimedOut:   st.TimedOut,
+		LimitHit:   st.LimitHit,
+		EnumTime:   st.Duration,
+	}, nil
+}
+
+func matchUllmann(q, g *graph.Graph, limits Limits) (*Result, error) {
+	st, err := ullmann.Solve(q, g, ullmann.Options{
+		MaxEmbeddings: limits.MaxEmbeddings,
+		TimeLimit:     limits.TimeLimit,
+		OnMatch:       limits.OnMatch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Embeddings: st.Embeddings,
+		Nodes:      st.Nodes,
+		TimedOut:   st.TimedOut,
+		LimitHit:   st.LimitHit,
+		EnumTime:   st.Duration,
+	}, nil
+}
+
+func matchGlasgow(q, g *graph.Graph, cfg Config, limits Limits) (*Result, error) {
+	st, err := glasgow.Solve(q, g, glasgow.Options{
+		MaxEmbeddings: limits.MaxEmbeddings,
+		TimeLimit:     limits.TimeLimit,
+		MemoryBudget:  cfg.GlasgowMemoryBudget,
+		OnMatch:       limits.OnMatch,
+		Parallel:      limits.Parallel,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Embeddings:  st.Embeddings,
+		Nodes:       st.Nodes,
+		TimedOut:    st.TimedOut,
+		LimitHit:    st.LimitHit,
+		EnumTime:    st.Duration,
+		MemoryBytes: st.MemoryBytes,
+	}, nil
+}

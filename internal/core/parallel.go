@@ -1,0 +1,126 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"subgraphmatching/internal/candspace"
+	"subgraphmatching/internal/enumerate"
+	"subgraphmatching/internal/graph"
+)
+
+// Parallel enumeration: the search space is partitioned by the start
+// vertex's candidates — worker w explores the candidates at indices
+// w, w+P, w+2P, ... — and each worker runs an independent engine over
+// the shared (read-only) candidate sets and auxiliary structure. This is
+// the embarrassingly-parallel scheme the paper mentions for CECI's
+// multi-threaded execution.
+//
+// The embedding cap is enforced with a shared atomic counter: an
+// embedding is accepted only if its post-increment sequence number is
+// within the cap, so the reported count is exact even though workers
+// race to the cap.
+
+// matchParallel runs the enumeration step across `workers` goroutines.
+// cand, space, phi and weights are read-only from here on.
+func matchParallel(q, g *graph.Graph, cand [][]uint32, space *candspace.Space,
+	phi []graph.Vertex, weights [][]float64, cfg Config, limits Limits,
+	workers int, res *Result) error {
+
+	root := phi[0]
+	rootCands := cand[root]
+	if workers > len(rootCands) {
+		workers = len(rootCands)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	var (
+		accepted  atomic.Uint64
+		nodes     atomic.Uint64
+		timedOut  atomic.Bool
+		limitHit  atomic.Bool
+		stop      atomic.Bool
+		matchLock sync.Mutex
+		wg        sync.WaitGroup
+		firstErr  atomic.Value
+	)
+
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Strided partition of the root's candidates.
+			part := make([]uint32, 0, len(rootCands)/workers+1)
+			for i := w; i < len(rootCands); i += workers {
+				part = append(part, rootCands[i])
+			}
+			workerCand := make([][]uint32, len(cand))
+			copy(workerCand, cand)
+			workerCand[root] = part
+
+			opts := enumerate.Options{
+				Local:           cfg.Local,
+				FailingSets:     cfg.FailingSets,
+				Adaptive:        cfg.Adaptive,
+				AdaptiveWeights: weights,
+				VF2PPRules:      cfg.VF2PPRules,
+				TimeLimit:       limits.TimeLimit,
+				Cancel:          &stop,
+				OnMatch: func(m []uint32) bool {
+					if stop.Load() {
+						return false
+					}
+					n := accepted.Add(1)
+					if limits.MaxEmbeddings > 0 && n > limits.MaxEmbeddings {
+						accepted.Add(^uint64(0)) // undo: over the cap
+						limitHit.Store(true)
+						stop.Store(true)
+						return false
+					}
+					if limits.OnMatch != nil {
+						matchLock.Lock()
+						cont := limits.OnMatch(m)
+						matchLock.Unlock()
+						if !cont {
+							stop.Store(true)
+							return false
+						}
+					}
+					if limits.MaxEmbeddings > 0 && n == limits.MaxEmbeddings {
+						limitHit.Store(true)
+						stop.Store(true)
+						return false
+					}
+					return true
+				},
+			}
+			stats, err := enumerate.Run(q, g, workerCand, space, phi, opts)
+			if err != nil {
+				firstErr.CompareAndSwap(nil, err)
+				return
+			}
+			nodes.Add(stats.Nodes)
+			if stats.TimedOut {
+				timedOut.Store(true)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return err
+	}
+	res.Embeddings = accepted.Load()
+	if limits.MaxEmbeddings > 0 && res.Embeddings > limits.MaxEmbeddings {
+		res.Embeddings = limits.MaxEmbeddings
+	}
+	res.Nodes = nodes.Load()
+	res.TimedOut = timedOut.Load()
+	res.LimitHit = limitHit.Load()
+	res.EnumTime = time.Since(start)
+	return nil
+}

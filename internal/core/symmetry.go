@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"subgraphmatching/internal/graph"
+)
+
+// Neighborhood equivalence classes (NEC): groups of query vertices that
+// are structurally interchangeable, either as closed twins (same label,
+// adjacent, N(u) ∪ {u} identical) or open twins (same label,
+// non-adjacent, N(u) identical). TurboIso's query-graph compression
+// (paper Section 3.4) merges exactly these vertices; here they instead
+// drive symmetry breaking: one canonical embedding per orbit is
+// enumerated and the count is multiplied by the product of class-size
+// factorials.
+
+// NeighborhoodEquivalenceClasses returns the NEC classes of q with at
+// least two members. Classes are disjoint: closed-twin classes are
+// formed first, remaining vertices form open-twin classes.
+func NeighborhoodEquivalenceClasses(q *graph.Graph) [][]graph.Vertex {
+	n := q.NumVertices()
+	var classes [][]graph.Vertex
+	claimed := make([]bool, n)
+
+	group := func(key func(u graph.Vertex) string) {
+		byKey := map[string][]graph.Vertex{}
+		var keys []string
+		for u := 0; u < n; u++ {
+			uu := graph.Vertex(u)
+			if claimed[u] {
+				continue
+			}
+			k := key(uu)
+			if len(byKey[k]) == 0 {
+				keys = append(keys, k)
+			}
+			byKey[k] = append(byKey[k], uu)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			class := byKey[k]
+			if len(class) < 2 {
+				continue
+			}
+			for _, u := range class {
+				claimed[u] = true
+			}
+			classes = append(classes, class)
+		}
+	}
+
+	// Closed twins: adjacent vertices with identical closed
+	// neighborhoods (they form cliques, so any permutation preserves
+	// edges).
+	group(func(u graph.Vertex) string {
+		closed := append([]graph.Vertex{u}, q.Neighbors(u)...)
+		sort.Slice(closed, func(i, j int) bool { return closed[i] < closed[j] })
+		return neighborhoodKey(q.Label(u), closed)
+	})
+	// Open twins: non-adjacent vertices with identical open
+	// neighborhoods.
+	group(func(u graph.Vertex) string {
+		return neighborhoodKey(q.Label(u), q.Neighbors(u))
+	})
+	return classes
+}
+
+func neighborhoodKey(l graph.Label, ns []graph.Vertex) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d:", l)
+	for _, v := range ns {
+		fmt.Fprintf(&b, "%d,", v)
+	}
+	return b.String()
+}
+
+// OrbitMultiplier returns the product of class-size factorials: the
+// number of embeddings each canonical representative stands for.
+func OrbitMultiplier(classes [][]graph.Vertex) uint64 {
+	m := uint64(1)
+	for _, c := range classes {
+		for k := uint64(2); k <= uint64(len(c)); k++ {
+			m *= k
+		}
+	}
+	return m
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"subgraphmatching/internal/enumerate"
+	"subgraphmatching/internal/filter"
+	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/order"
+	"subgraphmatching/internal/testutil"
+)
+
+func TestNECTriangle(t *testing.T) {
+	// Unlabeled triangle: all three vertices are closed twins.
+	q := graph.MustFromEdges(make([]graph.Label, 3), [][2]graph.Vertex{{0, 1}, {1, 2}, {0, 2}})
+	classes := NeighborhoodEquivalenceClasses(q)
+	if len(classes) != 1 || len(classes[0]) != 3 {
+		t.Fatalf("classes = %v", classes)
+	}
+	if OrbitMultiplier(classes) != 6 {
+		t.Errorf("multiplier = %d, want 6", OrbitMultiplier(classes))
+	}
+}
+
+func TestNECPathAndStar(t *testing.T) {
+	// Path 0-1-2: endpoints are open twins.
+	path := graph.MustFromEdges(make([]graph.Label, 3), [][2]graph.Vertex{{0, 1}, {1, 2}})
+	classes := NeighborhoodEquivalenceClasses(path)
+	if len(classes) != 1 || !reflect.DeepEqual(classes[0], []graph.Vertex{0, 2}) {
+		t.Fatalf("path classes = %v", classes)
+	}
+	// Star with 4 leaves: the leaves form one open class of 4.
+	star := graph.MustFromEdges(make([]graph.Label, 5),
+		[][2]graph.Vertex{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	classes = NeighborhoodEquivalenceClasses(star)
+	if len(classes) != 1 || len(classes[0]) != 4 {
+		t.Fatalf("star classes = %v", classes)
+	}
+	if OrbitMultiplier(classes) != 24 {
+		t.Errorf("star multiplier = %d, want 24", OrbitMultiplier(classes))
+	}
+}
+
+func TestNECRespectsLabels(t *testing.T) {
+	// Path with differently-labeled endpoints: no classes.
+	q := graph.MustFromEdges([]graph.Label{0, 1, 2}, [][2]graph.Vertex{{0, 1}, {1, 2}})
+	if classes := NeighborhoodEquivalenceClasses(q); len(classes) != 0 {
+		t.Fatalf("classes = %v, want none", classes)
+	}
+}
+
+func TestSymmetryBreakingPreservesCounts(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Few labels so twins actually occur.
+		g := testutil.RandomGraph(rng, 15+rng.Intn(15), 40+rng.Intn(40), 1+rng.Intn(2))
+		q := testutil.RandomConnectedQuery(rng, g, 3+rng.Intn(3))
+		if q == nil {
+			return true
+		}
+		base := Config{Filter: filter.GQL, Order: order.GQL, Local: enumerate.Intersect}
+		sym := base
+		sym.SymmetryBreaking = true
+		symFS := sym
+		symFS.FailingSets = true
+		a, err1 := Match(q, g, base, Limits{})
+		b, err2 := Match(q, g, sym, Limits{})
+		c, err3 := Match(q, g, symFS, Limits{})
+		if err1 != nil || err2 != nil || err3 != nil {
+			t.Logf("errors: %v %v %v", err1, err2, err3)
+			return false
+		}
+		if a.Embeddings != b.Embeddings || a.Embeddings != c.Embeddings {
+			t.Logf("counts differ: base=%d sym=%d sym+fs=%d (seed %d, classes %v)",
+				a.Embeddings, b.Embeddings, c.Embeddings, seed, NeighborhoodEquivalenceClasses(q))
+			return false
+		}
+		return b.Nodes <= a.Nodes // breaking symmetry must not expand the search
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymmetryBreakingTriangleInClique(t *testing.T) {
+	var edges [][2]graph.Vertex
+	for i := 0; i < 7; i++ {
+		for j := i + 1; j < 7; j++ {
+			edges = append(edges, [2]graph.Vertex{graph.Vertex(i), graph.Vertex(j)})
+		}
+	}
+	g := graph.MustFromEdges(make([]graph.Label, 7), edges)
+	q := graph.MustFromEdges(make([]graph.Label, 3), [][2]graph.Vertex{{0, 1}, {1, 2}, {0, 2}})
+	cfg := Config{Filter: filter.LDF, Order: order.GQL, Local: enumerate.Intersect, SymmetryBreaking: true}
+	res, err := Match(q, g, cfg, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7*6*5 = 210 embeddings from 35 canonical triangles x 6.
+	if res.Embeddings != 210 {
+		t.Errorf("Embeddings = %d, want 210", res.Embeddings)
+	}
+}
+
+func TestHomomorphismCounts(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := testutil.RandomGraph(rng, 10+rng.Intn(12), 25+rng.Intn(30), 2)
+		q := testutil.RandomConnectedQuery(rng, g, 3+rng.Intn(2))
+		if q == nil {
+			return true
+		}
+		want := testutil.BruteForceHomomorphismCount(q, g)
+		for _, cfg := range []Config{
+			{Local: enumerate.Direct, Order: order.RI, Homomorphism: true},
+			{Local: enumerate.Intersect, Order: order.GQL, Homomorphism: true},
+			{Local: enumerate.Intersect, Order: order.GQL, Homomorphism: true, FailingSets: true},
+		} {
+			res, err := Match(q, g, cfg, Limits{})
+			if err != nil {
+				t.Logf("hom: %v", err)
+				return false
+			}
+			if res.Embeddings != want {
+				t.Logf("hom count %d, brute force %d (seed %d, cfg %+v)", res.Embeddings, want, seed, cfg)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHomomorphismSupersetOfIsomorphism(t *testing.T) {
+	q, g := testutil.PaperQuery(), testutil.PaperData()
+	iso, err := Match(q, g, PresetConfig(Optimized, q, g), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hom, err := Match(q, g, Config{Local: enumerate.Intersect, Order: order.GQL, Homomorphism: true}, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hom.Embeddings < iso.Embeddings {
+		t.Errorf("homomorphisms (%d) < isomorphisms (%d)", hom.Embeddings, iso.Embeddings)
+	}
+}
+
+func TestHomomorphismIncompatibilities(t *testing.T) {
+	q, g := testutil.PaperQuery(), testutil.PaperData()
+	if _, err := Match(q, g, Config{UseGlasgow: true, Homomorphism: true}, Limits{}); err == nil {
+		t.Error("expected error for Glasgow + homomorphism")
+	}
+	cfg := Config{Local: enumerate.Intersect, Order: order.GQL, Homomorphism: true, SymmetryBreaking: true}
+	if _, err := Match(q, g, cfg, Limits{}); err == nil {
+		t.Error("expected error for symmetry breaking + homomorphism")
+	}
+	cfg = Config{Local: enumerate.Intersect, Order: order.GQL, Homomorphism: true}
+	if _, err := Match(q, g, cfg, Limits{Parallel: 4}); err == nil {
+		t.Error("expected error for parallel + homomorphism")
+	}
+}

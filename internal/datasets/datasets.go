@@ -1,0 +1,133 @@
+// Package datasets provides deterministic stand-ins for the eight
+// real-world datasets of the paper's Table 3. The original graphs
+// (protein interaction networks, WordNet, US Patents, Youtube, DBLP,
+// eu2005) are not redistributable here, so each stand-in is an R-MAT
+// power-law graph whose vertex count, average degree, label-set size and
+// label skew mimic the original; the larger graphs are scaled down so the
+// full experiment suite runs on a laptop. See DESIGN.md ("Substitutions")
+// for why this preserves the study's findings.
+package datasets
+
+import (
+	"fmt"
+
+	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/rmat"
+)
+
+// Info describes one dataset stand-in and the original it mimics.
+type Info struct {
+	// Name is the paper's short name (ye, hu, hp, wn, up, yt, db, eu).
+	Name string
+	// FullName is the original dataset's name.
+	FullName string
+	// Category is the paper's dataset category.
+	Category string
+
+	// Vertices, Edges, Labels parameterize the stand-in.
+	Vertices, Edges, Labels int
+	// LabelSkew is the probability mass of label 0 (0 = uniform).
+	LabelSkew float64
+
+	// PaperVertices, PaperEdges, PaperLabels, PaperDegree record
+	// Table 3's original properties for reference.
+	PaperVertices, PaperEdges, PaperLabels int
+	PaperDegree                            float64
+
+	// Dense marks the datasets the paper calls dense (hu, eu), where the
+	// study recommends GraphQL-style ordering over RI.
+	Dense bool
+
+	// MaxQuerySize is the largest query-set size the paper uses on this
+	// dataset (20 for hu/wn, 32 elsewhere — Table 4).
+	MaxQuerySize int
+
+	seed int64
+}
+
+// AvgDegree returns the stand-in's average degree target.
+func (i Info) AvgDegree() float64 { return 2 * float64(i.Edges) / float64(i.Vertices) }
+
+// catalog lists the stand-ins. The three biology graphs and WordNet keep
+// their original sizes (they are small); the four large graphs are scaled
+// down preserving average degree and label count.
+var catalog = []Info{
+	{
+		Name: "ye", FullName: "Yeast", Category: "Biology",
+		Vertices: 3112, Edges: 12519, Labels: 71,
+		PaperVertices: 3112, PaperEdges: 12519, PaperLabels: 71, PaperDegree: 8.0,
+		MaxQuerySize: 32, seed: 101,
+	},
+	{
+		Name: "hu", FullName: "Human", Category: "Biology",
+		Vertices: 4674, Edges: 86282, Labels: 44,
+		PaperVertices: 4674, PaperEdges: 86282, PaperLabels: 44, PaperDegree: 36.9,
+		Dense: true, MaxQuerySize: 20, seed: 102,
+	},
+	{
+		Name: "hp", FullName: "HPRD", Category: "Biology",
+		Vertices: 9460, Edges: 34998, Labels: 307,
+		PaperVertices: 9460, PaperEdges: 34998, PaperLabels: 307, PaperDegree: 7.4,
+		MaxQuerySize: 32, seed: 103,
+	},
+	{
+		Name: "wn", FullName: "WordNet", Category: "Lexical",
+		Vertices: 76853, Edges: 120399, Labels: 5, LabelSkew: 0.8,
+		PaperVertices: 76853, PaperEdges: 120399, PaperLabels: 5, PaperDegree: 3.1,
+		MaxQuerySize: 20, seed: 104,
+	},
+	{
+		Name: "up", FullName: "US Patents", Category: "Citation",
+		Vertices: 60000, Edges: 264000, Labels: 20, // scaled ~63x from 3.77M vertices, d=8.8 preserved
+		PaperVertices: 3774768, PaperEdges: 16518947, PaperLabels: 20, PaperDegree: 8.8,
+		MaxQuerySize: 32, seed: 105,
+	},
+	{
+		Name: "yt", FullName: "Youtube", Category: "Social",
+		Vertices: 50000, Edges: 132500, Labels: 25, // scaled ~23x from 1.13M vertices, d=5.3 preserved
+		PaperVertices: 1134890, PaperEdges: 2987624, PaperLabels: 25, PaperDegree: 5.3,
+		MaxQuerySize: 32, seed: 106,
+	},
+	{
+		Name: "db", FullName: "DBLP", Category: "Social",
+		Vertices: 40000, Edges: 132000, Labels: 15, // scaled ~8x from 317K vertices, d=6.6 preserved
+		PaperVertices: 317080, PaperEdges: 1049866, PaperLabels: 15, PaperDegree: 6.6,
+		MaxQuerySize: 32, seed: 107,
+	},
+	{
+		Name: "eu", FullName: "eu2005", Category: "Web",
+		Vertices: 20000, Edges: 374000, Labels: 40, // scaled ~43x from 863K vertices, d=37.4 preserved
+		PaperVertices: 862664, PaperEdges: 16138468, PaperLabels: 40, PaperDegree: 37.4,
+		Dense: true, MaxQuerySize: 32, seed: 108,
+	},
+}
+
+// Catalog returns descriptions of all dataset stand-ins, in the paper's
+// Table 3 order.
+func Catalog() []Info { return append([]Info(nil), catalog...) }
+
+// Lookup returns the Info for a short name.
+func Lookup(name string) (Info, error) {
+	for _, i := range catalog {
+		if i.Name == name {
+			return i, nil
+		}
+	}
+	return Info{}, fmt.Errorf("datasets: unknown dataset %q (known: ye hu hp wn up yt db eu)", name)
+}
+
+// Generate builds the stand-in graph for the named dataset. Generation
+// is deterministic: the same name always yields the same graph.
+func Generate(name string) (*graph.Graph, error) {
+	info, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return rmat.Generate(rmat.Config{
+		NumVertices: info.Vertices,
+		NumEdges:    info.Edges,
+		NumLabels:   info.Labels,
+		LabelSkew:   info.LabelSkew,
+		Seed:        info.seed,
+	})
+}

@@ -1,0 +1,77 @@
+package datasets
+
+import (
+	"testing"
+)
+
+func TestCatalogComplete(t *testing.T) {
+	names := map[string]bool{}
+	for _, i := range Catalog() {
+		names[i.Name] = true
+	}
+	for _, want := range []string{"ye", "hu", "hp", "wn", "up", "yt", "db", "eu"} {
+		if !names[want] {
+			t.Errorf("catalog missing %s", want)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	i, err := Lookup("hu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i.FullName != "Human" || !i.Dense || i.MaxQuerySize != 20 {
+		t.Errorf("hu info = %+v", i)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("expected error for unknown dataset")
+	}
+}
+
+func TestGenerateSmallDatasets(t *testing.T) {
+	// The three full-size small stand-ins must match Table 3 exactly.
+	for _, name := range []string{"ye", "hp"} {
+		info, _ := Lookup(name)
+		g, err := Generate(name)
+		if err != nil {
+			t.Fatalf("Generate(%s): %v", name, err)
+		}
+		if g.NumVertices() != info.PaperVertices {
+			t.Errorf("%s: %d vertices, want %d", name, g.NumVertices(), info.PaperVertices)
+		}
+		if g.NumEdges() != info.PaperEdges {
+			t.Errorf("%s: %d edges, want %d", name, g.NumEdges(), info.PaperEdges)
+		}
+		if g.NumLabels() > info.PaperLabels {
+			t.Errorf("%s: %d labels > %d", name, g.NumLabels(), info.PaperLabels)
+		}
+	}
+}
+
+func TestScaledDatasetsPreserveDegree(t *testing.T) {
+	for _, name := range []string{"up", "yt", "db", "eu"} {
+		info, _ := Lookup(name)
+		got := info.AvgDegree()
+		if got < info.PaperDegree*0.9 || got > info.PaperDegree*1.1 {
+			t.Errorf("%s: stand-in degree %.1f, paper %.1f", name, got, info.PaperDegree)
+		}
+	}
+}
+
+func TestWordNetSkew(t *testing.T) {
+	g, err := Generate("wn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(g.LabelFrequency(0)) / float64(g.NumVertices())
+	if frac < 0.75 {
+		t.Errorf("wn label-0 fraction %.2f, want > 0.75 (paper: most vertices share a label)", frac)
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	if _, err := Generate("bogus"); err == nil {
+		t.Error("expected error")
+	}
+}

@@ -1,0 +1,431 @@
+package enumerate
+
+import (
+	"fmt"
+	"time"
+
+	"subgraphmatching/internal/bitset"
+	"subgraphmatching/internal/candspace"
+	"subgraphmatching/internal/graph"
+)
+
+// timeCheckInterval is how many search nodes pass between deadline
+// checks; checking the clock at every node would dominate small queries.
+const timeCheckInterval = 1 << 12
+
+// Run enumerates all subgraph isomorphisms from q to g following the
+// matching order phi (a permutation of V(q) whose every prefix is
+// connected), using the candidate sets cand and, for the auxiliary-
+// structure-based local candidate methods, the candidate space.
+//
+// In adaptive mode (opts.Adaptive), phi is interpreted as the BFS order
+// delta that defines the query DAG and the actual mapping order is chosen
+// dynamically per search node, as DP-iso does.
+func Run(q, g *graph.Graph, cand [][]uint32, space *candspace.Space, phi []graph.Vertex, opts Options) (*Stats, error) {
+	n := q.NumVertices()
+	if n == 0 {
+		return &Stats{}, nil
+	}
+	if len(phi) != n {
+		return nil, fmt.Errorf("enumerate: order has %d vertices, query has %d", len(phi), n)
+	}
+	if len(cand) != n {
+		return nil, fmt.Errorf("enumerate: got %d candidate sets for %d query vertices", len(cand), n)
+	}
+	if opts.FailingSets && n > 64 {
+		return nil, fmt.Errorf("enumerate: failing sets support at most 64 query vertices, got %d", n)
+	}
+	switch opts.Local {
+	case TreeEdge, Intersect, IntersectBlock:
+		if space == nil {
+			return nil, fmt.Errorf("enumerate: %v local candidates require a candidate space", opts.Local)
+		}
+	}
+	if opts.Adaptive && opts.Local != Intersect && opts.Local != IntersectBlock {
+		return nil, fmt.Errorf("enumerate: adaptive ordering requires intersection-based local candidates")
+	}
+	if opts.Local == IntersectBlock && !space.HasBlocks() {
+		space.MaterializeBlocks()
+	}
+	if opts.Homomorphism && (len(opts.SymmetryClasses) > 0 || opts.VF2PPRules) {
+		return nil, fmt.Errorf("enumerate: homomorphism mode is incompatible with symmetry breaking and VF2++ rules")
+	}
+
+	e := &engine{
+		q: q, g: g, cand: cand, space: space, phi: phi, opts: opts,
+		pos:       make([]int, n),
+		embedding: make([]uint32, n),
+		candIdx:   make([]int, n),
+		mapped:    make([]bool, n),
+		visited:   make([]bool, g.NumVertices()),
+		lcBuf:     make([][]uint32, n),
+		fullMask:  bitset.Mask64All(n),
+	}
+	if opts.Profile {
+		e.prof = newSearchProfile(n)
+		e.stats.Profile = e.prof
+	}
+	seen := make([]bool, n)
+	for i, u := range phi {
+		if int(u) >= n || seen[u] {
+			return nil, fmt.Errorf("enumerate: order is not a permutation of V(q)")
+		}
+		seen[u] = true
+		e.pos[u] = i
+	}
+	if err := e.prepare(); err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	if opts.TimeLimit > 0 {
+		e.deadline = start.Add(opts.TimeLimit)
+	}
+	if opts.Adaptive {
+		e.runAdaptive()
+	} else if opts.FailingSets {
+		e.runFS(0)
+	} else {
+		e.runPlain(0)
+	}
+	e.stats.Duration = time.Since(start)
+	return &e.stats, nil
+}
+
+type engine struct {
+	q, g  *graph.Graph
+	cand  [][]uint32
+	space *candspace.Space
+	phi   []graph.Vertex
+	opts  Options
+
+	pos    []int            // query vertex -> position in phi
+	bwd    [][]graph.Vertex // per depth: backward neighbors of phi[depth]
+	parent []graph.Vertex   // per depth: designated parent (NoVertex at roots)
+
+	// VF2++ cutoff requirements: per depth, the labels (with counts)
+	// among the forward neighbors of phi[depth].
+	fwdReq  [][]labelNeed
+	counter *graph.LabelCounter
+
+	embedding []uint32 // per query vertex
+	candIdx   []int    // per query vertex: index of embedding in cand[u]
+	mapped    []bool   // per query vertex
+	visited   []bool   // per data vertex
+
+	// symPeers[u] lists u's co-class members under symmetry breaking;
+	// symPos[u] is u's position within its class (-1 when unclassed).
+	symPeers [][]graph.Vertex
+	symPos   []int
+
+	lcBuf   [][]uint32 // per depth local-candidate buffer
+	scratch []uint32
+	setsBuf [][]uint32 // transient argument buffer for IntersectMany
+
+	deadline    time.Time
+	clockTicker int
+	aborted     bool
+	prof        *SearchProfile
+
+	fullMask bitset.Mask64
+	stats    Stats
+
+	// adaptive mode state (see adaptive.go)
+	adaptive adaptiveState
+}
+
+type labelNeed struct {
+	label graph.Label
+	count int32
+}
+
+// prepare computes per-depth backward neighbor lists and designated
+// parents, and validates that every non-initial order prefix is
+// connected.
+func (e *engine) prepare() error {
+	n := e.q.NumVertices()
+	e.bwd = make([][]graph.Vertex, n)
+	e.parent = make([]graph.Vertex, n)
+	for depth, u := range e.phi {
+		e.parent[depth] = graph.NoVertex
+		for _, un := range e.q.Neighbors(u) {
+			if e.pos[un] < depth {
+				e.bwd[depth] = append(e.bwd[depth], un)
+			}
+		}
+		if depth > 0 && len(e.bwd[depth]) == 0 && !e.opts.Adaptive {
+			return fmt.Errorf("enumerate: order prefix of length %d is disconnected at u%d", depth+1, u)
+		}
+		// Designated parent: prefer a backward neighbor whose pair is
+		// materialized in the space (matters for the tree-edge variant),
+		// falling back to the earliest-positioned backward neighbor.
+		for _, un := range e.bwd[depth] {
+			if e.space != nil && e.space.HasPair(un, u) {
+				e.parent[depth] = un
+				break
+			}
+		}
+		if e.parent[depth] == graph.NoVertex && len(e.bwd[depth]) > 0 {
+			e.parent[depth] = e.bwd[depth][0]
+		}
+	}
+	if e.opts.VF2PPRules {
+		e.counter = graph.NewLabelCounter(graph.MaxLabelOf(e.q, e.g))
+		e.fwdReq = make([][]labelNeed, n)
+		for depth, u := range e.phi {
+			e.counter.Reset()
+			for _, un := range e.q.Neighbors(u) {
+				if e.pos[un] > depth {
+					e.counter.Add(e.q.Label(un))
+				}
+			}
+			for _, l := range e.counter.Touched() {
+				e.fwdReq[depth] = append(e.fwdReq[depth], labelNeed{l, e.counter.Count(l)})
+			}
+		}
+	}
+	if len(e.opts.SymmetryClasses) > 0 {
+		e.symPeers = make([][]graph.Vertex, n)
+		e.symPos = make([]int, n)
+		for i := range e.symPos {
+			e.symPos[i] = -1
+		}
+		for _, class := range e.opts.SymmetryClasses {
+			for i, u := range class {
+				if int(u) >= n || e.symPos[u] >= 0 {
+					return fmt.Errorf("enumerate: invalid symmetry classes (vertex %d out of range or repeated)", u)
+				}
+				e.symPos[u] = i
+				for j, up := range class {
+					if j != i {
+						e.symPeers[u] = append(e.symPeers[u], up)
+					}
+				}
+			}
+		}
+	}
+	if e.opts.Adaptive {
+		e.initAdaptive()
+	}
+	return nil
+}
+
+// symViolator returns the mapped co-class peer whose assignment makes v
+// an out-of-order choice for u (class members must carry increasing
+// data-vertex ids), or NoVertex if v is admissible.
+func (e *engine) symViolator(u graph.Vertex, v uint32) graph.Vertex {
+	if e.symPeers == nil {
+		return graph.NoVertex
+	}
+	for _, p := range e.symPeers[u] {
+		if !e.mapped[p] {
+			continue
+		}
+		if e.symPos[p] < e.symPos[u] {
+			if e.embedding[p] >= v {
+				return p
+			}
+		} else if e.embedding[p] <= v {
+			return p
+		}
+	}
+	return graph.NoVertex
+}
+
+// enterNode accounts a search node and polls limits. It returns false if
+// the search must stop.
+func (e *engine) enterNode() bool {
+	e.stats.Nodes++
+	e.clockTicker++
+	if e.clockTicker >= timeCheckInterval {
+		e.clockTicker = 0
+		if e.opts.Cancel != nil && e.opts.Cancel.Load() {
+			e.aborted = true
+			return false
+		}
+		if !e.deadline.IsZero() && time.Now().After(e.deadline) {
+			e.stats.TimedOut = true
+			e.aborted = true
+			return false
+		}
+	}
+	return true
+}
+
+// emit records a completed embedding. It returns false if the search
+// must stop.
+func (e *engine) emit() bool {
+	e.stats.Embeddings++
+	if e.opts.OnMatch != nil && !e.opts.OnMatch(e.embedding) {
+		e.aborted = true
+		return false
+	}
+	if e.opts.MaxEmbeddings > 0 && e.stats.Embeddings >= e.opts.MaxEmbeddings {
+		e.stats.LimitHit = true
+		e.aborted = true
+		return false
+	}
+	return true
+}
+
+// assign maps query vertex u to data vertex v, recording the candidate
+// index when the auxiliary structure is in use. Homomorphism mode skips
+// the injectivity bookkeeping.
+func (e *engine) assign(u graph.Vertex, v uint32) {
+	e.embedding[u] = v
+	e.mapped[u] = true
+	if !e.opts.Homomorphism {
+		e.visited[v] = true
+	}
+	if e.space != nil {
+		e.candIdx[u] = e.space.CandidateIndex(u, v)
+	}
+}
+
+func (e *engine) unassign(u graph.Vertex, v uint32) {
+	e.mapped[u] = false
+	if !e.opts.Homomorphism {
+		e.visited[v] = false
+	}
+}
+
+// runPlain is the recursion of Algorithm 1 without failing sets. It
+// returns false when the search was aborted by a limit.
+func (e *engine) runPlain(depth int) bool {
+	if !e.enterNode() {
+		return false
+	}
+	if depth == e.q.NumVertices() {
+		return e.emit()
+	}
+	u := e.phi[depth]
+	lc := e.computeLC(depth, u)
+	if e.prof != nil {
+		e.prof.Nodes[depth]++
+		e.prof.Candidates[depth] += uint64(len(lc))
+		if len(lc) == 0 {
+			e.prof.EmptyLC[depth]++
+		}
+	}
+	for _, v := range lc {
+		if e.visited[v] {
+			if e.prof != nil {
+				e.prof.Conflicts[depth]++
+			}
+			continue
+		}
+		if e.symPeers != nil && e.symViolator(u, v) != graph.NoVertex {
+			if e.prof != nil {
+				e.prof.SymmetrySkips[depth]++
+			}
+			continue
+		}
+		if e.prof != nil {
+			e.prof.Extended[depth]++
+		}
+		e.assign(u, v)
+		cont := e.runPlain(depth + 1)
+		e.unassign(u, v)
+		if !cont {
+			return false
+		}
+	}
+	return true
+}
+
+// runFS is the recursion with failing-sets pruning. The returned mask is
+// the failing set of the subtree rooted at the current node; fullMask
+// means "a match was found below (or nothing can be pruned)".
+func (e *engine) runFS(depth int) bitset.Mask64 {
+	if !e.enterNode() {
+		return e.fullMask
+	}
+	if depth == e.q.NumVertices() {
+		e.emit()
+		return e.fullMask
+	}
+	u := e.phi[depth]
+	lc := e.computeLC(depth, u)
+	if e.prof != nil {
+		e.prof.Nodes[depth]++
+		e.prof.Candidates[depth] += uint64(len(lc))
+		if len(lc) == 0 {
+			e.prof.EmptyLC[depth]++
+		}
+	}
+	if len(lc) == 0 {
+		// Emptyset class: the failure involves u and the vertices whose
+		// mappings constrained LC.
+		f := bitset.Mask64(0).With(uint32(u))
+		for _, un := range e.bwd[depth] {
+			f = f.With(uint32(un))
+		}
+		return f
+	}
+	var accum bitset.Mask64
+	for _, v := range lc {
+		var child bitset.Mask64
+		if e.visited[v] {
+			// Conflict class: u collides with the vertex already mapped
+			// to v.
+			child = bitset.Mask64(0).With(uint32(u)).With(uint32(e.ownerOf(v)))
+			if e.prof != nil {
+				e.prof.Conflicts[depth]++
+			}
+		} else if p := e.symViolator(u, v); e.symPeers != nil && p != graph.NoVertex {
+			// Symmetry violation: analogous to a conflict — the failure
+			// involves u and the peer whose mapping orders v out.
+			child = bitset.Mask64(0).With(uint32(u)).With(uint32(p))
+			if e.prof != nil {
+				e.prof.SymmetrySkips[depth]++
+			}
+		} else {
+			if e.prof != nil {
+				e.prof.Extended[depth]++
+			}
+			e.assign(u, v)
+			child = e.runFS(depth + 1)
+			e.unassign(u, v)
+			if e.aborted {
+				return e.fullMask
+			}
+		}
+		if child != e.fullMask && !child.Has(uint32(u)) {
+			// The failure below does not involve u: every sibling
+			// assignment of u fails identically, so skip them. If an
+			// earlier sibling's subtree contained a match, this node
+			// must still report fullMask so no ancestor prunes it away.
+			if e.prof != nil {
+				e.prof.FailingSetSkips[depth]++
+			}
+			if accum == e.fullMask {
+				return e.fullMask
+			}
+			return child
+		}
+		accum = accum.Union(child)
+	}
+	// The set of local candidates iterated above is itself a function of
+	// the backward neighbors' mappings: remapping one of them could
+	// introduce candidates no child mask accounts for. The node's
+	// failing set therefore always includes u and its backward
+	// neighbors. (A full accum — match found — stays full.)
+	accum = accum.With(uint32(u))
+	for _, un := range e.bwd[depth] {
+		accum = accum.With(uint32(un))
+	}
+	return accum
+}
+
+// ownerOf returns the query vertex currently mapped to data vertex v.
+// Only called on conflicts, so a linear scan over the (small) query is
+// fine and avoids a |V(G)|-sized reverse index.
+func (e *engine) ownerOf(v uint32) graph.Vertex {
+	for u := 0; u < e.q.NumVertices(); u++ {
+		if e.mapped[u] && e.embedding[u] == v {
+			return graph.Vertex(u)
+		}
+	}
+	// Unreachable for a consistent engine state.
+	panic("enumerate: conflict vertex has no owner")
+}

@@ -1,0 +1,171 @@
+package enumerate
+
+import (
+	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/intersect"
+)
+
+// computeLC computes the local candidate set LC(u, M) for the query
+// vertex u at the given search depth, dispatching on the configured
+// method. The result lives in a per-depth buffer and is valid until the
+// next computeLC call at the same depth.
+func (e *engine) computeLC(depth int, u graph.Vertex) []uint32 {
+	switch e.opts.Local {
+	case Direct:
+		return e.lcDirect(depth, u)
+	case Scan:
+		return e.lcScan(depth, u)
+	case TreeEdge:
+		return e.lcTreeEdge(depth, u)
+	case IntersectBlock:
+		return e.lcIntersectBlock(depth, u)
+	default:
+		return e.lcIntersect(depth, u)
+	}
+}
+
+// lcDirect is Algorithm 2 (QuickSI/RI), optionally extended with VF2++'s
+// label-count cutoff rules.
+func (e *engine) lcDirect(depth int, u graph.Vertex) []uint32 {
+	if depth == 0 {
+		return e.cand[u]
+	}
+	p := e.parent[depth]
+	out := e.lcBuf[depth][:0]
+	for _, v := range e.g.Neighbors(e.embedding[p]) {
+		if e.g.Label(v) != e.q.Label(u) {
+			continue
+		}
+		// The degree condition assumes injectivity; homomorphisms may
+		// collapse neighbors.
+		if !e.opts.Homomorphism && e.g.Degree(v) < e.q.Degree(u) {
+			continue
+		}
+		if !e.backwardEdgesOK(depth, v, p) {
+			continue
+		}
+		if e.opts.VF2PPRules && !e.vf2ppOK(depth, v) {
+			continue
+		}
+		out = append(out, v)
+	}
+	e.lcBuf[depth] = out
+	return out
+}
+
+// lcScan is Algorithm 3 (GraphQL): iterate the whole candidate set.
+func (e *engine) lcScan(depth int, u graph.Vertex) []uint32 {
+	if depth == 0 {
+		return e.cand[u]
+	}
+	out := e.lcBuf[depth][:0]
+	for _, v := range e.cand[u] {
+		if e.backwardEdgesOK(depth, v, graph.NoVertex) {
+			out = append(out, v)
+		}
+	}
+	e.lcBuf[depth] = out
+	return out
+}
+
+// lcTreeEdge is Algorithm 4 (CFL): candidates adjacent to the parent's
+// mapping come from the tree-edge auxiliary structure; other backward
+// edges are verified with binary searches.
+func (e *engine) lcTreeEdge(depth int, u graph.Vertex) []uint32 {
+	if depth == 0 {
+		return e.cand[u]
+	}
+	p := e.parent[depth]
+	fromTree := e.space.Adjacency(p, u, e.candIdx[p])
+	if len(e.bwd[depth]) == 1 {
+		return fromTree
+	}
+	out := e.lcBuf[depth][:0]
+	for _, v := range fromTree {
+		if e.backwardEdgesOK(depth, v, p) {
+			out = append(out, v)
+		}
+	}
+	e.lcBuf[depth] = out
+	return out
+}
+
+// lcIntersect is Algorithm 5 (CECI/DP-iso): intersect the auxiliary
+// adjacency lists of all backward neighbors.
+func (e *engine) lcIntersect(depth int, u graph.Vertex) []uint32 {
+	if depth == 0 {
+		return e.cand[u]
+	}
+	bwd := e.bwd[depth]
+	if len(bwd) == 1 {
+		return e.space.Adjacency(bwd[0], u, e.candIdx[bwd[0]])
+	}
+	sets := e.setsBuf[:0]
+	for _, un := range bwd {
+		sets = append(sets, e.space.Adjacency(un, u, e.candIdx[un]))
+	}
+	e.setsBuf = sets
+	e.lcBuf[depth] = intersect.IntersectMany(e.lcBuf[depth][:0], &e.scratch, sets...)
+	return e.lcBuf[depth]
+}
+
+// lcIntersectBlock is Algorithm 5 over the QFilter-style block layout.
+func (e *engine) lcIntersectBlock(depth int, u graph.Vertex) []uint32 {
+	if depth == 0 {
+		return e.cand[u]
+	}
+	bwd := e.bwd[depth]
+	if len(bwd) == 1 {
+		return e.space.Adjacency(bwd[0], u, e.candIdx[bwd[0]])
+	}
+	first := e.space.AdjacencyBlocks(bwd[0], u, e.candIdx[bwd[0]])
+	second := e.space.AdjacencyBlocks(bwd[1], u, e.candIdx[bwd[1]])
+	out := intersect.IntersectBlocks(e.lcBuf[depth][:0], first, second)
+	for _, un := range bwd[2:] {
+		if len(out) == 0 {
+			break
+		}
+		bs := e.space.AdjacencyBlocks(un, u, e.candIdx[un])
+		e.scratch = intersect.IntersectBlockWithSorted(e.scratch[:0], bs, out)
+		out = append(out[:0], e.scratch...)
+	}
+	e.lcBuf[depth] = out
+	return out
+}
+
+// backwardEdgesOK verifies e(v, M[u']) for every backward neighbor u' of
+// the vertex at this depth, excluding skip (the neighbor already handled
+// by the caller, e.g. the tree parent).
+func (e *engine) backwardEdgesOK(depth int, v uint32, skip graph.Vertex) bool {
+	for _, un := range e.bwd[depth] {
+		if un == skip {
+			continue
+		}
+		if !e.g.HasEdge(e.embedding[un], v) {
+			return false
+		}
+	}
+	return true
+}
+
+// vf2ppOK applies VF2++'s cutoff: for every label l among the forward
+// neighbors of the current query vertex, v must have at least that many
+// unmapped neighbors labeled l.
+func (e *engine) vf2ppOK(depth int, v uint32) bool {
+	req := e.fwdReq[depth]
+	if len(req) == 0 {
+		return true
+	}
+	e.counter.Reset()
+	for _, w := range e.g.Neighbors(v) {
+		if !e.visited[w] {
+			e.counter.Add(e.g.Label(w))
+		}
+	}
+	for _, need := range req {
+		if e.counter.Count(need.label) < need.count {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,91 @@
+package enumerate
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// SearchProfile records per-depth search-tree statistics, the
+// paper-style analysis of where a backtracking search spends its effort:
+// node counts, local-candidate volumes, and why candidates were
+// discarded (injectivity conflicts, symmetry ordering, failing-set
+// sibling skips).
+type SearchProfile struct {
+	// Nodes[d] counts search-tree nodes entered at depth d.
+	Nodes []uint64
+	// Candidates[d] counts local candidates produced at depth d.
+	Candidates []uint64
+	// Extended[d] counts candidates actually assigned at depth d.
+	Extended []uint64
+	// Conflicts[d] counts candidates rejected because their data vertex
+	// was already mapped (isomorphism injectivity).
+	Conflicts []uint64
+	// SymmetrySkips[d] counts candidates rejected by symmetry breaking.
+	SymmetrySkips []uint64
+	// EmptyLC[d] counts nodes whose local candidate set was empty.
+	EmptyLC []uint64
+	// FailingSetSkips[d] counts sibling groups pruned by the
+	// failing-set optimization at depth d.
+	FailingSetSkips []uint64
+}
+
+func newSearchProfile(n int) *SearchProfile {
+	return &SearchProfile{
+		Nodes:           make([]uint64, n+1),
+		Candidates:      make([]uint64, n+1),
+		Extended:        make([]uint64, n+1),
+		Conflicts:       make([]uint64, n+1),
+		SymmetrySkips:   make([]uint64, n+1),
+		EmptyLC:         make([]uint64, n+1),
+		FailingSetSkips: make([]uint64, n+1),
+	}
+}
+
+// MaxDepth returns the number of query-vertex depths profiled.
+func (p *SearchProfile) MaxDepth() int { return len(p.Nodes) - 1 }
+
+// TotalNodes sums node counts over all depths.
+func (p *SearchProfile) TotalNodes() uint64 {
+	var t uint64
+	for _, n := range p.Nodes {
+		t += n
+	}
+	return t
+}
+
+// Render writes the profile as an aligned per-depth table.
+func (p *SearchProfile) Render(w io.Writer) {
+	fmt.Fprintf(w, "%5s %12s %12s %12s %10s %9s %8s %8s\n",
+		"depth", "nodes", "candidates", "extended", "conflicts", "sym-skip", "emptyLC", "fs-skip")
+	fmt.Fprintf(w, "%s\n", strings.Repeat("-", 84))
+	for d := 0; d < len(p.Nodes); d++ {
+		if p.Nodes[d] == 0 && p.Candidates[d] == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%5d %12d %12d %12d %10d %9d %8d %8d\n",
+			d, p.Nodes[d], p.Candidates[d], p.Extended[d],
+			p.Conflicts[d], p.SymmetrySkips[d], p.EmptyLC[d], p.FailingSetSkips[d])
+	}
+}
+
+// branchingSummary describes the search shape compactly: the depth with
+// the widest fanout and the fraction of candidates that survive to be
+// extended.
+func (p *SearchProfile) BranchingSummary() string {
+	widest, widestD := uint64(0), 0
+	var cands, ext uint64
+	for d := range p.Candidates {
+		if p.Candidates[d] > widest {
+			widest, widestD = p.Candidates[d], d
+		}
+		cands += p.Candidates[d]
+		ext += p.Extended[d]
+	}
+	rate := 0.0
+	if cands > 0 {
+		rate = 100 * float64(ext) / float64(cands)
+	}
+	return fmt.Sprintf("widest fanout %d candidates at depth %d; %.1f%% of candidates extended",
+		widest, widestD, rate)
+}

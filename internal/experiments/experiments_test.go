@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"subgraphmatching/internal/rmat"
+)
+
+// tinyEnv is a fast configuration exercising every experiment end to
+// end: two small datasets plus the yt stand-in that several experiments
+// hardcode.
+func tinyEnv(buf *bytes.Buffer) Env {
+	return Env{
+		Out:            buf,
+		Datasets:       []string{"ye", "hp"},
+		PerSet:         2,
+		TimeLimit:      100 * time.Millisecond,
+		MaxEmbeddings:  1000,
+		Seed:           7,
+		SpectrumOrders: 8,
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	// Shrink the synthetic sweeps so Fig17/Fig18 stay fast; the sweep
+	// structure (4 points each) is unchanged.
+	oldF17, oldF18 := fig17Base, fig18Base
+	fig17Base = rmat.Config{NumVertices: 2000, NumEdges: 16000, NumLabels: 16, Seed: 900}
+	fig18Base = rmat.Config{NumVertices: 2000, NumEdges: 24000, NumLabels: 16, Seed: 1800}
+	defer func() { fig17Base, fig18Base = oldF17, oldF18 }()
+
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			var buf bytes.Buffer
+			env := tinyEnv(&buf)
+			if err := e.Run(env); err != nil {
+				t.Fatalf("%s: %v", e.Name, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "===") {
+				t.Errorf("%s produced no section header:\n%s", e.Name, out)
+			}
+			if len(strings.Split(out, "\n")) < 5 {
+				t.Errorf("%s produced suspiciously little output:\n%s", e.Name, out)
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, err := Lookup("fig7"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Lookup("fig99"); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+}
+
+func TestEnvDefaults(t *testing.T) {
+	var buf bytes.Buffer
+	e := Env{Out: &buf}.WithDefaults()
+	if len(e.Datasets) != 8 || e.PerSet == 0 || e.TimeLimit == 0 ||
+		e.MaxEmbeddings == 0 || e.Seed == 0 || e.SpectrumOrders == 0 {
+		t.Errorf("defaults not filled: %+v", e)
+	}
+	limits := e.Limits()
+	if limits.MaxEmbeddings != e.MaxEmbeddings || limits.TimeLimit != e.TimeLimit {
+		t.Error("Limits() mismatch")
+	}
+}
+
+func TestDefaultSetsPickLargest(t *testing.T) {
+	var buf bytes.Buffer
+	env := tinyEnv(&buf)
+	dense, sparse, err := defaultSets(env, "ye")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense == nil || sparse == nil {
+		t.Fatal("ye should yield both dense and sparse sets")
+	}
+	if dense.Size < sparse.Size {
+		t.Errorf("default dense size %d < sparse size %d", dense.Size, sparse.Size)
+	}
+	qs, _ := querySets(env, "ye")
+	for _, s := range qs {
+		if s.Name[len(s.Name)-1] == 'D' && s.Size > dense.Size {
+			t.Errorf("defaultSets picked Q%dD but Q%dD exists", dense.Size, s.Size)
+		}
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	var out, csvBuf bytes.Buffer
+	env := tinyEnv(&out)
+	env.CSV = &csvBuf
+	if err := Fig8(env); err != nil {
+		t.Fatal(err)
+	}
+	s := csvBuf.String()
+	if !strings.Contains(s, "LDF") || !strings.Contains(s, ",") {
+		t.Errorf("CSV output looks wrong:\n%.200s", s)
+	}
+}

@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"fmt"
+
+	"subgraphmatching/internal/core"
+	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/order"
+	"subgraphmatching/internal/workload"
+)
+
+// The ordering study of Section 5.3 (Figures 11-13): every ordering
+// method runs with GraphQL's candidates, the full-edge auxiliary
+// structure and Algorithm 5 local candidates (core.OrderingStudyConfig),
+// so differences are attributable to the order alone. Failing sets are
+// disabled, as in the paper.
+
+var orderingStudyMethods = []order.Method{
+	order.QSI, order.GQL, order.CFL, order.CECI, order.DPIso, order.RI, order.VF2PP,
+}
+
+// orderingAgg runs one ordering method over one query set.
+func orderingAgg(env Env, set *workload.QuerySet, g *graph.Graph, om order.Method, failingSets bool) workload.Aggregate {
+	cfg := core.OrderingStudyConfig(om, failingSets)
+	return workload.Run(om.String(), set.Queries, g,
+		func(*graph.Graph) core.Config { return cfg }, env.Limits())
+}
+
+// Fig11 reproduces Figure 11: mean enumeration time per ordering method,
+// (a) across datasets, (b) across dense query sizes on yt, (c) dense vs
+// sparse on yt.
+func Fig11(env Env) error {
+	env = env.WithDefaults()
+	section(env.Out, "Figure 11: enumeration time of ordering methods (ms)", "Figure 11(a-c)")
+
+	header := []string{"set"}
+	for _, om := range orderingStudyMethods {
+		header = append(header, om.String())
+	}
+
+	ta := workload.Table{Title: "(a) by dataset (default dense query set)", Header: header}
+	for _, ds := range env.Datasets {
+		g, err := dataGraph(ds)
+		if err != nil {
+			return err
+		}
+		dense, sparse, err := defaultSets(env, ds)
+		if err != nil {
+			return err
+		}
+		set := dense
+		if set == nil {
+			set = sparse
+		}
+		row := []string{ds + "/" + set.Name}
+		for _, om := range orderingStudyMethods {
+			agg := orderingAgg(env, set, g, om, false)
+			row = append(row, workload.FmtMS(agg.MeanEnum))
+		}
+		ta.AddRow(row...)
+	}
+	env.render(&ta)
+
+	const ds = "yt"
+	g, err := dataGraph(ds)
+	if err != nil {
+		return err
+	}
+	qs, err := querySets(env, ds)
+	if err != nil {
+		return err
+	}
+	tb := workload.Table{Title: "(b) by dense query size on " + ds, Header: header}
+	for i := range qs {
+		s := &qs[i]
+		if s.Name != "Q4" && s.Name[len(s.Name)-1] != 'D' {
+			continue
+		}
+		row := []string{s.Name}
+		for _, om := range orderingStudyMethods {
+			agg := orderingAgg(env, s, g, om, false)
+			row = append(row, workload.FmtMS(agg.MeanEnum))
+		}
+		tb.AddRow(row...)
+	}
+	env.render(&tb)
+
+	dense, sparse, err := defaultSets(env, ds)
+	if err != nil {
+		return err
+	}
+	tc := workload.Table{Title: "(c) dense vs sparse on " + ds, Header: header}
+	for _, s := range []*workload.QuerySet{dense, sparse} {
+		if s == nil {
+			continue
+		}
+		row := []string{s.Name}
+		for _, om := range orderingStudyMethods {
+			agg := orderingAgg(env, s, g, om, false)
+			row = append(row, workload.FmtMS(agg.MeanEnum))
+		}
+		tc.AddRow(row...)
+	}
+	env.render(&tc)
+	return nil
+}
+
+// Fig12 reproduces Figure 12: the standard deviation of the enumeration
+// time per query set on yt, showing the high per-query variance the
+// paper highlights.
+func Fig12(env Env) error {
+	env = env.WithDefaults()
+	section(env.Out, "Figure 12: std-dev of enumeration time on yt (ms)", "Figure 12")
+	const ds = "yt"
+	g, err := dataGraph(ds)
+	if err != nil {
+		return err
+	}
+	qs, err := querySets(env, ds)
+	if err != nil {
+		return err
+	}
+	header := []string{"set"}
+	for _, om := range orderingStudyMethods {
+		header = append(header, om.String())
+	}
+	t := workload.Table{Title: "standard deviation of enumeration time", Header: header}
+	for i := range qs {
+		s := &qs[i]
+		if s.Name == "Q4" {
+			continue
+		}
+		row := []string{s.Name}
+		for _, om := range orderingStudyMethods {
+			agg := orderingAgg(env, s, g, om, false)
+			row = append(row, workload.FmtMS(agg.StdEnum))
+		}
+		t.AddRow(row...)
+	}
+	env.render(&t)
+	return nil
+}
+
+// Fig13 reproduces Figure 13: the fraction of short / median / long /
+// unsolved queries per ordering method on yt's largest dense and sparse
+// sets. Thresholds are relative to the time limit as in the paper
+// (1s / 60s / 300s of a 300s limit).
+func Fig13(env Env) error {
+	env = env.WithDefaults()
+	section(env.Out, "Figure 13: query time categories on yt (% of queries)", "Figure 13(a-b)")
+	const ds = "yt"
+	g, err := dataGraph(ds)
+	if err != nil {
+		return err
+	}
+	dense, sparse, err := defaultSets(env, ds)
+	if err != nil {
+		return err
+	}
+	for _, s := range []*workload.QuerySet{dense, sparse} {
+		if s == nil {
+			continue
+		}
+		t := workload.Table{
+			Title:  fmt.Sprintf("query set %s", s.Name),
+			Header: []string{"order", "short", "median", "long", "unsolved"},
+		}
+		for _, om := range orderingStudyMethods {
+			agg := orderingAgg(env, s, g, om, false)
+			total := float64(agg.Queries - agg.Errors)
+			if total == 0 {
+				continue
+			}
+			pct := func(n int) string { return fmt.Sprintf("%.0f%%", 100*float64(n)/total) }
+			t.AddRow(om.String(), pct(agg.Short), pct(agg.Median), pct(agg.Long), pct(agg.Unsolved))
+		}
+		env.render(&t)
+	}
+	return nil
+}
+
+// Table5 reproduces Table 5: the number of unsolved queries per
+// algorithm on yt, up, hu and wn over every query set, without and with
+// failing sets, plus the fail-all count.
+func Table5(env Env) error {
+	env = env.WithDefaults()
+	section(env.Out, "Table 5: number of unsolved queries", "Table 5")
+	// The paper reports yt, up, hu and wn; honor a restricted Env by
+	// intersecting.
+	datasets := []string{}
+	for _, ds := range []string{"yt", "up", "hu", "wn"} {
+		for _, have := range env.Datasets {
+			if ds == have {
+				datasets = append(datasets, ds)
+				break
+			}
+		}
+	}
+	if len(datasets) == 0 {
+		datasets = env.Datasets
+	}
+	t := workload.Table{Header: []string{"algorithm"}}
+	for _, ds := range datasets {
+		t.Header = append(t.Header, ds+" wo/fs", ds+" w/fs")
+	}
+
+	// unsolvedByQuery[ds][fs][query global index] counts solving
+	// algorithms for the fail-all row.
+	type key struct {
+		ds string
+		fs bool
+	}
+	solvedBySome := map[key][]bool{}
+	counts := map[order.Method]map[key]int{}
+	totals := map[string]int{}
+
+	for _, ds := range datasets {
+		g, err := dataGraph(ds)
+		if err != nil {
+			return err
+		}
+		qs, err := querySets(env, ds)
+		if err != nil {
+			return err
+		}
+		var all []*graph.Graph
+		for i := range qs {
+			all = append(all, qs[i].Queries...)
+		}
+		totals[ds] = len(all)
+		for _, fs := range []bool{false, true} {
+			k := key{ds, fs}
+			solvedBySome[k] = make([]bool, len(all))
+			for _, om := range orderingStudyMethods {
+				cfg := core.OrderingStudyConfig(om, fs)
+				outcomes := workload.RunEach(all, g, func(*graph.Graph) core.Config { return cfg }, env.Limits())
+				if counts[om] == nil {
+					counts[om] = map[key]int{}
+				}
+				for i, o := range outcomes {
+					if o.Err != nil {
+						continue
+					}
+					if o.Result.TimedOut {
+						counts[om][k]++
+					} else {
+						solvedBySome[k][i] = true
+					}
+				}
+			}
+		}
+	}
+	for _, om := range orderingStudyMethods {
+		row := []string{om.String()}
+		for _, ds := range datasets {
+			row = append(row,
+				fmt.Sprintf("%d", counts[om][key{ds, false}]),
+				fmt.Sprintf("%d", counts[om][key{ds, true}]))
+		}
+		t.AddRow(row...)
+	}
+	failAll := []string{"Fail-All"}
+	for _, ds := range datasets {
+		for _, fs := range []bool{false, true} {
+			n := 0
+			for _, solved := range solvedBySome[key{ds, fs}] {
+				if !solved {
+					n++
+				}
+			}
+			failAll = append(failAll, fmt.Sprintf("%d", n))
+		}
+	}
+	t.AddRow(failAll...)
+	fmt.Fprintf(env.Out, "(each dataset: %v queries total across all its query sets)\n", totals)
+	env.render(&t)
+	return nil
+}

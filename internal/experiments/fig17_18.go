@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+
+	"subgraphmatching/internal/core"
+	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/order"
+	"subgraphmatching/internal/querygen"
+	"subgraphmatching/internal/rmat"
+	"subgraphmatching/internal/workload"
+)
+
+// The scalability study of Section 5.6 (Figures 17-18) on synthetic
+// RMAT graphs. The paper's base configuration is |V| = 1M, d = 16,
+// |Sigma| = 16; the stand-in base is scaled down (see DESIGN.md) with the
+// same sweeps. GQLfs and RIfs must find all results (no embedding cap)
+// within the time limit.
+
+// fig17Base is the scaled-down "sane default" synthetic configuration.
+var fig17Base = rmat.Config{NumVertices: 50_000, NumEdges: 400_000, NumLabels: 16, Seed: 900}
+
+type scalPoint struct {
+	label string
+	cfg   rmat.Config
+}
+
+func fig17Sweeps() map[string][]scalPoint {
+	varyD := []scalPoint{}
+	for _, d := range []int{8, 12, 16, 20} {
+		c := fig17Base
+		c.NumEdges = c.NumVertices * d / 2
+		c.Seed += int64(d)
+		varyD = append(varyD, scalPoint{fmt.Sprintf("d=%d", d), c})
+	}
+	varyL := []scalPoint{}
+	for _, l := range []int{8, 12, 16, 20} {
+		c := fig17Base
+		c.NumLabels = l
+		c.Seed += 100 + int64(l)
+		varyL = append(varyL, scalPoint{fmt.Sprintf("|Sigma|=%d", l), c})
+	}
+	varyV := []scalPoint{}
+	for _, n := range []int{25_000, 50_000, 100_000, 200_000} {
+		c := fig17Base
+		c.NumVertices = n
+		c.NumEdges = n * 8 // keep d = 16
+		c.Seed += 200 + int64(n)
+		varyV = append(varyV, scalPoint{fmt.Sprintf("|V|=%dK", n/1000), c})
+	}
+	return map[string][]scalPoint{"degree": varyD, "labels": varyL, "vertices": varyV}
+}
+
+// scalabilityRow runs GQLfs and RIfs over Q16D queries of the graph,
+// reporting mean query time, unsolved counts and mean result counts.
+func scalabilityRow(env Env, g *graph.Graph, label string, t *workload.Table) error {
+	queries, err := querygen.Generate(g, querygen.Config{
+		NumVertices: 16, Count: env.PerSet, Density: querygen.Dense, Seed: env.Seed,
+	})
+	if err != nil {
+		// Sparse synthetic graphs may not contain dense 16-vertex
+		// subgraphs; report the row as unavailable rather than failing
+		// the whole sweep.
+		t.AddRow(label, "-", "-", "-", "-", "-")
+		return nil
+	}
+	limits := core.Limits{TimeLimit: env.TimeLimit} // find all results: no cap
+	gql := workload.Run("GQLfs", queries, g,
+		func(*graph.Graph) core.Config { return core.OrderingStudyConfig(order.GQL, true) }, limits)
+	ri := workload.Run("RIfs", queries, g,
+		func(*graph.Graph) core.Config { return core.OrderingStudyConfig(order.RI, true) }, limits)
+	results := "-"
+	// Paper: discard the result count when most queries are unsolved.
+	if gql.Unsolved*2 <= gql.Queries {
+		results = workload.FmtCount(gql.MeanEmbeddings)
+	}
+	t.AddRow(label,
+		workload.FmtMS(gql.MeanTotal), fmt.Sprintf("%d", gql.Unsolved),
+		workload.FmtMS(ri.MeanTotal), fmt.Sprintf("%d", ri.Unsolved),
+		results)
+	return nil
+}
+
+// Fig17 reproduces Figure 17: GQLfs and RIfs on RMAT graphs with degree,
+// label count and vertex count varied.
+func Fig17(env Env) error {
+	env = env.WithDefaults()
+	section(env.Out, "Figure 17: scalability on synthetic RMAT graphs", "Figure 17")
+	sweeps := fig17Sweeps()
+	for _, name := range []string{"degree", "labels", "vertices"} {
+		t := workload.Table{
+			Title:  "vary " + name + " (Q16D, find all results)",
+			Header: []string{"config", "GQLfs ms", "GQLfs unsolved", "RIfs ms", "RIfs unsolved", "#results"},
+		}
+		for _, p := range sweeps[name] {
+			g, err := rmat.Generate(p.cfg)
+			if err != nil {
+				return err
+			}
+			if err := scalabilityRow(env, g, p.label, &t); err != nil {
+				return err
+			}
+		}
+		env.render(&t)
+	}
+	return nil
+}
+
+// fig18Base is the friendster stand-in: the original has 124M vertices
+// and 1.8B edges; the stand-in keeps the sweep structure at laptop
+// scale.
+var fig18Base = rmat.Config{NumVertices: 60_000, NumEdges: 720_000, NumLabels: 64, Seed: 1800}
+
+// Fig18 reproduces Figure 18: the friendster experiment, varying the
+// edge density (40/60/80/100% of edges) and the label count.
+func Fig18(env Env) error {
+	env = env.WithDefaults()
+	section(env.Out, "Figure 18: scalability on the friendster stand-in", "Figure 18")
+	fmt.Fprintf(env.Out, "stand-in base: |V|=%d |E|=%d (original: 124M vertices, 1.8B edges)\n\n",
+		fig18Base.NumVertices, fig18Base.NumEdges)
+
+	td := workload.Table{
+		Title:  "vary density (|Sigma|=64, Q16D)",
+		Header: []string{"config", "GQLfs ms", "GQLfs unsolved", "RIfs ms", "RIfs unsolved", "#results"},
+	}
+	for _, pct := range []int{40, 60, 80, 100} {
+		c := fig18Base
+		c.NumEdges = fig18Base.NumEdges * pct / 100
+		c.Seed += int64(pct)
+		g, err := rmat.Generate(c)
+		if err != nil {
+			return err
+		}
+		if err := scalabilityRow(env, g, fmt.Sprintf("%d%% edges", pct), &td); err != nil {
+			return err
+		}
+	}
+	env.render(&td)
+
+	tl := workload.Table{
+		Title:  "vary labels (100% edges, Q16D)",
+		Header: []string{"config", "GQLfs ms", "GQLfs unsolved", "RIfs ms", "RIfs unsolved", "#results"},
+	}
+	for _, l := range []int{64, 96, 128, 160} {
+		c := fig18Base
+		c.NumLabels = l
+		c.Seed += 1000 + int64(l)
+		g, err := rmat.Generate(c)
+		if err != nil {
+			return err
+		}
+		if err := scalabilityRow(env, g, fmt.Sprintf("|Sigma|=%d", l), &tl); err != nil {
+			return err
+		}
+	}
+	env.render(&tl)
+	return nil
+}

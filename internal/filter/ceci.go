@@ -1,0 +1,58 @@
+package filter
+
+import (
+	"subgraphmatching/internal/bitset"
+	"subgraphmatching/internal/graph"
+)
+
+// RunCECI implements CECI's filtering (paper Section 3.1.1, Example 3.3):
+//
+//  1. Construction and filtering along the BFS traversal order δ: C(u) is
+//     generated from C(u.p) with Generation Rule 3.1; whenever C(u) is
+//     constructed or pruned against a backward set C(u.p) or C(u_n), the
+//     backward set is pruned symmetrically (candidates with no neighbor
+//     in C(u) are ruled out).
+//  2. Refinement along the reverse of δ, pruning C(u) against its tree
+//     children only — the source of CECI's weaker pruning power in
+//     Figure 8.
+func RunCECI(q, g *graph.Graph) [][]uint32 {
+	root := CECIRoot(q, g)
+	return runCECIFrom(q, g, root)
+}
+
+func runCECIFrom(q, g *graph.Graph, root graph.Vertex) [][]uint32 {
+	t := graph.NewBFSTree(q, root)
+	s := newState(q, g)
+	seen := bitset.New(g.NumVertices())
+	pos := make([]int, q.NumVertices())
+	for i, u := range t.Order {
+		pos[u] = i
+	}
+
+	// Phase 1: construction along δ with symmetric backward pruning.
+	for i, u := range t.Order {
+		if i == 0 {
+			s.setCandidates(u, s.nlfCandidates(u))
+			continue
+		}
+		p := t.Parent[u]
+		s.generateFromParent(u, p, seen)
+		s.prune(p, u) // rule out parents' candidates with no child candidate
+		for _, un := range q.Neighbors(u) {
+			if pos[un] < i && un != p { // backward non-tree edge
+				s.prune(u, un)
+				s.prune(un, u)
+			}
+		}
+	}
+
+	// Phase 2: reverse-δ refinement against tree children.
+	children := t.Children()
+	for i := len(t.Order) - 1; i >= 0; i-- {
+		u := t.Order[i]
+		for _, c := range children[u] {
+			s.prune(u, c)
+		}
+	}
+	return s.result()
+}

@@ -1,0 +1,56 @@
+package filter
+
+import (
+	"subgraphmatching/internal/bitset"
+	"subgraphmatching/internal/graph"
+)
+
+// RunCFL implements CFL's filtering (paper Section 3.1.1, Example 3.2):
+//
+//  1. Generation, top-down along a BFS tree q_t of q: C(u) is generated
+//     from C(u.p) with Generation Rule 3.1 (each candidate must also pass
+//     LDF and NLF), then pruned bidirectionally against every
+//     already-generated neighbor via non-tree edges (Filtering Rule 3.1).
+//  2. Refinement, bottom-up: C(u) is pruned against every neighbor at a
+//     deeper BFS level.
+//
+// The compressed path index itself (edges between candidates of tree
+// edges) is materialized separately by candspace.BuildTree.
+func RunCFL(q, g *graph.Graph) [][]uint32 {
+	root := CFLRoot(q, g)
+	return runCFLFrom(q, g, root)
+}
+
+func runCFLFrom(q, g *graph.Graph, root graph.Vertex) [][]uint32 {
+	t := graph.NewBFSTree(q, root)
+	s := newState(q, g)
+	seen := bitset.New(g.NumVertices())
+	visited := make([]bool, q.NumVertices())
+
+	// Phase 1: top-down generation with backward pruning.
+	for _, u := range t.Order {
+		if u == root {
+			s.setCandidates(u, s.nlfCandidates(u))
+		} else {
+			s.generateFromParent(u, t.Parent[u], seen)
+			for _, un := range q.Neighbors(u) {
+				if visited[un] && un != t.Parent[u] {
+					s.prune(u, un)
+					s.prune(un, u)
+				}
+			}
+		}
+		visited[u] = true
+	}
+
+	// Phase 2: bottom-up refinement against deeper neighbors.
+	for i := len(t.Order) - 1; i >= 0; i-- {
+		u := t.Order[i]
+		for _, un := range q.Neighbors(u) {
+			if t.Depth[un] > t.Depth[u] {
+				s.prune(u, un)
+			}
+		}
+	}
+	return s.result()
+}

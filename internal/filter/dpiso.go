@@ -1,0 +1,69 @@
+package filter
+
+import (
+	"subgraphmatching/internal/graph"
+)
+
+// RunDPIso implements DP-iso's filtering (paper Section 3.1.1, Example
+// 3.4): every C(u) is initialized with LDF, then refined in `passes`
+// alternating sweeps. Odd-numbered sweeps walk the reverse of the BFS
+// order δ and prune C(u) against its forward neighbors (the first such
+// sweep also applies NLF); even-numbered sweeps walk δ and prune against
+// backward neighbors. The original paper uses passes = 3.
+func RunDPIso(q, g *graph.Graph, passes int) [][]uint32 {
+	root := DPIsoRoot(q, g)
+	return runDPIsoFrom(q, g, root, passes)
+}
+
+func runDPIsoFrom(q, g *graph.Graph, root graph.Vertex, passes int) [][]uint32 {
+	t := graph.NewBFSTree(q, root)
+	s := newState(q, g)
+	pos := make([]int, q.NumVertices())
+	for i, u := range t.Order {
+		pos[u] = i
+	}
+	for u := 0; u < q.NumVertices(); u++ {
+		s.setCandidates(graph.Vertex(u), s.ldfCandidates(graph.Vertex(u)))
+	}
+
+	for pass := 0; pass < passes; pass++ {
+		if pass%2 == 0 {
+			// Reverse δ: prune against forward neighbors.
+			for i := len(t.Order) - 1; i >= 0; i-- {
+				u := t.Order[i]
+				if pass == 0 {
+					s.applyNLF(u)
+				}
+				for _, un := range q.Neighbors(u) {
+					if pos[un] > i {
+						s.prune(u, un)
+					}
+				}
+			}
+		} else {
+			// Along δ: prune against backward neighbors.
+			for i, u := range t.Order {
+				for _, un := range q.Neighbors(u) {
+					if pos[un] < i {
+						s.prune(u, un)
+					}
+				}
+			}
+		}
+	}
+	return s.result()
+}
+
+// applyNLF removes the candidates of u failing the NLF condition.
+func (s *state) applyNLF(u graph.Vertex) {
+	c := s.cand[u]
+	kept := c[:0]
+	for _, v := range c {
+		if s.nlfOK(u, v) {
+			kept = append(kept, v)
+		} else {
+			s.member[u].Clear(v)
+		}
+	}
+	s.cand[u] = kept
+}

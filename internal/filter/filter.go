@@ -1,0 +1,128 @@
+// Package filter implements the candidate-vertex filtering methods of the
+// study (paper Section 3.1): the LDF and NLF baselines, GraphQL's
+// profile-based local pruning with pseudo-isomorphism global refinement,
+// CFL's two-phase compressed-path construction, CECI's forward/backward
+// construction, DP-iso's alternating refinement passes, and the STEADY
+// fix-point baseline used in Figure 8.
+//
+// Every method produces, for each query vertex u, a sorted complete
+// candidate vertex set C(u) (Definition 2.2): if (u,v) appears in any
+// match, then v ∈ C(u). Methods differ only in how aggressively they
+// prune while preserving completeness.
+package filter
+
+import (
+	"fmt"
+
+	"subgraphmatching/internal/graph"
+)
+
+// Method selects a filtering method.
+type Method uint8
+
+const (
+	// LDF is label-and-degree filtering: C(u) = {v : L(v)=L(u), d(v)>=d(u)}.
+	LDF Method = iota
+	// NLF adds the neighbor label frequency check to LDF.
+	NLF
+	// GQL is GraphQL's local pruning plus global refinement.
+	GQL
+	// CFL is CFL's BFS-tree top-down generation and bottom-up refinement.
+	CFL
+	// CECI is CECI's construction along the BFS order with reverse
+	// refinement by tree children.
+	CECI
+	// DPIso is DP-iso's LDF initialization with k alternating
+	// refinement passes (default 3).
+	DPIso
+	// Steady iterates Filtering Rule 3.1 to a fix point; the strongest
+	// (and slowest) pruning based on Observation 3.1.
+	Steady
+)
+
+var methodNames = map[Method]string{
+	LDF: "LDF", NLF: "NLF", GQL: "GQL", CFL: "CFL",
+	CECI: "CECI", DPIso: "DPiso", Steady: "STEADY",
+}
+
+func (m Method) String() string {
+	if s, ok := methodNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("Method(%d)", m)
+}
+
+// ParseMethod maps a name (as printed by String) back to a Method.
+func ParseMethod(s string) (Method, error) {
+	for m, name := range methodNames {
+		if name == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("filter: unknown method %q", s)
+}
+
+// Methods lists all filtering methods in declaration order.
+func Methods() []Method { return []Method{LDF, NLF, GQL, CFL, CECI, DPIso, Steady} }
+
+// DefaultGQLRounds is the default iteration count k of GraphQL's global
+// refinement.
+const DefaultGQLRounds = 2
+
+// DefaultDPIsoPasses is the default number of alternating refinement
+// passes in DP-iso, following the original paper.
+const DefaultDPIsoPasses = 3
+
+// Run executes method m with its default parameters and returns the
+// candidate sets, sorted per query vertex. An error is returned for
+// invalid input (empty or disconnected query).
+func Run(m Method, q, g *graph.Graph) ([][]uint32, error) {
+	if q.NumVertices() == 0 {
+		return nil, fmt.Errorf("filter: empty query graph")
+	}
+	if !q.IsConnected() {
+		return nil, fmt.Errorf("filter: query graph must be connected")
+	}
+	switch m {
+	case LDF:
+		return RunLDF(q, g), nil
+	case NLF:
+		return RunNLF(q, g), nil
+	case GQL:
+		return RunGraphQL(q, g, DefaultGQLRounds), nil
+	case CFL:
+		return RunCFL(q, g), nil
+	case CECI:
+		return RunCECI(q, g), nil
+	case DPIso:
+		return RunDPIso(q, g, DefaultDPIsoPasses), nil
+	case Steady:
+		return RunSteady(q, g), nil
+	default:
+		return nil, fmt.Errorf("filter: unknown method %v", m)
+	}
+}
+
+// MeanCandidates returns (1/|V(q)|) * sum |C(u)|, the paper's
+// candidate-count metric for Figure 8.
+func MeanCandidates(cand [][]uint32) float64 {
+	if len(cand) == 0 {
+		return 0
+	}
+	n := 0
+	for _, c := range cand {
+		n += len(c)
+	}
+	return float64(n) / float64(len(cand))
+}
+
+// AnyEmpty reports whether some candidate set is empty, in which case the
+// query has no matches.
+func AnyEmpty(cand [][]uint32) bool {
+	for _, c := range cand {
+		if len(c) == 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,81 @@
+package filter
+
+import (
+	"subgraphmatching/internal/graph"
+)
+
+// Root selection rules of the tree-based filters. Each is exported
+// because the corresponding ordering methods (package order) must use the
+// same deterministic root.
+
+// CFLRoot picks CFL's start vertex: among the (up to) three core vertices
+// with minimum label-frequency/degree ratio, the one with the smallest
+// NLF candidate set. Queries without a 2-core fall back to all vertices.
+func CFLRoot(q, g *graph.Graph) graph.Vertex {
+	core := q.TwoCore()
+	pool := make([]graph.Vertex, 0, q.NumVertices())
+	for u := 0; u < q.NumVertices(); u++ {
+		if core[u] {
+			pool = append(pool, graph.Vertex(u))
+		}
+	}
+	if len(pool) == 0 {
+		for u := 0; u < q.NumVertices(); u++ {
+			pool = append(pool, graph.Vertex(u))
+		}
+	}
+	// Rank by |{v : L(v)=L(u)}| / d(u), keep the three smallest.
+	rank := func(u graph.Vertex) float64 {
+		return float64(g.LabelFrequency(q.Label(u))) / float64(q.Degree(u))
+	}
+	top := make([]graph.Vertex, 0, 3)
+	for _, u := range pool {
+		top = append(top, u)
+		for i := len(top) - 1; i > 0 && rank(top[i]) < rank(top[i-1]); i-- {
+			top[i], top[i-1] = top[i-1], top[i]
+		}
+		if len(top) > 3 {
+			top = top[:3]
+		}
+	}
+	s := newState(q, g)
+	best := top[0]
+	bestSize := -1
+	for _, u := range top {
+		size := len(s.nlfCandidates(u))
+		if bestSize < 0 || size < bestSize {
+			best, bestSize = u, size
+		}
+	}
+	return best
+}
+
+// CECIRoot picks CECI's start vertex: argmin |C_NLF(u)| / d(u).
+func CECIRoot(q, g *graph.Graph) graph.Vertex {
+	s := newState(q, g)
+	best := graph.Vertex(0)
+	bestScore := -1.0
+	for u := 0; u < q.NumVertices(); u++ {
+		uu := graph.Vertex(u)
+		score := float64(len(s.nlfCandidates(uu))) / float64(q.Degree(uu))
+		if bestScore < 0 || score < bestScore {
+			best, bestScore = uu, score
+		}
+	}
+	return best
+}
+
+// DPIsoRoot picks DP-iso's start vertex: argmin |C_LDF(u)| / d(u).
+func DPIsoRoot(q, g *graph.Graph) graph.Vertex {
+	s := newState(q, g)
+	best := graph.Vertex(0)
+	bestScore := -1.0
+	for u := 0; u < q.NumVertices(); u++ {
+		uu := graph.Vertex(u)
+		score := float64(len(s.ldfCandidates(uu))) / float64(q.Degree(uu))
+		if bestScore < 0 || score < bestScore {
+			best, bestScore = uu, score
+		}
+	}
+	return best
+}

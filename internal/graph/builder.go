@@ -1,0 +1,147 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates vertices and edges and produces an immutable Graph.
+// Duplicate edges and self-loops are rejected at Build time so that every
+// Graph in the system satisfies the simple-graph invariant the algorithms
+// rely on.
+type Builder struct {
+	labels []Label
+	edges  [][2]Vertex
+}
+
+// NewBuilder returns a Builder expecting roughly n vertices and m edges.
+func NewBuilder(n, m int) *Builder {
+	return &Builder{
+		labels: make([]Label, 0, n),
+		edges:  make([][2]Vertex, 0, m),
+	}
+}
+
+// AddVertex appends a vertex with the given label and returns its id.
+func (b *Builder) AddVertex(l Label) Vertex {
+	b.labels = append(b.labels, l)
+	return Vertex(len(b.labels) - 1)
+}
+
+// SetLabel overwrites the label of an already-added vertex.
+func (b *Builder) SetLabel(v Vertex, l Label) { b.labels[v] = l }
+
+// NumVertices returns the number of vertices added so far.
+func (b *Builder) NumVertices() int { return len(b.labels) }
+
+// AddEdge records the undirected edge (u, v). Validation happens at Build.
+func (b *Builder) AddEdge(u, v Vertex) {
+	b.edges = append(b.edges, [2]Vertex{u, v})
+}
+
+// Build validates the accumulated input and returns the immutable Graph.
+// Duplicate edges are deduplicated silently (generators may emit them);
+// self-loops and out-of-range endpoints are errors.
+func (b *Builder) Build() (*Graph, error) {
+	n := len(b.labels)
+	for _, e := range b.edges {
+		if int(e[0]) >= n || int(e[1]) >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) references vertex outside 0..%d", e[0], e[1], n-1)
+		}
+		if e[0] == e[1] {
+			return nil, fmt.Errorf("graph: self-loop at vertex %d", e[0])
+		}
+	}
+
+	// Normalize to u < v, sort, dedupe.
+	norm := make([][2]Vertex, len(b.edges))
+	for i, e := range b.edges {
+		if e[0] > e[1] {
+			e[0], e[1] = e[1], e[0]
+		}
+		norm[i] = e
+	}
+	sort.Slice(norm, func(i, j int) bool {
+		if norm[i][0] != norm[j][0] {
+			return norm[i][0] < norm[j][0]
+		}
+		return norm[i][1] < norm[j][1]
+	})
+	dedup := norm[:0]
+	for i, e := range norm {
+		if i > 0 && e == norm[i-1] {
+			continue
+		}
+		dedup = append(dedup, e)
+	}
+
+	g := &Graph{
+		offsets:        make([]int64, n+1),
+		adj:            make([]Vertex, 2*len(dedup)),
+		labels:         append([]Label(nil), b.labels...),
+		byLabel:        make(map[Label][]Vertex),
+		labelPairEdges: make(map[uint64]int64),
+	}
+
+	deg := make([]int64, n)
+	for _, e := range dedup {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	for v := 0; v < n; v++ {
+		g.offsets[v+1] = g.offsets[v] + deg[v]
+		if int(deg[v]) > g.maxDegree {
+			g.maxDegree = int(deg[v])
+		}
+	}
+	cursor := make([]int64, n)
+	copy(cursor, g.offsets[:n])
+	for _, e := range dedup {
+		g.adj[cursor[e[0]]] = e[1]
+		cursor[e[0]]++
+		g.adj[cursor[e[1]]] = e[0]
+		cursor[e[1]]++
+		g.labelPairEdges[labelPairKey(g.labels[e[0]], g.labels[e[1]])]++
+	}
+	for v := 0; v < n; v++ {
+		ns := g.adj[g.offsets[v]:g.offsets[v+1]]
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	}
+	for v := 0; v < n; v++ {
+		l := g.labels[v]
+		g.byLabel[l] = append(g.byLabel[l], Vertex(v))
+	}
+	return g, nil
+}
+
+// MustBuild is Build that panics on error; intended for tests and
+// hand-constructed literals where the input is known valid.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// FromEdges builds a graph from a label slice (indexed by vertex) and an
+// edge list.
+func FromEdges(labels []Label, edges [][2]Vertex) (*Graph, error) {
+	b := NewBuilder(len(labels), len(edges))
+	for _, l := range labels {
+		b.AddVertex(l)
+	}
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// MustFromEdges is FromEdges that panics on error.
+func MustFromEdges(labels []Label, edges [][2]Vertex) *Graph {
+	g, err := FromEdges(labels, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

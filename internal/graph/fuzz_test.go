@@ -1,0 +1,68 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts that the t/v/e parser never panics and that every
+// successfully parsed graph round-trips through Write/Parse unchanged.
+func FuzzParse(f *testing.F) {
+	f.Add("t 2 1\nv 0 0\nv 1 1\ne 0 1\n")
+	f.Add("t 0 0\n")
+	f.Add("# comment\nt 3 2\nv 0 5\nv 1 5\nv 2 5\ne 0 1\ne 1 2\n")
+	f.Add("t 1 0\nv 0 4294967295\n")
+	f.Add("e 0 1")
+	f.Add("t 2 1\nv 0 0 7\nv 1 0\ne 0 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("Write after successful Parse: %v", err)
+		}
+		g2, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("re-Parse of Write output: %v", err)
+		}
+		if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape: %v vs %v", g2, g)
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			if g.Label(Vertex(v)) != g2.Label(Vertex(v)) {
+				t.Fatalf("round trip changed label of %d", v)
+			}
+		}
+	})
+}
+
+// FuzzParseEdgeList asserts the SNAP edge-list parser never panics and
+// always yields simple graphs with in-range labels.
+func FuzzParseEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n", 4, int64(1))
+	f.Add("# c\n5 5\n10 20\n", 2, int64(9))
+	f.Add("9999999999 1\n", 3, int64(0))
+	f.Fuzz(func(t *testing.T, input string, numLabels int, seed int64) {
+		if numLabels > 1<<20 {
+			numLabels %= 1 << 20
+		}
+		g, err := ParseEdgeList(strings.NewReader(input), numLabels, seed)
+		if err != nil {
+			return
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			vv := Vertex(v)
+			if int(g.Label(vv)) >= numLabels {
+				t.Fatalf("label %d out of range", g.Label(vv))
+			}
+			for _, w := range g.Neighbors(vv) {
+				if w == vv {
+					t.Fatal("self-loop survived parsing")
+				}
+			}
+		}
+	})
+}

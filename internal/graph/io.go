@@ -1,0 +1,183 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The text format matches the one used by the paper's released code
+// (github.com/RapidsAtHKUST/SubgraphMatching):
+//
+//	t <numVertices> <numEdges>
+//	v <id> <label> <degree>
+//	e <u> <v>
+//
+// Vertex ids must be 0..n-1. The degree column is informational and is
+// validated when present.
+
+// Parse reads a graph in the text format from r.
+func Parse(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+
+	var b *Builder
+	declaredDegrees := map[Vertex]int{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "t":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: t line needs 2 arguments", lineNo)
+			}
+			n, err1 := strconv.Atoi(fields[1])
+			m, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || n < 0 || m < 0 {
+				return nil, fmt.Errorf("graph: line %d: malformed t line %q", lineNo, line)
+			}
+			b = NewBuilder(n, m)
+		case "v":
+			if b == nil {
+				return nil, fmt.Errorf("graph: line %d: v line before t line", lineNo)
+			}
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graph: line %d: v line needs id and label", lineNo)
+			}
+			id, err1 := strconv.ParseUint(fields[1], 10, 32)
+			l, err2 := strconv.ParseUint(fields[2], 10, 32)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: line %d: malformed v line %q", lineNo, line)
+			}
+			if int(id) != b.NumVertices() {
+				return nil, fmt.Errorf("graph: line %d: vertex ids must be consecutive from 0, got %d want %d", lineNo, id, b.NumVertices())
+			}
+			b.AddVertex(Label(l))
+			if len(fields) >= 4 {
+				d, err := strconv.Atoi(fields[3])
+				if err != nil {
+					return nil, fmt.Errorf("graph: line %d: malformed degree in %q", lineNo, line)
+				}
+				declaredDegrees[Vertex(id)] = d
+			}
+		case "e":
+			if b == nil {
+				return nil, fmt.Errorf("graph: line %d: e line before t line", lineNo)
+			}
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graph: line %d: e line needs two endpoints", lineNo)
+			}
+			u, err1 := strconv.ParseUint(fields[1], 10, 32)
+			v, err2 := strconv.ParseUint(fields[2], 10, 32)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: line %d: malformed e line %q", lineNo, line)
+			}
+			b.AddEdge(Vertex(u), Vertex(v))
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record type %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading input: %w", err)
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graph: empty input (no t line)")
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	for v, want := range declaredDegrees {
+		if got := g.Degree(v); got != want {
+			return nil, fmt.Errorf("graph: vertex %d declares degree %d but has %d", v, want, got)
+		}
+	}
+	return g, nil
+}
+
+// Load reads a graph file in the text format.
+func Load(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	defer f.Close()
+	g, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %s: %w", path, err)
+	}
+	return g, nil
+}
+
+// Write serializes g in the text format.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "t %d %d\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if _, err := fmt.Fprintf(bw, "v %d %d %d\n", v, g.Label(Vertex(v)), g.Degree(Vertex(v))); err != nil {
+			return err
+		}
+	}
+	var werr error
+	g.EachEdge(func(u, v Vertex) bool {
+		_, werr = fmt.Fprintf(bw, "e %d %d\n", u, v)
+		return werr == nil
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// LoadDir loads every *.graph file in a directory, sorted by filename —
+// the layout cmd/genquery writes query sets in.
+func LoadDir(dir string) ([]*Graph, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".graph") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("graph: no .graph files in %s", dir)
+	}
+	out := make([]*Graph, 0, len(names))
+	for _, name := range names {
+		g, err := Load(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+// Save writes g to a file in the text format.
+func Save(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("graph: %w", err)
+	}
+	if err := Write(f, g); err != nil {
+		f.Close()
+		return fmt.Errorf("graph: writing %s: %w", path, err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,63 @@
+package graph
+
+// LabelCounter is a reusable dense counter over labels. The neighbor label
+// frequency (NLF) filter repeatedly asks "how many neighbors of v carry
+// label l"; allocating a map per check would dominate the filter's cost,
+// so callers keep one LabelCounter per goroutine and reset it between
+// vertices. Reset cost is proportional to the number of touched labels,
+// not the label-set size.
+type LabelCounter struct {
+	counts  []int32
+	touched []Label
+}
+
+// NewLabelCounter returns a counter able to count labels 0..maxLabel.
+func NewLabelCounter(maxLabel Label) *LabelCounter {
+	return &LabelCounter{counts: make([]int32, int(maxLabel)+1)}
+}
+
+// Add increments the count for l.
+func (c *LabelCounter) Add(l Label) {
+	if c.counts[l] == 0 {
+		c.touched = append(c.touched, l)
+	}
+	c.counts[l]++
+}
+
+// Count returns the current count for l.
+func (c *LabelCounter) Count(l Label) int32 { return c.counts[l] }
+
+// Touched returns the labels with non-zero counts since the last Reset.
+func (c *LabelCounter) Touched() []Label { return c.touched }
+
+// Reset zeroes all touched counts.
+func (c *LabelCounter) Reset() {
+	for _, l := range c.touched {
+		c.counts[l] = 0
+	}
+	c.touched = c.touched[:0]
+}
+
+// CountNeighbors resets the counter and tallies the labels of v's
+// neighbors in g.
+func (c *LabelCounter) CountNeighbors(g *Graph, v Vertex) {
+	c.Reset()
+	for _, w := range g.Neighbors(v) {
+		c.Add(g.Label(w))
+	}
+}
+
+// MaxLabelOf returns the maximum label value in g (0 for empty graphs),
+// suitable for sizing a LabelCounter that must count labels of either the
+// query or the data graph.
+func MaxLabelOf(gs ...*Graph) Label {
+	var max Label
+	for _, g := range gs {
+		for _, l := range g.Labels() {
+			if l > max {
+				max = l
+			}
+		}
+	}
+	return max
+}

@@ -1,0 +1,209 @@
+package order
+
+import (
+	"subgraphmatching/internal/graph"
+)
+
+// The structure-driven orders: QuickSI, RI and VF2++.
+
+// ComputeQSI implements QuickSI's infrequent-edge-first ordering: the
+// query is viewed as a weighted graph where w(u) is the frequency of
+// L(u) in G and w(e(u,u')) is the number of data edges whose endpoint
+// labels match. The minimum-weight edge seeds the order (endpoints by
+// ascending vertex weight); edges crossing the frontier are then taken
+// in ascending weight order. Ties break on vertex ids for determinism.
+func ComputeQSI(q, g *graph.Graph) []graph.Vertex {
+	n := q.NumVertices()
+	if n == 1 {
+		return []graph.Vertex{0}
+	}
+	edgeWeight := func(u, v graph.Vertex) int64 {
+		return g.LabelPairEdgeCount(q.Label(u), q.Label(v))
+	}
+	vertexWeight := func(u graph.Vertex) int {
+		return g.LabelFrequency(q.Label(u))
+	}
+
+	// Seed with the globally lightest edge.
+	var su, sv graph.Vertex
+	best := int64(-1)
+	q.EachEdge(func(u, v graph.Vertex) bool {
+		if w := edgeWeight(u, v); best < 0 || w < best {
+			best, su, sv = w, u, v
+		}
+		return true
+	})
+	if vertexWeight(sv) < vertexWeight(su) {
+		su, sv = sv, su
+	}
+	phi := []graph.Vertex{su, sv}
+	in := make([]bool, n)
+	in[su], in[sv] = true, true
+
+	for len(phi) < n {
+		var bu, bv graph.Vertex // bu in phi, bv outside
+		best = -1
+		q.EachEdge(func(u, v graph.Vertex) bool {
+			if in[u] == in[v] {
+				return true
+			}
+			if in[v] {
+				u, v = v, u
+			}
+			if w := edgeWeight(u, v); best < 0 || w < best || (w == best && v < bv) {
+				best, bu, bv = w, u, v
+			}
+			return true
+		})
+		_ = bu
+		phi = append(phi, bv)
+		in[bv] = true
+	}
+	return phi
+}
+
+// ComputeRI implements RI's ordering, which uses only the query
+// structure. The start vertex has maximum degree; afterwards the vertex
+// with the most neighbors already in the order is picked, with the
+// paper's two tie-breaking properties applied in sequence and vertex id
+// as the final deterministic tie-break.
+func ComputeRI(q *graph.Graph) []graph.Vertex {
+	n := q.NumVertices()
+	phi := make([]graph.Vertex, 0, n)
+	in := make([]bool, n)
+
+	start := graph.Vertex(0)
+	for u := 1; u < n; u++ {
+		if q.Degree(graph.Vertex(u)) > q.Degree(start) {
+			start = graph.Vertex(u)
+		}
+	}
+	phi = append(phi, start)
+	in[start] = true
+
+	// tie1: number of vertices in phi adjacent to u that also have a
+	// neighbor outside phi.
+	tie1 := func(u graph.Vertex) int {
+		c := 0
+		for _, up := range q.Neighbors(u) {
+			if !in[up] {
+				continue
+			}
+			for _, w := range q.Neighbors(up) {
+				if !in[w] {
+					c++
+					break
+				}
+			}
+		}
+		return c
+	}
+	// tie2: neighbors of u outside phi that are not adjacent to phi.
+	tie2 := func(u graph.Vertex) int {
+		c := 0
+		for _, up := range q.Neighbors(u) {
+			if in[up] {
+				continue
+			}
+			adjacent := false
+			for _, w := range q.Neighbors(up) {
+				if in[w] {
+					adjacent = true
+					break
+				}
+			}
+			if !adjacent {
+				c++
+			}
+		}
+		return c
+	}
+
+	for len(phi) < n {
+		bestU := graph.NoVertex
+		var bestKey [3]int
+		for u := 0; u < n; u++ {
+			uu := graph.Vertex(u)
+			if in[u] {
+				continue
+			}
+			back := 0
+			for _, up := range q.Neighbors(uu) {
+				if in[up] {
+					back++
+				}
+			}
+			if back == 0 {
+				continue // keep prefixes connected
+			}
+			key := [3]int{back, tie1(uu), tie2(uu)}
+			if bestU == graph.NoVertex || keyGreater(key, bestKey) {
+				bestU, bestKey = uu, key
+			}
+		}
+		phi = append(phi, bestU)
+		in[bestU] = true
+	}
+	return phi
+}
+
+func keyGreater(a, b [3]int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] > b[i]
+		}
+	}
+	return false
+}
+
+// ComputeVF2PP implements VF2++'s ordering: the root is the vertex whose
+// label is rarest in G (largest degree breaking ties); vertices are then
+// appended BFS-level by BFS-level, within each level preferring the most
+// backward neighbors, then the largest degree, then the rarest label.
+func ComputeVF2PP(q, g *graph.Graph) []graph.Vertex {
+	n := q.NumVertices()
+	root := graph.Vertex(0)
+	for u := 1; u < n; u++ {
+		uu := graph.Vertex(u)
+		fu, fr := g.LabelFrequency(q.Label(uu)), g.LabelFrequency(q.Label(root))
+		if fu < fr || (fu == fr && q.Degree(uu) > q.Degree(root)) {
+			root = uu
+		}
+	}
+	t := graph.NewBFSTree(q, root)
+	phi := make([]graph.Vertex, 0, n)
+	in := make([]bool, n)
+	for depth := 0; depth <= t.MaxDepth(); depth++ {
+		var level []graph.Vertex
+		for _, u := range t.Order {
+			if t.Depth[u] == depth {
+				level = append(level, u)
+			}
+		}
+		for len(level) > 0 {
+			bestI := 0
+			bestKey := vf2ppKey(q, g, level[0], in)
+			for i := 1; i < len(level); i++ {
+				if key := vf2ppKey(q, g, level[i], in); keyGreater(key, bestKey) {
+					bestI, bestKey = i, key
+				}
+			}
+			u := level[bestI]
+			level = append(level[:bestI], level[bestI+1:]...)
+			phi = append(phi, u)
+			in[u] = true
+		}
+	}
+	return phi
+}
+
+func vf2ppKey(q, g *graph.Graph, u graph.Vertex, in []bool) [3]int {
+	back := 0
+	for _, up := range q.Neighbors(u) {
+		if in[up] {
+			back++
+		}
+	}
+	// Rarer label = better, so negate the frequency for max-comparison.
+	return [3]int{back, q.Degree(u), -g.LabelFrequency(q.Label(u))}
+}

@@ -1,0 +1,200 @@
+// Package querygen extracts query graphs from data graphs by random
+// walk, mirroring the paper's query generation (Section 4): walk G until
+// the requested number of distinct vertices is collected, take the
+// induced subgraph, and keep it only if its density class matches
+// (dense: d(q) >= 3, sparse: d(q) < 3). Each data graph gets query sets
+// of 200 connected queries per size in the paper; the count here is
+// configurable.
+package querygen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"subgraphmatching/internal/graph"
+)
+
+// Density classifies a query set.
+type Density uint8
+
+const (
+	// Any accepts every connected extracted subgraph (the paper's Q4
+	// sets have no density requirement).
+	Any Density = iota
+	// Dense requires average degree >= 3.
+	Dense
+	// Sparse requires average degree < 3.
+	Sparse
+)
+
+func (d Density) String() string {
+	switch d {
+	case Dense:
+		return "dense"
+	case Sparse:
+		return "sparse"
+	default:
+		return "any"
+	}
+}
+
+// Matches reports whether the average degree deg satisfies the class.
+func (d Density) Matches(deg float64) bool {
+	switch d {
+	case Dense:
+		return deg >= 3
+	case Sparse:
+		return deg < 3
+	default:
+		return true
+	}
+}
+
+// Config parameterizes query extraction.
+type Config struct {
+	NumVertices int
+	Count       int
+	Density     Density
+	Seed        int64
+	// MaxAttempts bounds the number of random walks tried per accepted
+	// query; 0 selects a generous default.
+	MaxAttempts int
+}
+
+// Generate extracts cfg.Count query graphs from g. It fails if the data
+// graph cannot yield enough queries of the requested size and density
+// (e.g. asking for dense queries of a tree).
+func Generate(g *graph.Graph, cfg Config) ([]*graph.Graph, error) {
+	if cfg.NumVertices < 2 {
+		return nil, fmt.Errorf("querygen: query size %d too small", cfg.NumVertices)
+	}
+	if cfg.NumVertices > g.NumVertices() {
+		return nil, fmt.Errorf("querygen: query size %d exceeds data graph size %d", cfg.NumVertices, g.NumVertices())
+	}
+	maxAttempts := cfg.MaxAttempts
+	if maxAttempts == 0 {
+		maxAttempts = 2000
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]*graph.Graph, 0, cfg.Count)
+	for len(out) < cfg.Count {
+		var q *graph.Graph
+		for attempt := 0; attempt < maxAttempts; attempt++ {
+			// Random walks rarely stay inside the dense core of
+			// power-law graphs, so dense extraction alternates with a
+			// greedy densifying growth (still an induced subgraph of G,
+			// so every generated query has at least one match).
+			if cfg.Density == Dense && attempt%2 == 1 {
+				q = extractDense(rng, g, cfg.NumVertices)
+			} else {
+				q = extract(rng, g, cfg.NumVertices)
+			}
+			if q != nil && cfg.Density.Matches(q.AverageDegree()) {
+				break
+			}
+			q = nil
+		}
+		if q == nil {
+			return nil, fmt.Errorf("querygen: no %v query with %d vertices found after %d attempts (%d/%d generated)",
+				cfg.Density, cfg.NumVertices, maxAttempts, len(out), cfg.Count)
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// extractDense grows a vertex set from a random edge, repeatedly adding
+// the frontier vertex with the most edges into the current set (random
+// tie-breaking). This finds dense induced subgraphs where plain random
+// walks would wander off the core.
+func extractDense(rng *rand.Rand, g *graph.Graph, k int) *graph.Graph {
+	// Start from a random endpoint of a random vertex's adjacency so
+	// higher-degree regions are reached with higher probability.
+	start := graph.Vertex(rng.Intn(g.NumVertices()))
+	if g.Degree(start) == 0 {
+		return nil
+	}
+	selected := make(map[graph.Vertex]bool, k)
+	verts := make([]graph.Vertex, 0, k)
+	intoSet := map[graph.Vertex]int{} // frontier vertex -> edges into selected
+	add := func(v graph.Vertex) {
+		selected[v] = true
+		verts = append(verts, v)
+		delete(intoSet, v)
+		for _, w := range g.Neighbors(v) {
+			if !selected[w] {
+				intoSet[w]++
+			}
+		}
+	}
+	add(start)
+	for len(verts) < k {
+		bestCount := 0
+		for _, c := range intoSet {
+			if c > bestCount {
+				bestCount = c
+			}
+		}
+		if bestCount == 0 {
+			return nil
+		}
+		var ties []graph.Vertex
+		for v, c := range intoSet {
+			if c == bestCount {
+				ties = append(ties, v)
+			}
+		}
+		// Deterministic order before the random choice (map iteration
+		// order would break seed reproducibility).
+		sortVertices(ties)
+		add(ties[rng.Intn(len(ties))])
+	}
+	q, _ := g.InducedSubgraph(verts)
+	if !q.IsConnected() {
+		return nil
+	}
+	return q
+}
+
+func sortVertices(vs []graph.Vertex) {
+	for i := 1; i < len(vs); i++ {
+		x := vs[i]
+		j := i - 1
+		for j >= 0 && vs[j] > x {
+			vs[j+1] = vs[j]
+			j--
+		}
+		vs[j+1] = x
+	}
+}
+
+// extract performs one random walk and returns the induced subgraph on
+// the first k distinct vertices visited, or nil if the walk stalls.
+func extract(rng *rand.Rand, g *graph.Graph, k int) *graph.Graph {
+	start := graph.Vertex(rng.Intn(g.NumVertices()))
+	if g.Degree(start) == 0 {
+		return nil
+	}
+	seen := make(map[graph.Vertex]bool, k)
+	verts := make([]graph.Vertex, 0, k)
+	seen[start] = true
+	verts = append(verts, start)
+	cur := start
+	for steps := 0; len(verts) < k && steps < 100*k; steps++ {
+		ns := g.Neighbors(cur)
+		next := ns[rng.Intn(len(ns))]
+		if !seen[next] {
+			seen[next] = true
+			verts = append(verts, next)
+		}
+		cur = next
+	}
+	if len(verts) < k {
+		return nil
+	}
+	q, _ := g.InducedSubgraph(verts)
+	if !q.IsConnected() {
+		return nil
+	}
+	return q
+}

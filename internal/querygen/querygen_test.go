@@ -1,0 +1,107 @@
+package querygen
+
+import (
+	"testing"
+
+	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/rmat"
+	"subgraphmatching/internal/testutil"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := rmat.Generate(rmat.Config{NumVertices: 2000, NumEdges: 16000, NumLabels: 8, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGenerateDense(t *testing.T) {
+	g := testGraph(t)
+	qs, err := Generate(g, Config{NumVertices: 8, Count: 20, Density: Dense, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 20 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for _, q := range qs {
+		if q.NumVertices() != 8 {
+			t.Errorf("query has %d vertices", q.NumVertices())
+		}
+		if !q.IsConnected() {
+			t.Error("query not connected")
+		}
+		if q.AverageDegree() < 3 {
+			t.Errorf("dense query has average degree %.2f", q.AverageDegree())
+		}
+	}
+}
+
+func TestGenerateSparse(t *testing.T) {
+	g := testGraph(t)
+	qs, err := Generate(g, Config{NumVertices: 8, Count: 20, Density: Sparse, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		if q.AverageDegree() >= 3 {
+			t.Errorf("sparse query has average degree %.2f", q.AverageDegree())
+		}
+	}
+}
+
+func TestQueriesAreSubgraphsOfData(t *testing.T) {
+	g := testGraph(t)
+	qs, err := Generate(g, Config{NumVertices: 6, Count: 10, Density: Any, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		// Every extracted query must have at least one match in its
+		// source graph (itself).
+		if n := testutil.BruteForceCount(q, g, 1); n == 0 {
+			t.Error("extracted query has no match in the data graph")
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := testGraph(t)
+	a, err := Generate(g, Config{NumVertices: 6, Count: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(g, Config{NumVertices: 6, Count: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].NumEdges() != b[i].NumEdges() {
+			t.Fatal("same seed produced different queries")
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	g := testGraph(t)
+	if _, err := Generate(g, Config{NumVertices: 1, Count: 1}); err == nil {
+		t.Error("expected error for size 1")
+	}
+	if _, err := Generate(g, Config{NumVertices: g.NumVertices() + 1, Count: 1}); err == nil {
+		t.Error("expected error for oversized query")
+	}
+	// A path graph cannot yield dense queries.
+	path := graph.MustFromEdges(make([]graph.Label, 10),
+		[][2]graph.Vertex{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 8}, {8, 9}})
+	if _, err := Generate(path, Config{NumVertices: 5, Count: 1, Density: Dense, MaxAttempts: 50}); err == nil {
+		t.Error("expected error extracting dense queries from a path")
+	}
+}
+
+func TestDensityString(t *testing.T) {
+	if Any.String() != "any" || Dense.String() != "dense" || Sparse.String() != "sparse" {
+		t.Error("Density.String wrong")
+	}
+}

@@ -1,0 +1,127 @@
+// Package rmat generates power-law random graphs with the R-MAT
+// recursive-matrix model (Chakrabarti et al., SDM 2004), the synthetic
+// dataset generator of the paper's Section 4. Vertex labels are drawn
+// uniformly from a label set, optionally skewed so that one label
+// dominates (reproducing WordNet-like label distributions).
+package rmat
+
+import (
+	"fmt"
+	"math/rand"
+
+	"subgraphmatching/internal/graph"
+)
+
+// Config parameterizes a generated graph. The partition probabilities
+// default to the paper's a=0.45, b=0.22, c=0.22, d=0.11.
+type Config struct {
+	NumVertices int
+	NumEdges    int
+	NumLabels   int
+	Seed        int64
+
+	// A, B, C, D are the R-MAT quadrant probabilities; all zero selects
+	// the paper's defaults. They must sum to 1 otherwise.
+	A, B, C, D float64
+
+	// LabelSkew, when in (0, 1], assigns label 0 with this probability
+	// and spreads the remainder uniformly; 0 means uniform labels.
+	// WordNet's "more than 80% of vertices share one label" corresponds
+	// to LabelSkew = 0.8.
+	LabelSkew float64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.A == 0 && c.B == 0 && c.C == 0 && c.D == 0 {
+		c.A, c.B, c.C, c.D = 0.45, 0.22, 0.22, 0.11
+	}
+	sum := c.A + c.B + c.C + c.D
+	if sum < 0.999 || sum > 1.001 {
+		return c, fmt.Errorf("rmat: quadrant probabilities sum to %v, want 1", sum)
+	}
+	if c.NumVertices <= 1 {
+		return c, fmt.Errorf("rmat: need at least 2 vertices, got %d", c.NumVertices)
+	}
+	if c.NumLabels <= 0 {
+		return c, fmt.Errorf("rmat: need at least 1 label")
+	}
+	maxEdges := int64(c.NumVertices) * int64(c.NumVertices-1) / 2
+	if int64(c.NumEdges) > maxEdges {
+		return c, fmt.Errorf("rmat: %d edges exceed the %d possible on %d vertices", c.NumEdges, maxEdges, c.NumVertices)
+	}
+	if c.LabelSkew < 0 || c.LabelSkew > 1 {
+		return c, fmt.Errorf("rmat: label skew %v outside [0,1]", c.LabelSkew)
+	}
+	return c, nil
+}
+
+// Generate produces a simple undirected labeled graph with exactly
+// cfg.NumEdges distinct edges. Generation is deterministic in the seed.
+func Generate(cfg Config) (*graph.Graph, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// scale = ceil(log2(n)); endpoints outside [0, n) are resampled.
+	scale := 0
+	for 1<<scale < cfg.NumVertices {
+		scale++
+	}
+
+	b := graph.NewBuilder(cfg.NumVertices, cfg.NumEdges)
+	for i := 0; i < cfg.NumVertices; i++ {
+		b.AddVertex(drawLabel(rng, cfg))
+	}
+
+	seen := make(map[uint64]struct{}, cfg.NumEdges)
+	attempts := 0
+	maxAttempts := 100 * cfg.NumEdges
+	for len(seen) < cfg.NumEdges {
+		attempts++
+		if attempts > maxAttempts {
+			return nil, fmt.Errorf("rmat: could not place %d distinct edges after %d attempts (graph too dense for the skew)", cfg.NumEdges, attempts)
+		}
+		u, v := drawEdge(rng, scale, cfg)
+		if u == v || int(u) >= cfg.NumVertices || int(v) >= cfg.NumVertices {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := uint64(u)<<32 | uint64(v)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+func drawLabel(rng *rand.Rand, cfg Config) graph.Label {
+	if cfg.LabelSkew > 0 && rng.Float64() < cfg.LabelSkew {
+		return 0
+	}
+	return graph.Label(rng.Intn(cfg.NumLabels))
+}
+
+func drawEdge(rng *rand.Rand, scale int, cfg Config) (graph.Vertex, graph.Vertex) {
+	var u, v uint32
+	for bit := 0; bit < scale; bit++ {
+		r := rng.Float64()
+		switch {
+		case r < cfg.A:
+			// top-left: no bits set
+		case r < cfg.A+cfg.B:
+			v |= 1 << bit
+		case r < cfg.A+cfg.B+cfg.C:
+			u |= 1 << bit
+		default:
+			u |= 1 << bit
+			v |= 1 << bit
+		}
+	}
+	return u, v
+}

@@ -1,0 +1,98 @@
+package rmat
+
+import (
+	"testing"
+
+	"subgraphmatching/internal/graph"
+)
+
+func TestGenerateBasics(t *testing.T) {
+	g, err := Generate(Config{NumVertices: 1000, NumEdges: 5000, NumLabels: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1000 {
+		t.Errorf("NumVertices = %d", g.NumVertices())
+	}
+	if g.NumEdges() != 5000 {
+		t.Errorf("NumEdges = %d, want exactly 5000", g.NumEdges())
+	}
+	if g.NumLabels() > 8 {
+		t.Errorf("NumLabels = %d > 8", g.NumLabels())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{NumVertices: 500, NumEdges: 2000, NumLabels: 4, Seed: 42}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("edge counts differ across runs with the same seed")
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		if a.Label(graph.Vertex(v)) != b.Label(graph.Vertex(v)) {
+			t.Fatal("labels differ across runs with the same seed")
+		}
+		an, bn := a.Neighbors(graph.Vertex(v)), b.Neighbors(graph.Vertex(v))
+		if len(an) != len(bn) {
+			t.Fatal("adjacency differs across runs with the same seed")
+		}
+	}
+	c, err := Generate(Config{NumVertices: 500, NumEdges: 2000, NumLabels: 4, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for v := 0; v < a.NumVertices() && same; v++ {
+		if len(a.Neighbors(graph.Vertex(v))) != len(c.Neighbors(graph.Vertex(v))) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical degree sequences (suspicious)")
+	}
+}
+
+func TestPowerLawSkew(t *testing.T) {
+	// With a=0.45 the degree distribution must be skewed: the maximum
+	// degree should far exceed the average.
+	g, err := Generate(Config{NumVertices: 4096, NumEdges: 20000, NumLabels: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(g.MaxDegree()) < 4*g.AverageDegree() {
+		t.Errorf("max degree %d vs average %.1f: not power-law-ish", g.MaxDegree(), g.AverageDegree())
+	}
+}
+
+func TestLabelSkew(t *testing.T) {
+	g, err := Generate(Config{NumVertices: 10000, NumEdges: 20000, NumLabels: 5, LabelSkew: 0.8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(g.LabelFrequency(0)) / float64(g.NumVertices())
+	if frac < 0.75 || frac > 0.9 {
+		t.Errorf("label 0 fraction = %.2f, want ~0.8", frac)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{NumVertices: 1, NumEdges: 0, NumLabels: 1},                  // too few vertices
+		{NumVertices: 10, NumEdges: 100, NumLabels: 1},               // too many edges
+		{NumVertices: 10, NumEdges: 5, NumLabels: 0},                 // no labels
+		{NumVertices: 10, NumEdges: 5, NumLabels: 1, A: 0.9, B: 0.9}, // bad probabilities
+		{NumVertices: 10, NumEdges: 5, NumLabels: 1, LabelSkew: 1.5}, // bad skew
+	}
+	for i, cfg := range cases {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, cfg)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package ullmann
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/testutil"
+)
+
+func TestPaperExample(t *testing.T) {
+	q, g := testutil.PaperQuery(), testutil.PaperData()
+	var got []uint32
+	st, err := Solve(q, g, Options{OnMatch: func(m []uint32) bool {
+		got = append([]uint32(nil), m...)
+		return true
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Embeddings != 1 {
+		t.Fatalf("Embeddings = %d, want 1", st.Embeddings)
+	}
+	want := testutil.PaperMatch()
+	for u, v := range want {
+		if got[u] != v {
+			t.Fatalf("match = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAgreementWithBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := testutil.RandomGraph(rng, 12+rng.Intn(12), 30+rng.Intn(30), 1+rng.Intn(3))
+		q := testutil.RandomConnectedQuery(rng, g, 3+rng.Intn(3))
+		if q == nil {
+			return true
+		}
+		want := testutil.BruteForceCount(q, g, 0)
+		valid := true
+		st, err := Solve(q, g, Options{OnMatch: func(m []uint32) bool {
+			if !testutil.IsValidEmbedding(q, g, m) {
+				valid = false
+				return false
+			}
+			return true
+		}})
+		if err != nil || !valid {
+			t.Logf("err=%v valid=%v (seed %d)", err, valid, seed)
+			return false
+		}
+		if st.Embeddings != want {
+			t.Logf("Embeddings = %d, brute force %d (seed %d)", st.Embeddings, want, seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLimitsAndTimeout(t *testing.T) {
+	var edges [][2]graph.Vertex
+	for i := 0; i < 7; i++ {
+		for j := i + 1; j < 7; j++ {
+			edges = append(edges, [2]graph.Vertex{graph.Vertex(i), graph.Vertex(j)})
+		}
+	}
+	g := graph.MustFromEdges(make([]graph.Label, 7), edges)
+	q := graph.MustFromEdges(make([]graph.Label, 3), [][2]graph.Vertex{{0, 1}, {1, 2}, {0, 2}})
+	st, err := Solve(q, g, Options{MaxEmbeddings: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Embeddings != 5 || !st.LimitHit {
+		t.Errorf("cap: %+v", st)
+	}
+	rng := rand.New(rand.NewSource(3))
+	big := testutil.RandomGraph(rng, 400, 8000, 1)
+	cyc := graph.MustFromEdges(make([]graph.Label, 6),
+		[][2]graph.Vertex{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}})
+	st, err = Solve(cyc, big, Options{TimeLimit: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.TimedOut {
+		t.Errorf("expected timeout: %+v", st)
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	g := testutil.PaperData()
+	empty := graph.MustFromEdges(nil, nil)
+	if st, err := Solve(empty, g, Options{}); err != nil || st.Embeddings != 0 {
+		t.Error("empty query should return zero matches")
+	}
+	disc := graph.MustFromEdges([]graph.Label{0, 0, 0}, [][2]graph.Vertex{{0, 1}})
+	if _, err := Solve(disc, g, Options{}); err == nil {
+		t.Error("expected error for disconnected query")
+	}
+	// No candidates at all.
+	q := graph.MustFromEdges([]graph.Label{9, 9, 9}, [][2]graph.Vertex{{0, 1}, {1, 2}})
+	if st, err := Solve(q, g, Options{}); err != nil || st.Embeddings != 0 {
+		t.Error("query with unknown labels should return zero matches")
+	}
+}

@@ -1,0 +1,164 @@
+package subgraphmatching
+
+import (
+	"time"
+
+	"subgraphmatching/internal/core"
+	"subgraphmatching/internal/enumerate"
+	"subgraphmatching/internal/filter"
+	"subgraphmatching/internal/order"
+)
+
+// Algorithm selects one of the study's algorithm presets.
+type Algorithm = core.Algorithm
+
+// Algorithm presets, reproducing the eight studied algorithms plus the
+// paper's recommended configuration.
+const (
+	AlgoQuickSI   = core.QuickSI
+	AlgoGraphQL   = core.GraphQL
+	AlgoCFL       = core.CFL
+	AlgoCECI      = core.CECI
+	AlgoDPIso     = core.DPIso
+	AlgoRI        = core.RI
+	AlgoVF2PP     = core.VF2PP
+	AlgoOptimized = core.Optimized
+	AlgoGlasgow   = core.Glasgow
+	// AlgoVF2 and AlgoUllmann are the historical baselines of the
+	// paper's Table 1 — the algorithms VF2++ and the modern filters are
+	// measured against.
+	AlgoVF2     = core.VF2Classic
+	AlgoUllmann = core.Ullmann
+)
+
+// Algorithms lists every preset.
+func Algorithms() []Algorithm { return core.Algorithms() }
+
+// PresetConfig returns the component configuration behind a preset for
+// the given query and data graph — the starting point for tweaking a
+// known algorithm (e.g. enabling Config.Profile or Config.FailingSets).
+func PresetConfig(a Algorithm, q, g *Graph) Config { return core.PresetConfig(a, q, g) }
+
+// ParseAlgorithm maps a preset name (QSI, GQL, CFL, CECI, DPiso, RI,
+// VF2PP, Optimized, GLW) to its Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) { return core.ParseAlgorithm(s) }
+
+// Config selects an arbitrary point in the study's design space: any
+// combination of filtering method, ordering method, local-candidate
+// computation and optimizations.
+type Config = core.Config
+
+// FilterMethod selects a candidate filtering method (paper Section 3.1).
+type FilterMethod = filter.Method
+
+// Filtering methods.
+const (
+	FilterLDF    = filter.LDF
+	FilterNLF    = filter.NLF
+	FilterGQL    = filter.GQL
+	FilterCFL    = filter.CFL
+	FilterCECI   = filter.CECI
+	FilterDPIso  = filter.DPIso
+	FilterSteady = filter.Steady
+)
+
+// OrderMethod selects a query-vertex ordering method (paper Section
+// 3.2).
+type OrderMethod = order.Method
+
+// Ordering methods.
+const (
+	OrderQSI   = order.QSI
+	OrderGQL   = order.GQL
+	OrderCFL   = order.CFL
+	OrderCECI  = order.CECI
+	OrderDPIso = order.DPIso
+	OrderRI    = order.RI
+	OrderVF2PP = order.VF2PP
+)
+
+// LocalCandidates selects the local-candidate computation (paper
+// Algorithms 2-5).
+type LocalCandidates = enumerate.LocalCandidates
+
+// Local-candidate computations.
+const (
+	LocalDirect         = enumerate.Direct
+	LocalScan           = enumerate.Scan
+	LocalTreeEdge       = enumerate.TreeEdge
+	LocalIntersect      = enumerate.Intersect
+	LocalIntersectBlock = enumerate.IntersectBlock
+)
+
+// Result reports one query's execution: embedding count, search-tree
+// size, the preprocessing/enumeration time split, candidate statistics
+// and memory use.
+type Result = core.Result
+
+// Options configures a Match call.
+type Options struct {
+	// Algorithm picks a preset. Ignored when Custom is set. The zero
+	// value is AlgoQuickSI; most callers want AlgoOptimized.
+	Algorithm Algorithm
+	// Custom overrides the preset with an explicit component
+	// configuration.
+	Custom *Config
+	// MaxEmbeddings stops the search after this many embeddings
+	// (0 = find all). The paper's experiments use 1e5.
+	MaxEmbeddings uint64
+	// TimeLimit bounds the enumeration wall-clock time (0 = unlimited).
+	// The paper's experiments use five minutes.
+	TimeLimit time.Duration
+	// OnMatch, when non-nil, receives each embedding indexed by query
+	// vertex. The slice is reused between calls; copy it to retain.
+	// Returning false stops the search. Under parallel execution calls
+	// are serialized but arrive in no particular order.
+	OnMatch func(mapping []Vertex) bool
+	// Parallel runs the enumeration across this many goroutines by
+	// partitioning the start vertex's candidates (0 or 1 = sequential).
+	// Embedding counts remain exact; not supported with AlgoGlasgow.
+	Parallel int
+}
+
+// Match finds subgraph isomorphisms from q to g. The query must be
+// connected and non-empty.
+func Match(q, g *Graph, opts Options) (*Result, error) {
+	cfg := core.PresetConfig(opts.Algorithm, q, g)
+	if opts.Custom != nil {
+		cfg = *opts.Custom
+	}
+	return core.Match(q, g, cfg, core.Limits{
+		MaxEmbeddings: opts.MaxEmbeddings,
+		TimeLimit:     opts.TimeLimit,
+		OnMatch:       opts.OnMatch,
+		Parallel:      opts.Parallel,
+	})
+}
+
+// Count is a convenience wrapper returning only the number of
+// embeddings.
+func Count(q, g *Graph, opts Options) (uint64, error) {
+	res, err := Match(q, g, opts)
+	if err != nil {
+		return 0, err
+	}
+	return res.Embeddings, nil
+}
+
+// FindAll collects up to limit embeddings (0 = all). Each returned
+// mapping is indexed by query vertex.
+func FindAll(q, g *Graph, opts Options, limit int) ([][]Vertex, error) {
+	var out [][]Vertex
+	inner := opts.OnMatch
+	opts.OnMatch = func(m []Vertex) bool {
+		out = append(out, append([]Vertex(nil), m...))
+		if inner != nil && !inner(m) {
+			return false
+		}
+		return limit == 0 || len(out) < limit
+	}
+	if _, err := Match(q, g, opts); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

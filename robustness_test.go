@@ -1,0 +1,136 @@
+package subgraphmatching_test
+
+import (
+	"testing"
+
+	sm "subgraphmatching"
+	"subgraphmatching/internal/testutil"
+)
+
+// The paper assumes |V(q)| >= 3 (smaller queries are trivial), but a
+// production library must handle the trivial cases gracefully across
+// every preset.
+func TestTinyQueriesAllPresets(t *testing.T) {
+	g, err := sm.FromEdges(
+		[]sm.Label{0, 1, 0, 1},
+		[][2]sm.Vertex{{0, 1}, {1, 2}, {2, 3}, {3, 0}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge, err := sm.FromEdges([]sm.Label{0, 1}, [][2]sm.Vertex{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEdge := testutil.BruteForceCount(edge, g, 0) // 0-1,2-1,2-3,0-3 = 4
+	for _, a := range sm.Algorithms() {
+		n, err := sm.Count(edge, g, sm.Options{Algorithm: a})
+		if err != nil {
+			t.Fatalf("%v on single edge: %v", a, err)
+		}
+		if n != wantEdge {
+			t.Errorf("%v on single edge: %d, want %d", a, n, wantEdge)
+		}
+	}
+}
+
+func TestQueryLargerThanData(t *testing.T) {
+	small, _ := sm.FromEdges([]sm.Label{0, 0}, [][2]sm.Vertex{{0, 1}})
+	big, _ := sm.FromEdges(make([]sm.Label, 4),
+		[][2]sm.Vertex{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}})
+	for _, a := range sm.Algorithms() {
+		n, err := sm.Count(big, small, sm.Options{Algorithm: a})
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		if n != 0 {
+			t.Errorf("%v found %d embeddings of a 4-vertex query in a 2-vertex graph", a, n)
+		}
+	}
+}
+
+func TestDataWithIsolatedVertices(t *testing.T) {
+	// Data graph with isolated vertices must not break any preset.
+	b := sm.NewBuilder(6, 3)
+	for i := 0; i < 6; i++ {
+		b.AddVertex(0)
+	}
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tri, _ := sm.FromEdges(make([]sm.Label, 3), [][2]sm.Vertex{{0, 1}, {1, 2}, {0, 2}})
+	for _, a := range sm.Algorithms() {
+		n, err := sm.Count(tri, g, sm.Options{Algorithm: a})
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		if n != 6 {
+			t.Errorf("%v: %d embeddings, want 6", a, n)
+		}
+	}
+}
+
+func TestAutomorphicEdgeQuery(t *testing.T) {
+	// Single edge with identical endpoint labels: both orientations of
+	// every data edge with matching labels.
+	g, _ := sm.FromEdges([]sm.Label{5, 5, 5}, [][2]sm.Vertex{{0, 1}, {1, 2}})
+	q, _ := sm.FromEdges([]sm.Label{5, 5}, [][2]sm.Vertex{{0, 1}})
+	n, err := sm.Count(q, g, sm.Options{Algorithm: sm.AlgoOptimized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("edge query: %d, want 4", n)
+	}
+	// Symmetry breaking halves the search but restores the count.
+	cfg := sm.Config{Filter: sm.FilterLDF, Order: sm.OrderGQL,
+		Local: sm.LocalIntersect, SymmetryBreaking: true}
+	n, err = sm.Count(q, g, sm.Options{Custom: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("edge query with symmetry breaking: %d, want 4", n)
+	}
+}
+
+func TestLargeQueryFailingSetsBoundary(t *testing.T) {
+	// A 64-vertex path query is the failing-sets size boundary.
+	b := sm.NewBuilder(64, 63)
+	for i := 0; i < 64; i++ {
+		b.AddVertex(0)
+	}
+	for i := 1; i < 64; i++ {
+		b.AddEdge(sm.Vertex(i-1), sm.Vertex(i))
+	}
+	q, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Data: a 80-vertex path.
+	b2 := sm.NewBuilder(80, 79)
+	for i := 0; i < 80; i++ {
+		b2.AddVertex(0)
+	}
+	for i := 1; i < 80; i++ {
+		b2.AddEdge(sm.Vertex(i-1), sm.Vertex(i))
+	}
+	g, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sm.Config{Filter: sm.FilterLDF, Order: sm.OrderRI,
+		Local: sm.LocalIntersect, FailingSets: true}
+	n, err := sm.Count(q, g, sm.Options{Custom: &cfg, MaxEmbeddings: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 17 start offsets x 2 directions = 34 embeddings.
+	if n != 34 {
+		t.Errorf("64-path in 80-path: %d embeddings, want 34", n)
+	}
+}
