@@ -1,0 +1,29 @@
+# Development targets. `make ci` is the gate every change must pass:
+# vet, build, the full test suite under the race detector, and a
+# one-iteration benchmark smoke pass to catch bit-rotted bench code.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench-smoke bench-parallel
+
+ci: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# The parallel-scaling measurement behind EXPERIMENTS.md's
+# "Parallel scaling" section.
+bench-parallel:
+	$(GO) test -run '^$$' -bench BenchmarkParallelSkew -benchmem -benchtime 5x .

@@ -285,6 +285,133 @@ func BenchmarkFig18Friendster(b *testing.B) {
 	}
 }
 
+// --- Parallel scaling: work stealing vs static stride on skew ---------
+
+// skewFixture is a power-law R-MAT graph with a dominant label
+// (LabelSkew, WordNet-style): the rare root label keeps the root
+// candidate list short while the hub structure makes a few root
+// subtrees orders of magnitude heavier than the rest — exactly the
+// regime where a static stride overloads one worker.
+type skewFixture struct {
+	g *graph.Graph
+	q *graph.Graph
+}
+
+var (
+	skewOnce sync.Once
+	skew     skewFixture
+)
+
+func getSkewFixture(b *testing.B) *skewFixture {
+	b.Helper()
+	skewOnce.Do(func() {
+		g, err := rmat.Generate(rmat.Config{NumVertices: 4000, NumEdges: 32000, NumLabels: 6, Seed: 31, LabelSkew: 0.85})
+		if err != nil {
+			panic(err)
+		}
+		qs, err := querygen.Generate(g, querygen.Config{NumVertices: 6, Count: 8, Density: querygen.Dense, Seed: 11})
+		if err != nil {
+			panic(err)
+		}
+		// Query 2 of this set has 86 root candidates (under the depth-1
+		// split threshold at 4+ workers) with heavily skewed subtree
+		// costs; see EXPERIMENTS.md "Parallel scaling".
+		skew = skewFixture{g: g, q: qs[2]}
+	})
+	return &skew
+}
+
+// BenchmarkParallelSkew measures the two claims of the parallel runner
+// on the skewed workload:
+//
+//   - steal-N balances the skewed subtrees across workers where
+//     strided-N overloads one of them. Wall-clock only shows this given
+//     as many CPUs as workers; to keep the measurement meaningful on
+//     constrained runners too, each scheduler sub-benchmark also
+//     reports proj-speedup = totalNodes/maxWorkerNodes — the makespan
+//     bound the task partition admits on unconstrained cores — from
+//     Result.WorkerNodes.
+//   - enum-reused drops the allocations of enum-fresh to 0 because the
+//     engine's scratch state is seeded once and reused per run.
+//
+// Run with -benchmem to see allocs/op.
+func BenchmarkParallelSkew(b *testing.B) {
+	f := getSkewFixture(b)
+	cfg := core.Config{Filter: filter.GQL, Order: order.GQL, Local: enumerate.Intersect}
+	for _, c := range []struct {
+		name  string
+		limit core.Limits
+	}{
+		{"seq", core.Limits{}},
+		{"strided-4", core.Limits{Parallel: 4, Schedule: core.ScheduleStrided}},
+		{"steal-4", core.Limits{Parallel: 4, Schedule: core.ScheduleWorkSteal}},
+		{"strided-8", core.Limits{Parallel: 8, Schedule: core.ScheduleStrided}},
+		{"steal-8", core.Limits{Parallel: 8, Schedule: core.ScheduleWorkSteal}},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			var emb uint64
+			var proj float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Match(f.q, f.g, cfg, c.limit)
+				if err != nil {
+					b.Fatal(err)
+				}
+				emb = res.Embeddings
+				if len(res.WorkerNodes) > 0 {
+					var total, max uint64
+					for _, n := range res.WorkerNodes {
+						total += n
+						if n > max {
+							max = n
+						}
+					}
+					if max > 0 {
+						proj = float64(total) / float64(max)
+					}
+				}
+			}
+			b.ReportMetric(float64(emb), "embeddings")
+			if proj > 0 {
+				b.ReportMetric(proj, "proj-speedup")
+			}
+		})
+	}
+
+	// Allocation comparison for repeated enumeration of one prepared
+	// query: a fresh enumerate.Run per iteration versus one reusable
+	// engine seeded once.
+	cand, err := filter.Run(filter.GQL, f.q, f.g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := candspace.BuildFull(f.q, f.g, cand)
+	phi, err := order.Compute(order.GQL, f.q, f.g, cand)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := enumerate.Options{Local: enumerate.Intersect}
+	b.Run("enum-fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := enumerate.Run(f.q, f.g, cand, space, phi, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enum-reused", func(b *testing.B) {
+		b.ReportAllocs()
+		eng, err := enumerate.NewEngine(f.q, f.g, cand, space, phi, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.Run() // warm the buffers outside the timed loop
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.Run()
+		}
+	})
+}
+
 // --- Historical baselines: Ullmann vs VF2 vs VF2++ ---------------------
 
 // BenchmarkBaselineLineage reproduces the lineage claim of the paper's

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	smatch -q query.graph -d data.graph [-algo Optimized] [-limit 100000]
-//	       [-timeout 5m] [-print 3] [-profile] [-parallel 4]
+//	       [-timeout 5m] [-print 3] [-profile] [-parallel 4] [-schedule steal]
 //	smatch -q queries/ -d data.graph [-csv out.csv]   # batch mode
 package main
 
@@ -29,6 +29,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 5*time.Minute, "per-query time limit (0 = none)")
 		printN    = flag.Int("print", 0, "print up to N embeddings")
 		parallel  = flag.Int("parallel", 1, "enumeration worker goroutines")
+		schedule  = flag.String("schedule", "steal", "parallel scheduler: steal (work stealing) or strided (static partition)")
 		profile   = flag.Bool("profile", false, "print a per-depth search profile")
 		hom       = flag.Bool("hom", false, "count homomorphisms instead of isomorphisms")
 		sym       = flag.Bool("sym", false, "enable symmetry breaking (NEC orbit counting)")
@@ -43,7 +44,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*queryPath, *dataPath, *algoName, *limit, *timeout, *printN, *parallel,
+	if err := run(*queryPath, *dataPath, *algoName, *limit, *timeout, *printN, *parallel, *schedule,
 		*profile, *hom, *sym, *estimate); err != nil {
 		fmt.Fprintln(os.Stderr, "smatch:", err)
 		os.Exit(1)
@@ -51,11 +52,15 @@ func main() {
 }
 
 func run(queryPath, dataPath, algoName string, limit uint64, timeout time.Duration, printN, parallel int,
-	profile, hom, sym, estimate bool) error {
+	scheduleName string, profile, hom, sym, estimate bool) error {
 	if queryPath == "" || dataPath == "" {
 		return fmt.Errorf("both -q and -d are required")
 	}
 	algo, err := sm.ParseAlgorithm(algoName)
+	if err != nil {
+		return err
+	}
+	sched, err := sm.ParseSchedule(scheduleName)
 	if err != nil {
 		return err
 	}
@@ -78,7 +83,7 @@ func run(queryPath, dataPath, algoName string, limit uint64, timeout time.Durati
 	}
 
 	printed := 0
-	opts := sm.Options{Algorithm: algo, MaxEmbeddings: limit, TimeLimit: timeout, Parallel: parallel}
+	opts := sm.Options{Algorithm: algo, MaxEmbeddings: limit, TimeLimit: timeout, Parallel: parallel, Schedule: sched}
 	if profile || hom || sym {
 		cfg := sm.PresetConfig(algo, q, g)
 		cfg.Profile = profile

@@ -92,8 +92,11 @@ type Config struct {
 	// GlasgowMemoryBudget bounds the CP solver's bitset working set
 	// (0 = glasgow.DefaultMemoryBudget).
 	GlasgowMemoryBudget int64
-	// Profile collects per-depth search statistics into Result.Profile
-	// (sequential runs only; not supported by the Glasgow solver).
+	// Profile collects per-depth search statistics into Result.Profile.
+	// Parallel runs merge the per-worker profiles; shallow-depth counts
+	// there differ slightly from a sequential run because pre-assigned
+	// task prefixes skip the shared root levels. Not supported by the
+	// Glasgow solver.
 	Profile bool
 }
 
@@ -102,14 +105,25 @@ type Config struct {
 type Limits struct {
 	MaxEmbeddings uint64
 	TimeLimit     time.Duration
-	// OnMatch optionally receives every embedding (slice reused between
-	// calls); returning false aborts the search. Under parallel
-	// execution calls are serialized but arrive in no particular order.
+	// OnMatch optionally receives every embedding; returning false
+	// aborts the search. Sequentially the slice is reused between calls
+	// (copy it to retain); under parallel execution calls are serialized,
+	// arrive in no particular order, and each receives a private copy
+	// the callback may keep.
 	OnMatch func(mapping []uint32) bool
-	// Parallel runs the enumeration across this many goroutines by
-	// partitioning the start vertex's candidates (0 or 1 = sequential).
-	// Not supported for the Glasgow solver.
+	// Parallel runs the enumeration across this many worker goroutines
+	// (0 or 1 = sequential). Embedding counts remain exact. Not
+	// supported for the VF2/Ullmann engines; Glasgow has its own
+	// parallel splitter.
 	Parallel int
+	// Schedule selects how parallel work is distributed across the
+	// workers. The zero value is ScheduleWorkSteal.
+	Schedule Schedule
+	// SplitFactor tunes when the work-stealing scheduler expands root
+	// candidates into finer depth-1 task pairs: splitting happens while
+	// the root has fewer than Parallel*SplitFactor candidates
+	// (0 = DefaultSplitFactor).
+	SplitFactor int
 }
 
 // Result reports a query's execution, with the time split the paper
@@ -137,6 +151,12 @@ type Result struct {
 	// Profile holds per-depth search statistics when Config.Profile was
 	// set.
 	Profile *enumerate.SearchProfile
+	// WorkerNodes, set on parallel runs, holds the search-tree nodes
+	// each worker expanded. Its spread measures scheduler load balance:
+	// sum/max is the speedup the task partition would admit on
+	// unconstrained cores (the makespan bound), independent of how many
+	// CPUs this process actually got.
+	WorkerNodes []uint64
 }
 
 // PreprocessTime is FilterTime + BuildTime + OrderTime.

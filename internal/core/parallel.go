@@ -10,17 +10,19 @@ import (
 	"subgraphmatching/internal/graph"
 )
 
-// Parallel enumeration: the search space is partitioned by the start
-// vertex's candidates — worker w explores the candidates at indices
-// w, w+P, w+2P, ... — and each worker runs an independent engine over
-// the shared (read-only) candidate sets and auxiliary structure. This is
-// the embarrassingly-parallel scheme the paper mentions for CECI's
-// multi-threaded execution.
+// Parallel enumeration. Each worker owns one reusable enumerate.Engine
+// over the shared (read-only) candidate sets and auxiliary structure, so
+// per-task scratch is allocated once per worker, not per subtree. The
+// search space is divided into task units — root candidates, or (root,
+// second) pairs when the root's candidate list is small enough to make
+// splitting worthwhile — and distributed by the scheduler selected in
+// Limits.Schedule: dynamic work stealing (default) or the static strided
+// partition the paper mentions for CECI's multi-threaded execution.
 //
-// The embedding cap is enforced with a shared atomic counter: an
-// embedding is accepted only if its post-increment sequence number is
-// within the cap, so the reported count is exact even though workers
-// race to the cap.
+// The embedding cap is enforced with a shared CAS loop: a worker
+// reserves a sequence number only while the count is below the cap, so
+// the reported count is exact under contention — no transient
+// over-count, no undo.
 
 // matchParallel runs the enumeration step across `workers` goroutines.
 // cand, space, phi and weights are read-only from here on.
@@ -30,97 +32,226 @@ func matchParallel(q, g *graph.Graph, cand [][]uint32, space *candspace.Space,
 
 	root := phi[0]
 	rootCands := cand[root]
-	if workers > len(rootCands) {
-		workers = len(rootCands)
-	}
 	if workers < 1 {
 		workers = 1
 	}
 
 	var (
 		accepted  atomic.Uint64
-		nodes     atomic.Uint64
 		timedOut  atomic.Bool
 		limitHit  atomic.Bool
 		stop      atomic.Bool
 		matchLock sync.Mutex
-		wg        sync.WaitGroup
-		firstErr  atomic.Value
 	)
 
-	start := time.Now()
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			// Strided partition of the root's candidates.
-			part := make([]uint32, 0, len(rootCands)/workers+1)
-			for i := w; i < len(rootCands); i += workers {
-				part = append(part, rootCands[i])
+	// acceptMatch reserves an exact sequence number for one embedding.
+	// The CAS loop never lets the counter pass the cap, so the final
+	// count needs no clamping and the cap race is deterministic.
+	acceptMatch := func() (uint64, bool) {
+		if limits.MaxEmbeddings == 0 {
+			return accepted.Add(1), true
+		}
+		for {
+			cur := accepted.Load()
+			if cur >= limits.MaxEmbeddings {
+				limitHit.Store(true)
+				stop.Store(true)
+				return 0, false
 			}
-			workerCand := make([][]uint32, len(cand))
-			copy(workerCand, cand)
-			workerCand[root] = part
+			if accepted.CompareAndSwap(cur, cur+1) {
+				return cur + 1, true
+			}
+		}
+	}
 
-			opts := enumerate.Options{
-				Local:           cfg.Local,
-				FailingSets:     cfg.FailingSets,
-				Adaptive:        cfg.Adaptive,
-				AdaptiveWeights: weights,
-				VF2PPRules:      cfg.VF2PPRules,
-				TimeLimit:       limits.TimeLimit,
-				Cancel:          &stop,
-				OnMatch: func(m []uint32) bool {
-					if stop.Load() {
-						return false
+	// With no cap and no user callback there is nothing to coordinate
+	// per embedding: every engine already counts its own matches, and a
+	// shared atomic bumped tens of millions of times would serialize the
+	// workers on one cache line. Keep the per-match hook nil and sum the
+	// per-engine counts after the join.
+	countLocally := limits.MaxEmbeddings == 0 && limits.OnMatch == nil
+
+	onMatch := func(m []uint32) bool {
+		if stop.Load() {
+			return false
+		}
+		n, ok := acceptMatch()
+		if !ok {
+			return false
+		}
+		if limits.OnMatch != nil {
+			// The engine reuses its embedding slice for the rest of the
+			// search; hand the callback a private copy so stored matches
+			// are not silently overwritten (FindAll-style collectors).
+			mc := append(make([]uint32, 0, len(m)), m...)
+			matchLock.Lock()
+			cont := limits.OnMatch(mc)
+			matchLock.Unlock()
+			if !cont {
+				stop.Store(true)
+				return false
+			}
+		}
+		if limits.MaxEmbeddings > 0 && n == limits.MaxEmbeddings {
+			limitHit.Store(true)
+			stop.Store(true)
+			return false
+		}
+		return true
+	}
+
+	opts := enumerate.Options{
+		Local:           cfg.Local,
+		FailingSets:     cfg.FailingSets,
+		Adaptive:        cfg.Adaptive,
+		AdaptiveWeights: weights,
+		VF2PPRules:      cfg.VF2PPRules,
+		Profile:         cfg.Profile,
+		Cancel:          &stop,
+	}
+	if !countLocally {
+		opts.OnMatch = onMatch
+	}
+
+	// Build the task pool. Root-only tasks are the coarse default; when
+	// the root has few candidates relative to the worker count (the
+	// regime where one heavy root serializes a static partition), a
+	// probe engine expands each root into depth-1 (root, second) pairs.
+	// Adaptive mode picks its second vertex dynamically, so its tasks
+	// stay root-grained.
+	splitFactor := limits.SplitFactor
+	if splitFactor == 0 {
+		splitFactor = DefaultSplitFactor
+	}
+	var tasks []enumTask
+	if limits.Schedule == ScheduleWorkSteal &&
+		!cfg.Adaptive && q.NumVertices() >= 2 && len(rootCands) < workers*splitFactor {
+		probe, err := enumerate.NewEngine(q, g, cand, space, phi, enumerate.Options{Local: cfg.Local})
+		if err != nil {
+			return err
+		}
+		var buf []uint32
+		for _, v := range rootCands {
+			buf = probe.ExpandRoot(v, buf[:0])
+			for _, w := range buf {
+				tasks = append(tasks, enumTask{root: v, second: w})
+			}
+		}
+	} else {
+		tasks = make([]enumTask, len(rootCands))
+		for i, v := range rootCands {
+			tasks[i] = enumTask{root: v, second: noSecond}
+		}
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	engines := make([]*enumerate.Engine, workers)
+	for w := range engines {
+		eng, err := enumerate.NewEngine(q, g, cand, space, phi, opts)
+		if err != nil {
+			return err
+		}
+		engines[w] = eng
+	}
+
+	start := time.Now()
+	if limits.TimeLimit > 0 {
+		deadline := start.Add(limits.TimeLimit)
+		for _, eng := range engines {
+			eng.SetDeadline(deadline)
+		}
+	}
+
+	var wg sync.WaitGroup
+	switch limits.Schedule {
+	case ScheduleStrided:
+		// Static partition of the root's candidates; no rebalancing.
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				eng := engines[w]
+				for i := w; i < len(rootCands); i += workers {
+					if !eng.RunRoot(rootCands[i]) {
+						break
 					}
-					n := accepted.Add(1)
-					if limits.MaxEmbeddings > 0 && n > limits.MaxEmbeddings {
-						accepted.Add(^uint64(0)) // undo: over the cap
-						limitHit.Store(true)
-						stop.Store(true)
-						return false
-					}
-					if limits.OnMatch != nil {
-						matchLock.Lock()
-						cont := limits.OnMatch(m)
-						matchLock.Unlock()
-						if !cont {
-							stop.Store(true)
-							return false
+				}
+			}(w)
+		}
+	default:
+		// Work stealing: tasks are dealt round-robin so heavy neighbors
+		// spread out, then idle workers rebalance by stealing half of a
+		// victim's remaining deque.
+		deques := make([]*taskDeque, workers)
+		for w := range deques {
+			deques[w] = &taskDeque{tasks: make([]enumTask, 0, len(tasks)/workers+1)}
+		}
+		for i, t := range tasks {
+			d := deques[i%workers]
+			d.tasks = append(d.tasks, t)
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				eng, self := engines[w], deques[w]
+				for {
+					t, ok := self.pop()
+					if !ok {
+						if !stealInto(self, deques, w) {
+							return
 						}
+						continue
 					}
-					if limits.MaxEmbeddings > 0 && n == limits.MaxEmbeddings {
-						limitHit.Store(true)
-						stop.Store(true)
-						return false
+					var cont bool
+					if t.second == noSecond {
+						cont = eng.RunRoot(t.root)
+					} else {
+						cont = eng.RunRootPair(t.root, t.second)
 					}
-					return true
-				},
-			}
-			stats, err := enumerate.Run(q, g, workerCand, space, phi, opts)
-			if err != nil {
-				firstErr.CompareAndSwap(nil, err)
-				return
-			}
-			nodes.Add(stats.Nodes)
-			if stats.TimedOut {
-				timedOut.Store(true)
-			}
-		}(w)
+					if !cont {
+						return
+					}
+				}
+			}(w)
+		}
 	}
 	wg.Wait()
 
-	if err, ok := firstErr.Load().(error); ok && err != nil {
-		return err
+	var mergedProf *enumerate.SearchProfile
+	if cfg.Profile {
+		mergedProf = enumerate.NewSearchProfile(q.NumVertices())
 	}
-	res.Embeddings = accepted.Load()
-	if limits.MaxEmbeddings > 0 && res.Embeddings > limits.MaxEmbeddings {
-		res.Embeddings = limits.MaxEmbeddings
+	var nodes, localEmb uint64
+	workerNodes := make([]uint64, len(engines))
+	for w, eng := range engines {
+		st := eng.Stats()
+		nodes += st.Nodes
+		workerNodes[w] = st.Nodes
+		localEmb += st.Embeddings
+		if st.TimedOut {
+			timedOut.Store(true)
+		}
+		if mergedProf != nil {
+			mergedProf.Merge(st.Profile)
+		}
 	}
-	res.Nodes = nodes.Load()
+
+	if countLocally {
+		res.Embeddings = localEmb
+	} else {
+		res.Embeddings = accepted.Load()
+	}
+	res.Nodes = nodes
 	res.TimedOut = timedOut.Load()
 	res.LimitHit = limitHit.Load()
 	res.EnumTime = time.Since(start)
+	res.Profile = mergedProf
+	res.WorkerNodes = workerNodes
 	return nil
 }

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"subgraphmatching/internal/enumerate"
+	"subgraphmatching/internal/filter"
+	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/order"
+	"subgraphmatching/internal/testutil"
+)
+
+// equivalenceConfigs are the engine variants the scheduler must agree
+// with sequential execution on: intersection candidates with failing
+// sets on and off, plus the direct (auxiliary-free) path.
+func equivalenceConfigs() []Config {
+	return []Config{
+		{Filter: filter.GQL, Order: order.GQL, Local: enumerate.Intersect},
+		{Filter: filter.GQL, Order: order.GQL, Local: enumerate.Intersect, FailingSets: true},
+		{Filter: filter.LDF, Order: order.RI, Local: enumerate.Direct},
+	}
+}
+
+// TestParallelEquivalenceAcrossWorkers is the property the issue pins:
+// workers ∈ {1,2,4,8} × both schedulers × failing sets on/off × with
+// and without MaxEmbeddings all report identical counts.
+func TestParallelEquivalenceAcrossWorkers(t *testing.T) {
+	type workload struct {
+		name string
+		q, g *graph.Graph
+	}
+	workloads := []workload{{"paper", testutil.PaperQuery(), testutil.PaperData()}}
+	rng := rand.New(rand.NewSource(99))
+	for len(workloads) < 4 {
+		g := testutil.RandomGraph(rng, 30+rng.Intn(20), 90+rng.Intn(60), 2)
+		q := testutil.RandomConnectedQuery(rng, g, 4+rng.Intn(3))
+		if q != nil {
+			workloads = append(workloads, workload{"rand", q, g})
+		}
+	}
+	for _, wl := range workloads {
+		for _, cfg := range equivalenceConfigs() {
+			seq, err := Match(wl.q, wl.g, cfg, Limits{})
+			if err != nil {
+				t.Fatalf("%s sequential: %v", wl.name, err)
+			}
+			for _, cap := range []uint64{0, 7} {
+				want := seq.Embeddings
+				if cap > 0 && want > cap {
+					want = cap
+				}
+				for _, sched := range Schedules() {
+					for _, workers := range []int{1, 2, 4, 8} {
+						par, err := Match(wl.q, wl.g, cfg, Limits{
+							Parallel: workers, Schedule: sched, MaxEmbeddings: cap,
+						})
+						if err != nil {
+							t.Fatalf("%s %v workers=%d: %v", wl.name, sched, workers, err)
+						}
+						if par.Embeddings != want {
+							t.Errorf("%s cfg %+v %v workers=%d cap=%d: %d embeddings, want %d",
+								wl.name, cfg, sched, workers, cap, par.Embeddings, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelForcedDepthOneSplit drives the fine-grained (root, second)
+// task path regardless of the root candidate count.
+func TestParallelForcedDepthOneSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 6; trial++ {
+		g := testutil.RandomGraph(rng, 30+rng.Intn(20), 90+rng.Intn(60), 2)
+		q := testutil.RandomConnectedQuery(rng, g, 4+rng.Intn(3))
+		if q == nil {
+			continue
+		}
+		for _, cfg := range equivalenceConfigs() {
+			seq, err := Match(q, g, cfg, Limits{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := Match(q, g, cfg, Limits{Parallel: 4, SplitFactor: 1 << 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Embeddings != seq.Embeddings {
+				t.Errorf("trial %d cfg %+v: split run %d embeddings, sequential %d",
+					trial, cfg, par.Embeddings, seq.Embeddings)
+			}
+		}
+	}
+}
+
+// TestParallelCapExactUnderContention stresses the CAS accept loop: a
+// dense unlabeled workload where all workers race to a small cap must
+// report exactly the cap, every time.
+func TestParallelCapExactUnderContention(t *testing.T) {
+	// Triangle query in K12: 12*11*10 = 1320 embeddings, found almost
+	// instantly by every worker at once.
+	var edges [][2]graph.Vertex
+	for i := 0; i < 12; i++ {
+		for j := i + 1; j < 12; j++ {
+			edges = append(edges, [2]graph.Vertex{graph.Vertex(i), graph.Vertex(j)})
+		}
+	}
+	g := graph.MustFromEdges(make([]graph.Label, 12), edges)
+	q := graph.MustFromEdges(make([]graph.Label, 3), [][2]graph.Vertex{{0, 1}, {1, 2}, {0, 2}})
+	cfg := Config{Filter: filter.LDF, Order: order.GQL, Local: enumerate.Intersect}
+	for _, sched := range Schedules() {
+		for rep := 0; rep < 20; rep++ {
+			res, err := Match(q, g, cfg, Limits{MaxEmbeddings: 137, Parallel: 8, Schedule: sched})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Embeddings != 137 {
+				t.Fatalf("%v rep %d: %d embeddings, want exactly 137", sched, rep, res.Embeddings)
+			}
+			if !res.LimitHit {
+				t.Fatalf("%v rep %d: LimitHit not set", sched, rep)
+			}
+		}
+	}
+}
+
+// TestParallelOnMatchSlicesAreStable pins the aliasing fix: slices
+// handed to OnMatch under parallel execution are private copies, so a
+// collector that stores them without copying still ends up with valid,
+// pairwise-distinct embeddings.
+func TestParallelOnMatchSlicesAreStable(t *testing.T) {
+	q, g := testutil.PaperQuery(), testutil.PaperData()
+	rng := rand.New(rand.NewSource(13))
+	dg := testutil.RandomGraph(rng, 40, 140, 2)
+	var dq *graph.Graph
+	for dq == nil {
+		dq = testutil.RandomConnectedQuery(rng, dg, 4)
+	}
+	for _, wl := range []struct {
+		q, g *graph.Graph
+	}{{q, g}, {dq, dg}} {
+		cfg := Config{Filter: filter.GQL, Order: order.GQL, Local: enumerate.Intersect}
+		var stored [][]uint32
+		res, err := Match(wl.q, wl.g, cfg, Limits{Parallel: 4, OnMatch: func(m []uint32) bool {
+			stored = append(stored, m) // deliberately NOT copied
+			return true
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uint64(len(stored)) != res.Embeddings {
+			t.Fatalf("stored %d slices, result reports %d embeddings", len(stored), res.Embeddings)
+		}
+		seen := make(map[string]bool)
+		for _, m := range stored {
+			if !validEmbedding(wl.q, wl.g, m) {
+				t.Fatalf("stored slice %v is not a valid embedding (overwritten?)", m)
+			}
+			key := string(uint32SliceBytes(m))
+			if seen[key] {
+				t.Fatalf("duplicate stored embedding %v (aliased slice overwritten)", m)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+// validEmbedding checks labels, injectivity, and every query edge.
+func validEmbedding(q, g *graph.Graph, m []uint32) bool {
+	if len(m) != q.NumVertices() {
+		return false
+	}
+	used := make(map[uint32]bool, len(m))
+	for u, v := range m {
+		if int(v) >= g.NumVertices() || used[v] || q.Label(graph.Vertex(u)) != g.Label(v) {
+			return false
+		}
+		used[v] = true
+	}
+	for u := 0; u < q.NumVertices(); u++ {
+		for _, un := range q.Neighbors(graph.Vertex(u)) {
+			if !g.HasEdge(m[u], m[un]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func uint32SliceBytes(m []uint32) []byte {
+	b := make([]byte, 0, len(m)*4)
+	for _, v := range m {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return b
+}
+
+// TestParallelProfileMerging: per-worker profiles merge into one result
+// profile whose extension totals match the sequential search shape.
+func TestParallelProfileMerging(t *testing.T) {
+	q, g := testutil.PaperQuery(), testutil.PaperData()
+	cfg := Config{Filter: filter.GQL, Order: order.GQL, Local: enumerate.Intersect, Profile: true}
+	res, err := Match(q, g, cfg, Limits{Parallel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile == nil {
+		t.Fatal("parallel run with Profile set returned no profile")
+	}
+	if res.Profile.TotalNodes() == 0 {
+		t.Error("merged profile has zero nodes")
+	}
+}
+
+func TestScheduleParseRoundTrip(t *testing.T) {
+	for _, s := range Schedules() {
+		got, err := ParseSchedule(s.String())
+		if err != nil || got != s {
+			t.Errorf("round trip %v: got %v, err %v", s, got, err)
+		}
+	}
+	if _, err := ParseSchedule("fifo"); err == nil {
+		t.Error("expected error for unknown schedule")
+	}
+	if Schedule(250).String() == "" {
+		t.Error("unknown schedule String should be non-empty")
+	}
+}
+
+// TestTaskDeque exercises the owner-pop / chunked-steal protocol.
+func TestTaskDeque(t *testing.T) {
+	d := &taskDeque{}
+	for i := 0; i < 10; i++ {
+		d.push(enumTask{root: uint32(i), second: noSecond})
+	}
+	// Owner pops from the tail.
+	if tk, ok := d.pop(); !ok || tk.root != 9 {
+		t.Fatalf("pop = %v, %v; want root 9", tk, ok)
+	}
+	// Thief takes half (rounded up) from the head: 9 remain -> 5 stolen.
+	chunk := d.stealHalf()
+	if len(chunk) != 5 || chunk[0].root != 0 || chunk[4].root != 4 {
+		t.Fatalf("stealHalf = %v", chunk)
+	}
+	// Remaining: roots 5..8, owner side.
+	var rest []uint32
+	for {
+		tk, ok := d.pop()
+		if !ok {
+			break
+		}
+		rest = append(rest, tk.root)
+	}
+	if len(rest) != 4 || rest[0] != 8 || rest[3] != 5 {
+		t.Fatalf("rest = %v", rest)
+	}
+	if d.stealHalf() != nil {
+		t.Error("steal from empty deque should return nil")
+	}
+	if _, ok := d.pop(); ok {
+		t.Error("pop from empty deque should fail")
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Schedule selects how parallel enumeration distributes the search
+// space across workers (Limits.Schedule).
+type Schedule uint8
+
+const (
+	// ScheduleWorkSteal (the default) turns root candidates — and, when
+	// the root's candidate list is small relative to the worker count,
+	// their depth-1 expansions — into task units held in per-worker
+	// deques; an idle worker steals half of a victim's remaining tasks.
+	// Wall-clock time tracks total work instead of the heaviest static
+	// partition, which matters on power-law data graphs where one root
+	// candidate can own orders of magnitude more search tree than the
+	// rest.
+	ScheduleWorkSteal Schedule = iota
+	// ScheduleStrided is the static partition scheme: worker w explores
+	// the root candidates at indices w, w+P, w+2P, ... with no
+	// rebalancing. Kept as the skew-sensitive baseline the benchmarks
+	// compare against.
+	ScheduleStrided
+)
+
+var scheduleNames = map[Schedule]string{
+	ScheduleWorkSteal: "steal",
+	ScheduleStrided:   "strided",
+}
+
+func (s Schedule) String() string {
+	if n, ok := scheduleNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("Schedule(%d)", s)
+}
+
+// ParseSchedule maps a name (as printed by String) back to a Schedule.
+func ParseSchedule(s string) (Schedule, error) {
+	for sc, name := range scheduleNames {
+		if name == s {
+			return sc, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown schedule %q (want steal or strided)", s)
+}
+
+// Schedules lists the scheduler modes in declaration order.
+func Schedules() []Schedule { return []Schedule{ScheduleWorkSteal, ScheduleStrided} }
+
+// DefaultSplitFactor: when the root vertex has fewer than
+// workers*DefaultSplitFactor candidates, the scheduler expands each root
+// candidate into (root, second-vertex) task pairs so that a single heavy
+// root cannot serialize the run. Larger candidate lists already provide
+// enough task-level parallelism to balance through stealing alone.
+const DefaultSplitFactor = 32
+
+// enumTask is one unit of schedulable work: a root candidate, optionally
+// pinned to a depth-1 expansion (second != noSecond).
+type enumTask struct {
+	root, second uint32
+}
+
+// noSecond marks a root-only task.
+const noSecond = ^uint32(0)
+
+// taskDeque is one worker's chunk of the task pool. The owner pops from
+// the tail; thieves take half of the remaining tasks from the head in a
+// single lock acquisition (chunked stealing), so a mostly-idle run costs
+// O(log tasks) steals per worker rather than one contended lock per
+// task. The task set is static — no task ever spawns another — which
+// keeps termination detection trivial: a full sweep of empty deques
+// means all remaining work is already being executed.
+type taskDeque struct {
+	mu    sync.Mutex
+	head  int
+	tasks []enumTask
+}
+
+// pop removes a task from the tail (the owner's end).
+func (d *taskDeque) pop() (enumTask, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head >= len(d.tasks) {
+		return enumTask{}, false
+	}
+	t := d.tasks[len(d.tasks)-1]
+	d.tasks = d.tasks[:len(d.tasks)-1]
+	return t, true
+}
+
+// stealHalf removes and returns (a copy of) the first half of the
+// remaining tasks, rounded up, from the head. It returns nil when the
+// deque is empty.
+func (d *taskDeque) stealHalf() []enumTask {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.tasks) - d.head
+	if n <= 0 {
+		return nil
+	}
+	k := (n + 1) / 2
+	chunk := append([]enumTask(nil), d.tasks[d.head:d.head+k]...)
+	d.head += k
+	return chunk
+}
+
+// push appends tasks at the tail (used for seeding and for depositing a
+// stolen chunk into the thief's own deque).
+func (d *taskDeque) push(ts ...enumTask) {
+	d.mu.Lock()
+	d.tasks = append(d.tasks, ts...)
+	d.mu.Unlock()
+}
+
+// stealInto sweeps the other deques starting after w and moves one
+// stolen chunk into self. It reports whether any work was found; false
+// means every deque was empty at the time it was visited, and since
+// tasks are never respawned the worker can exit.
+func stealInto(self *taskDeque, deques []*taskDeque, w int) bool {
+	for i := 1; i < len(deques); i++ {
+		if chunk := deques[(w+i)%len(deques)].stealHalf(); chunk != nil {
+			self.push(chunk...)
+			return true
+		}
+	}
+	return false
+}

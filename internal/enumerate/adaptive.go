@@ -3,7 +3,6 @@ package enumerate
 import (
 	"subgraphmatching/internal/bitset"
 	"subgraphmatching/internal/graph"
-	"subgraphmatching/internal/intersect"
 )
 
 // DP-iso's adaptive matching order (Section 3.2): the BFS order delta
@@ -89,7 +88,7 @@ func (e *engine) activate(u graph.Vertex) {
 				sets = append(sets, e.space.Adjacency(un, w, e.candIdx[un]))
 			}
 			e.setsBuf = sets
-			lc = intersect.IntersectMany(a.lcOf[w][:0], &e.scratch, sets...)
+			lc = e.ix.IntersectMany(a.lcOf[w][:0], sets...)
 		}
 		a.lcOf[w] = lc
 		a.weightOf[w] = e.activationWeight(w, lc)
@@ -138,6 +137,7 @@ func (e *engine) selectExtendable() graph.Vertex {
 func (e *engine) runAdaptive() {
 	root := e.phi[0]
 	a := &e.adaptive
+	a.pool = a.pool[:0]
 	a.lcOf[root] = append(a.lcOf[root][:0], e.cand[root]...)
 	a.weightOf[root] = e.activationWeight(root, a.lcOf[root])
 	a.pool = append(a.pool, root)

@@ -7,6 +7,7 @@ import (
 	"subgraphmatching/internal/bitset"
 	"subgraphmatching/internal/candspace"
 	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/intersect"
 )
 
 // timeCheckInterval is how many search nodes pass between deadline
@@ -21,11 +22,38 @@ const timeCheckInterval = 1 << 12
 // In adaptive mode (opts.Adaptive), phi is interpreted as the BFS order
 // delta that defines the query DAG and the actual mapping order is chosen
 // dynamically per search node, as DP-iso does.
+//
+// Run allocates a fresh Engine per call; callers that enumerate the same
+// (query, data, candidates, order) tuple repeatedly — parallel workers
+// running many tasks, benchmark loops — should construct an Engine once
+// with NewEngine and reuse it, which makes the steady-state search
+// allocation-free.
 func Run(q, g *graph.Graph, cand [][]uint32, space *candspace.Space, phi []graph.Vertex, opts Options) (*Stats, error) {
-	n := q.NumVertices()
-	if n == 0 {
-		return &Stats{}, nil
+	e, err := NewEngine(q, g, cand, space, phi, opts)
+	if err != nil {
+		return nil, err
 	}
+	return e.Run(), nil
+}
+
+// Engine is a reusable enumeration engine bound to one (query, data,
+// candidates, space, order, options) tuple. All per-run scratch state —
+// the partial embedding, visited marks, per-depth local-candidate
+// buffers, intersection intermediates, failing-set masks — is allocated
+// once at construction and re-seeded on each run, so repeated runs and
+// per-task calls (RunRoot, RunRootPair) allocate nothing.
+//
+// An Engine is not safe for concurrent use; parallel callers hold one
+// engine per worker over shared read-only inputs.
+type Engine struct {
+	engine
+}
+
+// NewEngine validates the inputs and builds a reusable engine. The
+// candidate sets, space, and order are captured by reference and must
+// stay unmodified (they may be shared, read-only, across engines).
+func NewEngine(q, g *graph.Graph, cand [][]uint32, space *candspace.Space, phi []graph.Vertex, opts Options) (*Engine, error) {
+	n := q.NumVertices()
 	if len(phi) != n {
 		return nil, fmt.Errorf("enumerate: order has %d vertices, query has %d", len(phi), n)
 	}
@@ -51,7 +79,7 @@ func Run(q, g *graph.Graph, cand [][]uint32, space *candspace.Space, phi []graph
 		return nil, fmt.Errorf("enumerate: homomorphism mode is incompatible with symmetry breaking and VF2++ rules")
 	}
 
-	e := &engine{
+	E := &Engine{engine: engine{
 		q: q, g: g, cand: cand, space: space, phi: phi, opts: opts,
 		pos:       make([]int, n),
 		embedding: make([]uint32, n),
@@ -60,11 +88,8 @@ func Run(q, g *graph.Graph, cand [][]uint32, space *candspace.Space, phi []graph
 		visited:   make([]bool, g.NumVertices()),
 		lcBuf:     make([][]uint32, n),
 		fullMask:  bitset.Mask64All(n),
-	}
-	if opts.Profile {
-		e.prof = newSearchProfile(n)
-		e.stats.Profile = e.prof
-	}
+	}}
+	e := &E.engine
 	seen := make([]bool, n)
 	for i, u := range phi {
 		if int(u) >= n || seen[u] {
@@ -76,20 +101,156 @@ func Run(q, g *graph.Graph, cand [][]uint32, space *candspace.Space, phi []graph
 	if err := e.prepare(); err != nil {
 		return nil, err
 	}
-
-	start := time.Now()
-	if opts.TimeLimit > 0 {
-		e.deadline = start.Add(opts.TimeLimit)
+	if opts.Profile {
+		e.prof = newSearchProfile(n)
+		e.stats.Profile = e.prof
 	}
-	if opts.Adaptive {
+	return E, nil
+}
+
+// Run resets the per-run statistics and enumerates over all root
+// candidates — the same complete search the package-level Run performs.
+// The returned Stats are owned by the engine and overwritten by the next
+// Run call.
+func (E *Engine) Run() *Stats {
+	e := &E.engine
+	e.resetRun()
+	if e.q.NumVertices() == 0 {
+		return &e.stats
+	}
+	start := time.Now()
+	if e.opts.TimeLimit > 0 {
+		e.deadline = start.Add(e.opts.TimeLimit)
+	}
+	if e.opts.Adaptive {
 		e.runAdaptive()
-	} else if opts.FailingSets {
+	} else if e.opts.FailingSets {
 		e.runFS(0)
 	} else {
 		e.runPlain(0)
 	}
 	e.stats.Duration = time.Since(start)
-	return &e.stats, nil
+	return &e.stats
+}
+
+// resetRun clears the cumulative statistics and abort state ahead of a
+// full run. Per-node scratch (embedding, visited, buffers) needs no
+// clearing: every search path unwinds its assignments even on abort.
+func (e *engine) resetRun() {
+	prof := e.prof
+	e.stats = Stats{}
+	if prof != nil {
+		prof.reset()
+		e.stats.Profile = prof
+	}
+	e.aborted = false
+	e.clockTicker = 0
+	e.deadline = time.Time{}
+	if e.opts.Adaptive {
+		e.adaptive.pool = e.adaptive.pool[:0]
+	}
+}
+
+// SetDeadline arms (or, with a zero time, disarms) the wall-clock
+// deadline for subsequent task runs. A parallel scheduler sets one
+// deadline for the whole run instead of per task.
+func (E *Engine) SetDeadline(t time.Time) { E.engine.deadline = t }
+
+// Stats returns the engine's cumulative statistics: a full Run resets
+// them, while the per-task entry points (RunRoot, RunRootPair)
+// accumulate across calls so a worker's tally is read once at the end.
+func (E *Engine) Stats() *Stats { return &E.engine.stats }
+
+// ResetStats clears the cumulative statistics and the abort flag without
+// touching the armed deadline. Schedulers call it once per worker before
+// the task loop.
+func (E *Engine) ResetStats() {
+	deadline := E.engine.deadline
+	E.engine.resetRun()
+	E.engine.deadline = deadline
+}
+
+// RunRoot enumerates the search subtree with the order's start vertex
+// pre-assigned to the data vertex v — one scheduler task unit. Results
+// accumulate into Stats. It reports false when the search must stop
+// (cancellation, deadline, or an OnMatch abort); the caller should then
+// stop feeding tasks.
+func (E *Engine) RunRoot(v uint32) bool {
+	e := &E.engine
+	if e.aborted {
+		return false
+	}
+	root := e.phi[0]
+	if e.opts.Adaptive {
+		a := &e.adaptive
+		a.pool = a.pool[:0]
+		a.lcOf[root] = append(a.lcOf[root][:0], v)
+		a.weightOf[root] = e.activationWeight(root, a.lcOf[root])
+		a.pool = append(a.pool, root)
+		e.adaptiveRec(0)
+		return !e.aborted
+	}
+	e.assign(root, v)
+	if e.opts.FailingSets {
+		e.runFS(1)
+	} else {
+		e.runPlain(1)
+	}
+	e.unassign(root, v)
+	return !e.aborted
+}
+
+// ExpandRoot computes the depth-1 local candidates reached when the
+// start vertex maps to v, appended to dst — the task-splitting probe a
+// scheduler uses to break one heavy root candidate into finer (root,
+// second) task units for RunRootPair. Candidates conflicting with v are
+// already filtered out. Only static orders can be pre-split; in adaptive
+// mode ExpandRoot returns dst unchanged and the root must be run whole.
+func (E *Engine) ExpandRoot(v uint32, dst []uint32) []uint32 {
+	e := &E.engine
+	if e.opts.Adaptive || e.q.NumVertices() < 2 {
+		return dst
+	}
+	root := e.phi[0]
+	e.assign(root, v)
+	for _, w := range e.computeLC(1, e.phi[1]) {
+		if !e.visited[w] {
+			dst = append(dst, w)
+		}
+	}
+	e.unassign(root, v)
+	return dst
+}
+
+// RunRootPair enumerates the subtree with the first two order positions
+// pre-assigned to (v, w) — the fine-grained task unit produced by
+// ExpandRoot. The same stop contract as RunRoot applies.
+func (E *Engine) RunRootPair(v, w uint32) bool {
+	e := &E.engine
+	if e.aborted {
+		return false
+	}
+	root, second := e.phi[0], e.phi[1]
+	e.assign(root, v)
+	if e.visited[w] {
+		// v == w conflict; ExpandRoot filters these, so only a caller
+		// fabricating tasks gets here.
+		e.unassign(root, v)
+		return true
+	}
+	if e.symPeers != nil && e.symViolator(second, w) != graph.NoVertex {
+		e.unassign(root, v)
+		return true
+	}
+	e.assign(second, w)
+	if e.opts.FailingSets {
+		e.runFS(2)
+	} else {
+		e.runPlain(2)
+	}
+	e.unassign(second, w)
+	e.unassign(root, v)
+	return !e.aborted
 }
 
 type engine struct {
@@ -120,6 +281,7 @@ type engine struct {
 
 	lcBuf   [][]uint32 // per depth local-candidate buffer
 	scratch []uint32
+	ix      intersect.Scratch
 	setsBuf [][]uint32 // transient argument buffer for IntersectMany
 
 	deadline    time.Time

@@ -105,7 +105,7 @@ func (e *engine) lcIntersect(depth int, u graph.Vertex) []uint32 {
 		sets = append(sets, e.space.Adjacency(un, u, e.candIdx[un]))
 	}
 	e.setsBuf = sets
-	e.lcBuf[depth] = intersect.IntersectMany(e.lcBuf[depth][:0], &e.scratch, sets...)
+	e.lcBuf[depth] = e.ix.IntersectMany(e.lcBuf[depth][:0], sets...)
 	return e.lcBuf[depth]
 }
 

@@ -42,6 +42,44 @@ func newSearchProfile(n int) *SearchProfile {
 	}
 }
 
+// reset zeroes every counter in place so a reused engine starts each
+// run with a clean profile without reallocating the slices.
+func (p *SearchProfile) reset() {
+	for _, s := range [][]uint64{
+		p.Nodes, p.Candidates, p.Extended, p.Conflicts,
+		p.SymmetrySkips, p.EmptyLC, p.FailingSetSkips,
+	} {
+		for i := range s {
+			s[i] = 0
+		}
+	}
+}
+
+// Merge adds o's counters into p depth by depth — the aggregation step
+// for parallel runs, where each worker profiles its own engine. Profiles
+// of different depths merge over the shorter one's range.
+func (p *SearchProfile) Merge(o *SearchProfile) {
+	if o == nil {
+		return
+	}
+	pairs := [][2][]uint64{
+		{p.Nodes, o.Nodes}, {p.Candidates, o.Candidates},
+		{p.Extended, o.Extended}, {p.Conflicts, o.Conflicts},
+		{p.SymmetrySkips, o.SymmetrySkips}, {p.EmptyLC, o.EmptyLC},
+		{p.FailingSetSkips, o.FailingSetSkips},
+	}
+	for _, pr := range pairs {
+		dst, src := pr[0], pr[1]
+		for i := 0; i < len(dst) && i < len(src); i++ {
+			dst[i] += src[i]
+		}
+	}
+}
+
+// NewSearchProfile returns an empty profile for n query vertices —
+// the merge target a parallel runner aggregates worker profiles into.
+func NewSearchProfile(n int) *SearchProfile { return newSearchProfile(n) }
+
 // MaxDepth returns the number of query-vertex depths profiled.
 func (p *SearchProfile) MaxDepth() int { return len(p.Nodes) - 1 }
 

@@ -139,35 +139,59 @@ func Contains(s []uint32, x uint32) bool {
 	return lo < len(s) && s[lo] == x
 }
 
-// IntersectMany intersects k >= 1 sorted slices, smallest first, reusing
-// scratch for intermediates. It returns the final intersection appended
-// to dst. Inputs are processed in ascending length order so the running
-// intersection stays as small as possible.
-func IntersectMany(dst []uint32, scratch *[]uint32, sets ...[]uint32) []uint32 {
+// Scratch holds the reusable intermediate buffers for k-way
+// intersections. A Scratch owned by a single goroutine amortizes the
+// intermediate storage across calls, so steady-state IntersectMany is
+// allocation-free (the buffers grow to the largest intermediate seen and
+// stay there).
+type Scratch struct {
+	a, b []uint32
+}
+
+// IntersectMany intersects k >= 0 sorted slices, smallest first, and
+// returns the result appended to dst. With two inputs the intersection
+// is written straight into dst; with more, the running intersection
+// ping-pongs between the Scratch buffers. Inputs start from the smallest
+// set so the running intersection stays as small as possible.
+func (s *Scratch) IntersectMany(dst []uint32, sets ...[]uint32) []uint32 {
 	switch len(sets) {
 	case 0:
 		return dst
 	case 1:
 		return append(dst, sets[0]...)
+	case 2:
+		return Hybrid(dst, sets[0], sets[1])
 	}
-	// Find the two smallest first; a full sort is overkill for the tiny k
+	// Move the smallest set first; a full sort is overkill for the tiny k
 	// seen in practice (k = number of backward neighbors).
 	minIdx := 0
-	for i, s := range sets {
-		if len(s) < len(sets[minIdx]) {
+	for i, set := range sets {
+		if len(set) < len(sets[minIdx]) {
 			minIdx = i
 		}
 	}
 	sets[0], sets[minIdx] = sets[minIdx], sets[0]
-	cur := append((*scratch)[:0], sets[0]...)
-	tmp := make([]uint32, 0, len(cur))
-	for _, s := range sets[1:] {
-		tmp = Hybrid(tmp[:0], cur, s)
+	cur := append(s.a[:0], sets[0]...)
+	tmp := s.b[:0]
+	for _, set := range sets[1:] {
+		tmp = Hybrid(tmp[:0], cur, set)
 		cur, tmp = tmp, cur
 		if len(cur) == 0 {
 			break
 		}
 	}
-	*scratch = cur[:0]
-	return append(dst, cur...)
+	dst = append(dst, cur...)
+	s.a, s.b = cur[:0], tmp[:0]
+	return dst
+}
+
+// IntersectMany intersects k >= 1 sorted slices, reusing scratch for one
+// of the intermediates. It returns the final intersection appended to
+// dst. Callers on a hot path should hold a Scratch and use its method
+// instead, which reuses both intermediate buffers.
+func IntersectMany(dst []uint32, scratch *[]uint32, sets ...[]uint32) []uint32 {
+	s := Scratch{a: *scratch}
+	dst = s.IntersectMany(dst, sets...)
+	*scratch = s.a[:0]
+	return dst
 }

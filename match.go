@@ -95,6 +95,18 @@ const (
 // and memory use.
 type Result = core.Result
 
+// Schedule selects the parallel enumeration scheduler.
+type Schedule = core.Schedule
+
+// Parallel scheduler modes.
+const (
+	ScheduleWorkSteal = core.ScheduleWorkSteal
+	ScheduleStrided   = core.ScheduleStrided
+)
+
+// ParseSchedule maps a scheduler name (steal, strided) to its Schedule.
+func ParseSchedule(s string) (Schedule, error) { return core.ParseSchedule(s) }
+
 // Options configures a Match call.
 type Options struct {
 	// Algorithm picks a preset. Ignored when Custom is set. The zero
@@ -110,14 +122,20 @@ type Options struct {
 	// The paper's experiments use five minutes.
 	TimeLimit time.Duration
 	// OnMatch, when non-nil, receives each embedding indexed by query
-	// vertex. The slice is reused between calls; copy it to retain.
-	// Returning false stops the search. Under parallel execution calls
-	// are serialized but arrive in no particular order.
+	// vertex. Returning false stops the search. Sequentially the slice
+	// is reused between calls (copy it to retain); under parallel
+	// execution calls are serialized, arrive in no particular order, and
+	// each receives a private copy the callback may keep.
 	OnMatch func(mapping []Vertex) bool
-	// Parallel runs the enumeration across this many goroutines by
-	// partitioning the start vertex's candidates (0 or 1 = sequential).
-	// Embedding counts remain exact; not supported with AlgoGlasgow.
+	// Parallel runs the enumeration across this many worker goroutines
+	// (0 or 1 = sequential). Embedding counts remain exact; not
+	// supported with AlgoVF2 and AlgoUllmann.
 	Parallel int
+	// Schedule selects the parallel scheduler: ScheduleWorkSteal (the
+	// zero value, dynamic task distribution with stealing — tracks total
+	// work under skew) or ScheduleStrided (the static partition of the
+	// start vertex's candidates).
+	Schedule Schedule
 }
 
 // Match finds subgraph isomorphisms from q to g. The query must be
@@ -132,6 +150,7 @@ func Match(q, g *Graph, opts Options) (*Result, error) {
 		TimeLimit:     opts.TimeLimit,
 		OnMatch:       opts.OnMatch,
 		Parallel:      opts.Parallel,
+		Schedule:      opts.Schedule,
 	})
 }
 
