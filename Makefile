@@ -1,12 +1,14 @@
 # Development targets. `make ci` is the gate every change must pass:
-# vet, build, the full test suite under the race detector, and a
-# one-iteration benchmark smoke pass to catch bit-rotted bench code.
+# vet, build, the full test suite under the race detector, a stress
+# pass over the parallel preprocessing paths, a short fuzz run of the
+# filter-soundness invariant, and a one-iteration benchmark smoke pass
+# to catch bit-rotted bench code.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke bench-parallel
+.PHONY: ci vet build test race race-stress fuzz-smoke bench-smoke bench-parallel bench-preprocess
 
-ci: vet build race bench-smoke
+ci: vet build race race-stress fuzz-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -20,6 +22,17 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Hammer the parallel filter + candidate-space paths under the race
+# detector: 100 iterations at 8 workers each, diffed against the
+# 1-worker reference. Any cross-worker state leak trips -race here.
+race-stress:
+	$(GO) test -race -run 'Stress' -count 1 ./internal/filter ./internal/candspace
+
+# Short corpus-plus-mutation run of the filter soundness fuzz target
+# (candidate sets never drop a ground-truth embedding vertex).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzFilterSoundness -fuzztime 5s ./internal/filter
+
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
@@ -27,3 +40,8 @@ bench-smoke:
 # "Parallel scaling" section.
 bench-parallel:
 	$(GO) test -run '^$$' -bench BenchmarkParallelSkew -benchmem -benchtime 5x .
+
+# The preprocessing-parallelism measurement behind EXPERIMENTS.md's
+# "Parallel preprocessing" section.
+bench-preprocess:
+	$(GO) test -run '^$$' -bench BenchmarkPreprocess -benchmem -benchtime 5x .

@@ -6,6 +6,7 @@
 package subgraphmatching_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"subgraphmatching/internal/graph"
 	"subgraphmatching/internal/intersect"
 	"subgraphmatching/internal/order"
+	"subgraphmatching/internal/par"
 	"subgraphmatching/internal/querygen"
 	"subgraphmatching/internal/rmat"
 )
@@ -569,4 +571,73 @@ func BenchmarkAblationCompression(b *testing.B) {
 			b.ReportMetric(float64(res.Embeddings), "embeddings")
 		}
 	})
+}
+
+// BenchmarkPreprocess measures the parallel preprocessing pipeline on
+// the skewed R-MAT fixture, one sub-benchmark per phase × worker
+// count. On CPU-constrained runners wall-clock understates the
+// parallelism, so each parallel run also reports
+// proj-speedup = Σ(worker work)/max(worker work) — the makespan bound
+// the task partition admits on unconstrained cores, from the per-worker
+// work-unit tallies (candidates examined for the filters, candidates
+// scanned + adjacency targets emitted for the CSR build). This is the
+// same metric the enumeration benchmarks derive from
+// Result.WorkerNodes; see EXPERIMENTS.md "Parallel preprocessing".
+
+func reportMakespan(b *testing.B, work []uint64) {
+	b.Helper()
+	if bound := par.MakespanBound(work); bound > 1 {
+		b.ReportMetric(bound, "proj-speedup")
+	}
+}
+
+func BenchmarkPreprocessGraphQL(b *testing.B) {
+	f := getSkewFixture(b)
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			var work []uint64
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, work, err = filter.RunParallelStats(filter.GQL, f.q, f.g, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportMakespan(b, work)
+		})
+	}
+}
+
+func BenchmarkPreprocessDPIso(b *testing.B) {
+	f := getSkewFixture(b)
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			var work []uint64
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, work, err = filter.RunParallelStats(filter.DPIso, f.q, f.g, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportMakespan(b, work)
+		})
+	}
+}
+
+func BenchmarkPreprocessBuildFull(b *testing.B) {
+	f := getSkewFixture(b)
+	cand, err := filter.Run(filter.GQL, f.q, f.g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			var work []uint64
+			for i := 0; i < b.N; i++ {
+				_, work = candspace.BuildFullParallelStats(f.q, f.g, cand, workers)
+			}
+			reportMakespan(b, work)
+		})
+	}
 }

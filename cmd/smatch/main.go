@@ -7,7 +7,8 @@
 // Usage:
 //
 //	smatch -q query.graph -d data.graph [-algo Optimized] [-limit 100000]
-//	       [-timeout 5m] [-print 3] [-profile] [-parallel 4] [-schedule steal]
+//	       [-timeout 5m] [-print 3] [-profile] [-parallel 4] [-workers 4]
+//	       [-schedule steal]
 //	smatch -q queries/ -d data.graph [-csv out.csv]   # batch mode
 package main
 
@@ -29,6 +30,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 5*time.Minute, "per-query time limit (0 = none)")
 		printN    = flag.Int("print", 0, "print up to N embeddings")
 		parallel  = flag.Int("parallel", 1, "enumeration worker goroutines")
+		workers   = flag.Int("workers", 0, "preprocessing (filter + candidate-space) worker goroutines (0 = same as -parallel)")
 		schedule  = flag.String("schedule", "steal", "parallel scheduler: steal (work stealing) or strided (static partition)")
 		profile   = flag.Bool("profile", false, "print a per-depth search profile")
 		hom       = flag.Bool("hom", false, "count homomorphisms instead of isomorphisms")
@@ -44,14 +46,14 @@ func main() {
 		}
 		return
 	}
-	if err := run(*queryPath, *dataPath, *algoName, *limit, *timeout, *printN, *parallel, *schedule,
+	if err := run(*queryPath, *dataPath, *algoName, *limit, *timeout, *printN, *parallel, *workers, *schedule,
 		*profile, *hom, *sym, *estimate); err != nil {
 		fmt.Fprintln(os.Stderr, "smatch:", err)
 		os.Exit(1)
 	}
 }
 
-func run(queryPath, dataPath, algoName string, limit uint64, timeout time.Duration, printN, parallel int,
+func run(queryPath, dataPath, algoName string, limit uint64, timeout time.Duration, printN, parallel, workers int,
 	scheduleName string, profile, hom, sym, estimate bool) error {
 	if queryPath == "" || dataPath == "" {
 		return fmt.Errorf("both -q and -d are required")
@@ -83,7 +85,8 @@ func run(queryPath, dataPath, algoName string, limit uint64, timeout time.Durati
 	}
 
 	printed := 0
-	opts := sm.Options{Algorithm: algo, MaxEmbeddings: limit, TimeLimit: timeout, Parallel: parallel, Schedule: sched}
+	opts := sm.Options{Algorithm: algo, MaxEmbeddings: limit, TimeLimit: timeout,
+		Parallel: parallel, Workers: workers, Schedule: sched}
 	if profile || hom || sym {
 		cfg := sm.PresetConfig(algo, q, g)
 		cfg.Profile = profile

@@ -34,14 +34,15 @@ func (s *Space) MaterializeBlocks() {
 func (s *Space) HasBlocks() bool { return s.blocks != nil }
 
 // AdjacencyBlocks returns the block layout of 𝒜[u->u'](v) where candIdx
-// is v's index in C(u), or nil if blocks are not materialized or the pair
-// is absent.
+// is v's index in C(u), or nil if blocks are not materialized, the pair
+// is absent, or candIdx is out of range (e.g. -1 from CandidateIndex on
+// an empty candidate set).
 func (s *Space) AdjacencyBlocks(u, up graph.Vertex, candIdx int) *intersect.BlockSet {
 	if s.blocks == nil {
 		return nil
 	}
 	pos := s.neighborPos(u, up)
-	if pos < 0 || s.blocks[u][pos] == nil {
+	if pos < 0 || s.blocks[u][pos] == nil || candIdx < 0 || candIdx >= len(s.blocks[u][pos]) {
 		return nil
 	}
 	return s.blocks[u][pos][candIdx]

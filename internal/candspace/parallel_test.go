@@ -1,0 +1,181 @@
+package candspace
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"subgraphmatching/internal/filter"
+	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/par"
+	"subgraphmatching/internal/testutil"
+)
+
+// spacesEqual compares two Spaces observably: candidate sets, pair
+// materialization, and every adjacency list.
+func spacesEqual(t *testing.T, a, b *Space) {
+	t.Helper()
+	q := a.Query()
+	if !reflect.DeepEqual(a.AllCandidates(), b.AllCandidates()) {
+		t.Fatalf("candidate sets differ")
+	}
+	for u := 0; u < q.NumVertices(); u++ {
+		uu := graph.Vertex(u)
+		for _, up := range q.Neighbors(uu) {
+			if a.HasPair(uu, up) != b.HasPair(uu, up) {
+				t.Fatalf("pair (%d,%d) materialization differs", uu, up)
+			}
+			for ci := range a.Candidates(uu) {
+				ga, gb := a.Adjacency(uu, up, ci), b.Adjacency(uu, up, ci)
+				if !reflect.DeepEqual(ga, gb) {
+					t.Fatalf("adjacency (%d->%d)[%d]: %v vs %v", uu, up, ci, ga, gb)
+				}
+			}
+		}
+	}
+	if a.TotalCandidates() != b.TotalCandidates() || a.MemoryBytes() != b.MemoryBytes() {
+		t.Fatalf("aggregate metrics differ: %d/%d bytes vs %d/%d",
+			a.TotalCandidates(), a.MemoryBytes(), b.TotalCandidates(), b.MemoryBytes())
+	}
+}
+
+func TestBuildFullParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 15; trial++ {
+		g := testutil.RandomGraph(rng, 30+rng.Intn(30), 120, 3)
+		q := testutil.RandomConnectedQuery(rng, g, 4)
+		if q == nil {
+			continue
+		}
+		cand := filter.RunNLF(q, g)
+		seq := BuildFull(q, g, cand)
+		for _, workers := range []int{1, 2, 4, 8} {
+			spacesEqual(t, seq, BuildFullParallel(q, g, cand, workers))
+		}
+	}
+}
+
+func TestBuildTreeParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 15; trial++ {
+		g := testutil.RandomGraph(rng, 30+rng.Intn(30), 120, 3)
+		q := testutil.RandomConnectedQuery(rng, g, 4)
+		if q == nil {
+			continue
+		}
+		cand := filter.RunNLF(q, g)
+		tree := graph.NewBFSTree(q, 0)
+		seq := BuildTree(q, g, cand, tree.Parent)
+		for _, workers := range []int{2, 4, 8} {
+			spacesEqual(t, seq, BuildTreeParallel(q, g, cand, tree.Parent, workers))
+		}
+	}
+}
+
+// degenerateCandidates builds candidate sets where some C(u) are empty
+// and some nil — the shape an over-pruning filter hands downstream.
+func degenerateCandidates(q *graph.Graph) [][]uint32 {
+	cand := make([][]uint32, q.NumVertices())
+	for u := range cand {
+		switch u % 3 {
+		case 0:
+			cand[u] = nil
+		case 1:
+			cand[u] = []uint32{}
+		default:
+			cand[u] = []uint32{uint32(u)}
+		}
+	}
+	return cand
+}
+
+// TestDegenerateCandidateSets pins that every Space accessor and metric
+// survives empty and nil candidate sets: BuildFull/BuildTree (sequential
+// and parallel), the aggregate metrics, block materialization, and the
+// Adjacency lookups fed the -1 index CandidateIndex reports for a
+// vertex missing from an empty set.
+func TestDegenerateCandidateSets(t *testing.T) {
+	q, g := testutil.PaperQuery(), testutil.PaperData()
+	cand := degenerateCandidates(q)
+	tree := graph.NewBFSTree(q, 0)
+	spaces := map[string]*Space{
+		"full":          BuildFull(q, g, cand),
+		"full-parallel": BuildFullParallel(q, g, cand, 4),
+		"tree":          BuildTree(q, g, cand, tree.Parent),
+		"tree-parallel": BuildTreeParallel(q, g, cand, tree.Parent, 4),
+	}
+	for name, s := range spaces {
+		// The 4-vertex paper query leaves exactly one singleton set
+		// (u=2); u=0 and u=3 are nil, u=1 is empty.
+		if got := s.TotalCandidates(); got != 1 {
+			t.Errorf("%s: TotalCandidates = %d, want 1", name, got)
+		}
+		if got := s.MeanCandidates(); got != 0.25 {
+			t.Errorf("%s: MeanCandidates = %v, want 0.25", name, got)
+		}
+		if s.MemoryBytes() <= 0 {
+			t.Errorf("%s: MemoryBytes = %d, want > 0 (offset arrays remain)", name, s.MemoryBytes())
+		}
+		s.MaterializeBlocks()
+		for u := 0; u < q.NumVertices(); u++ {
+			uu := graph.Vertex(u)
+			for _, up := range q.Neighbors(uu) {
+				idx := s.CandidateIndex(uu, 99) // not a candidate anywhere
+				if idx != -1 {
+					t.Fatalf("%s: CandidateIndex returned %d for missing vertex", name, idx)
+				}
+				if adj := s.Adjacency(uu, up, idx); adj != nil {
+					t.Errorf("%s: Adjacency with index -1 = %v, want nil", name, adj)
+				}
+				if bs := s.AdjacencyBlocks(uu, up, idx); bs != nil {
+					t.Errorf("%s: AdjacencyBlocks with index -1 != nil", name)
+				}
+			}
+		}
+	}
+}
+
+// TestEstimateSurvivesEmptySets: the spanning-tree estimate over a
+// degenerate space must be 0 (or finite), never a panic.
+func TestEstimateSurvivesEmptySets(t *testing.T) {
+	q, g := testutil.PaperQuery(), testutil.PaperData()
+	s := BuildFull(q, g, degenerateCandidates(q))
+	delta := []graph.Vertex{0, 1, 2, 3}
+	if est := EstimateSpanningTreeEmbeddings(s, delta); est != 0 {
+		t.Errorf("estimate over empty root set = %v, want 0", est)
+	}
+}
+
+// TestParallelBuildStress is the race-detector gate for the parallel
+// candidate-space construction (`make race-stress` / `make ci`): 100
+// builds at 8 workers on a small graph, each checked against the
+// sequential reference.
+func TestParallelBuildStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	g := testutil.RandomGraph(rng, 60, 240, 3)
+	var q *graph.Graph
+	for q == nil {
+		q = testutil.RandomConnectedQuery(rng, g, 5)
+	}
+	cand := filter.RunNLF(q, g)
+	seq := BuildFull(q, g, cand)
+	for i := 0; i < 100; i++ {
+		spacesEqual(t, seq, BuildFullParallel(q, g, cand, 8))
+	}
+}
+
+func TestBuildFullParallelStatsTalliesWork(t *testing.T) {
+	q, g := testutil.PaperQuery(), testutil.PaperData()
+	cand := filter.RunNLF(q, g)
+	_, work := BuildFullParallelStats(q, g, cand, 4)
+	if par.MakespanBound(work) < 1 {
+		t.Fatalf("makespan bound below 1: %v", work)
+	}
+	var total uint64
+	for _, w := range work {
+		total += w
+	}
+	if total == 0 {
+		t.Errorf("zero work tallied: %v", work)
+	}
+}

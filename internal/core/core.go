@@ -124,6 +124,27 @@ type Limits struct {
 	// the root has fewer than Parallel*SplitFactor candidates
 	// (0 = DefaultSplitFactor).
 	SplitFactor int
+	// Workers sets the worker-goroutine count for the parallelized
+	// preprocessing phases — candidate filtering and candidate-space
+	// construction (0 = inherit Parallel, 1 = sequential
+	// preprocessing). Candidate sets are identical for every worker
+	// count, with one documented exception: GraphQL filtering under
+	// more than one worker refines in Jacobi rounds, which within the
+	// bounded round budget prune a (still sound and complete) superset
+	// of the sequential Gauss–Seidel sets.
+	Workers int
+}
+
+// preprocessWorkers resolves the effective preprocessing worker count.
+func (l *Limits) preprocessWorkers() int {
+	w := l.Workers
+	if w == 0 {
+		w = l.Parallel
+	}
+	if w < 1 {
+		return 1
+	}
+	return w
 }
 
 // Result reports a query's execution, with the time split the paper
@@ -197,10 +218,11 @@ func Match(q, g *graph.Graph, cfg Config, limits Limits) (*Result, error) {
 	}
 
 	res := &Result{}
+	preWorkers := limits.preprocessWorkers()
 
 	// Step 1: filtering (paper line 1 of Algorithm 1).
 	t0 := time.Now()
-	cand, err := runFilter(q, g, cfg)
+	cand, err := runFilter(q, g, cfg, preWorkers)
 	if err != nil {
 		return nil, err
 	}
@@ -219,7 +241,13 @@ func Match(q, g *graph.Graph, cfg Config, limits Limits) (*Result, error) {
 		if cfg.TreeSpace {
 			root := filter.CFLRoot(q, g)
 			tree := graph.NewBFSTree(q, root)
-			space = candspace.BuildTree(q, g, cand, tree.Parent)
+			if preWorkers > 1 {
+				space = candspace.BuildTreeParallel(q, g, cand, tree.Parent, preWorkers)
+			} else {
+				space = candspace.BuildTree(q, g, cand, tree.Parent)
+			}
+		} else if preWorkers > 1 {
+			space = candspace.BuildFullParallel(q, g, cand, preWorkers)
 		} else {
 			space = candspace.BuildFull(q, g, cand)
 		}
@@ -301,7 +329,7 @@ func Match(q, g *graph.Graph, cfg Config, limits Limits) (*Result, error) {
 	return res, nil
 }
 
-func runFilter(q, g *graph.Graph, cfg Config) ([][]uint32, error) {
+func runFilter(q, g *graph.Graph, cfg Config, workers int) ([][]uint32, error) {
 	if cfg.Homomorphism {
 		// Structural filters assume injectivity (even LDF's degree
 		// condition); only label candidates are sound for
@@ -319,6 +347,9 @@ func runFilter(q, g *graph.Graph, cfg Config) ([][]uint32, error) {
 			if radius == 0 {
 				radius = 1
 			}
+			if workers > 1 {
+				return filter.RunGraphQLRadiusParallel(q, g, rounds, radius, workers), nil
+			}
 			return filter.RunGraphQLRadius(q, g, rounds, radius), nil
 		}
 	case filter.DPIso:
@@ -326,8 +357,14 @@ func runFilter(q, g *graph.Graph, cfg Config) ([][]uint32, error) {
 			if !q.IsConnected() || q.NumVertices() == 0 {
 				return nil, fmt.Errorf("core: invalid query")
 			}
+			if workers > 1 {
+				return filter.RunDPIsoParallel(q, g, cfg.DPIsoPasses, workers), nil
+			}
 			return filter.RunDPIso(q, g, cfg.DPIsoPasses), nil
 		}
+	}
+	if workers > 1 {
+		return filter.RunParallel(cfg.Filter, q, g, workers)
 	}
 	return filter.Run(cfg.Filter, q, g)
 }

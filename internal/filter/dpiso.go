@@ -18,14 +18,24 @@ func RunDPIso(q, g *graph.Graph, passes int) [][]uint32 {
 func runDPIsoFrom(q, g *graph.Graph, root graph.Vertex, passes int) [][]uint32 {
 	t := graph.NewBFSTree(q, root)
 	s := newState(q, g)
+	for u := 0; u < q.NumVertices(); u++ {
+		s.setCandidates(graph.Vertex(u), s.ldfCandidates(graph.Vertex(u)))
+	}
+	s.dpisoPasses(t, passes)
+	return s.result()
+}
+
+// dpisoPasses runs DP-iso's alternating refinement sweeps over already
+// initialized (LDF) candidate sets. The sweeps prune in sequence along
+// the BFS order — each depends on the previous removals — so both the
+// sequential and the parallel runner share this exact loop and differ
+// only in how the initialization was produced.
+func (s *state) dpisoPasses(t *graph.BFSTree, passes int) {
+	q := s.q
 	pos := make([]int, q.NumVertices())
 	for i, u := range t.Order {
 		pos[u] = i
 	}
-	for u := 0; u < q.NumVertices(); u++ {
-		s.setCandidates(graph.Vertex(u), s.ldfCandidates(graph.Vertex(u)))
-	}
-
 	for pass := 0; pass < passes; pass++ {
 		if pass%2 == 0 {
 			// Reverse δ: prune against forward neighbors.
@@ -51,7 +61,6 @@ func runDPIsoFrom(q, g *graph.Graph, root graph.Vertex, passes int) [][]uint32 {
 			}
 		}
 	}
-	return s.result()
 }
 
 // applyNLF removes the candidates of u failing the NLF condition.

@@ -1,0 +1,238 @@
+package filter
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/querygen"
+	"subgraphmatching/internal/rmat"
+	"subgraphmatching/internal/testutil"
+)
+
+// The differential harness for the parallel preprocessing pipeline: on
+// a grid of R-MAT/querygen fixtures it pins down exactly what is and
+// is not allowed to differ between the sequential and parallel runners.
+//
+//   - For every filter and every worker count, the parallel candidate
+//     sets are byte-identical to the 1-worker parallel run (parallelism
+//     never changes results).
+//   - For every filter except GQL, the parallel run is also
+//     byte-identical to the sequential Run (only GQL's refinement
+//     changes iteration semantics).
+//   - GQL's Jacobi refinement keeps, per bounded round budget, a
+//     superset of the sequential Gauss–Seidel sets, and converges to
+//     exactly the same fix point.
+
+var equivalenceWorkers = []int{1, 2, 4, 8}
+
+// equivFixture is one (data graph, queries) grid cell.
+type equivFixture struct {
+	name    string
+	g       *graph.Graph
+	queries []*graph.Graph
+}
+
+func equivalenceGrid(t testing.TB) []equivFixture {
+	t.Helper()
+	var out []equivFixture
+	cells := []struct {
+		name    string
+		rc      rmat.Config
+		qc      querygen.Config
+	}{
+		{
+			name: "skew85-dense6",
+			rc:   rmat.Config{NumVertices: 1200, NumEdges: 7200, NumLabels: 5, Seed: 31, LabelSkew: 0.85},
+			qc:   querygen.Config{NumVertices: 6, Count: 3, Density: querygen.Dense, Seed: 11},
+		},
+		{
+			name: "uniform-sparse8",
+			rc:   rmat.Config{NumVertices: 900, NumEdges: 3600, NumLabels: 8, Seed: 7},
+			qc:   querygen.Config{NumVertices: 8, Count: 3, Density: querygen.Sparse, Seed: 5},
+		},
+		{
+			name: "fewlabels-any4",
+			rc:   rmat.Config{NumVertices: 600, NumEdges: 3000, NumLabels: 3, Seed: 19, LabelSkew: 0.6},
+			qc:   querygen.Config{NumVertices: 4, Count: 4, Density: querygen.Any, Seed: 23},
+		},
+	}
+	for _, c := range cells {
+		g, err := rmat.Generate(c.rc)
+		if err != nil {
+			t.Fatalf("%s: rmat: %v", c.name, err)
+		}
+		qs, err := querygen.Generate(g, c.qc)
+		if err != nil {
+			t.Fatalf("%s: querygen: %v", c.name, err)
+		}
+		out = append(out, equivFixture{name: c.name, g: g, queries: qs})
+	}
+	// The paper's running example keeps the grid anchored to hand-checked
+	// candidate sets.
+	out = append(out, equivFixture{
+		name: "paper", g: testutil.PaperData(), queries: []*graph.Graph{testutil.PaperQuery()},
+	})
+	return out
+}
+
+// assertSortedDeduped fails if any candidate set is not strictly
+// increasing (sorted and duplicate-free).
+func assertSortedDeduped(t *testing.T, label string, cand [][]uint32) {
+	t.Helper()
+	for u, c := range cand {
+		if !sort.SliceIsSorted(c, func(i, j int) bool { return c[i] < c[j] }) {
+			t.Fatalf("%s: C(u%d) not sorted: %v", label, u, c)
+		}
+		for i := 1; i < len(c); i++ {
+			if c[i] == c[i-1] {
+				t.Fatalf("%s: C(u%d) has duplicate %d", label, u, c[i])
+			}
+		}
+	}
+}
+
+// isSupersetPerVertex reports whether sup[u] ⊇ sub[u] for every u (both
+// sorted).
+func isSupersetPerVertex(sup, sub [][]uint32) bool {
+	for u := range sub {
+		i := 0
+		for _, v := range sub[u] {
+			for i < len(sup[u]) && sup[u][i] < v {
+				i++
+			}
+			if i >= len(sup[u]) || sup[u][i] != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestParallelFiltersMatchOneWorkerExactly(t *testing.T) {
+	for _, f := range equivalenceGrid(t) {
+		for qi, q := range f.queries {
+			for _, m := range Methods() {
+				name := fmt.Sprintf("%s/q%d/%v", f.name, qi, m)
+				seq, err := Run(m, q, f.g)
+				if err != nil {
+					t.Fatalf("%s: sequential: %v", name, err)
+				}
+				base, err := RunParallel(m, q, f.g, 1)
+				if err != nil {
+					t.Fatalf("%s: workers=1: %v", name, err)
+				}
+				assertSortedDeduped(t, name, base)
+				for _, w := range equivalenceWorkers[1:] {
+					got, err := RunParallel(m, q, f.g, w)
+					if err != nil {
+						t.Fatalf("%s: workers=%d: %v", name, w, err)
+					}
+					if !reflect.DeepEqual(got, base) {
+						t.Fatalf("%s: workers=%d differs from workers=1:\n got %v\nwant %v",
+							name, w, got, base)
+					}
+				}
+				if m == GQL {
+					// Jacobi within the bounded default budget may lag the
+					// in-place removals by up to one round: superset only.
+					if !isSupersetPerVertex(base, seq) {
+						t.Fatalf("%s: Jacobi sets not a superset of Gauss–Seidel:\njacobi %v\ngauss  %v",
+							name, base, seq)
+					}
+				} else if !reflect.DeepEqual(base, seq) {
+					t.Fatalf("%s: parallel differs from sequential:\n got %v\nwant %v", name, base, seq)
+				}
+			}
+		}
+	}
+}
+
+// TestGraphQLJacobiVsGaussSeidelRounds pins the per-round relationship:
+// after any bounded round budget the Jacobi sets contain the
+// Gauss–Seidel sets, and with the budget lifted (running both to
+// convergence) they are identical.
+func TestGraphQLJacobiVsGaussSeidelRounds(t *testing.T) {
+	const convergedRounds = 64 // both runners break at the fix point long before this
+	for _, f := range equivalenceGrid(t) {
+		for qi, q := range f.queries {
+			name := fmt.Sprintf("%s/q%d", f.name, qi)
+			for rounds := 1; rounds <= 3; rounds++ {
+				gauss := RunGraphQL(q, f.g, rounds)
+				jacobi := RunGraphQLParallel(q, f.g, rounds, 4)
+				if !isSupersetPerVertex(jacobi, gauss) {
+					t.Fatalf("%s rounds=%d: Jacobi not a superset:\njacobi %v\ngauss  %v",
+						name, rounds, jacobi, gauss)
+				}
+			}
+			gauss := RunGraphQL(q, f.g, convergedRounds)
+			for _, w := range equivalenceWorkers {
+				jacobi := RunGraphQLParallel(q, f.g, convergedRounds, w)
+				if !reflect.DeepEqual(jacobi, gauss) {
+					t.Fatalf("%s workers=%d: fix points differ:\njacobi %v\ngauss  %v",
+						name, w, jacobi, gauss)
+				}
+			}
+		}
+	}
+}
+
+// TestSteadyParallelReachesSameFixPoint checks the strongest filter
+// separately: STEADY's fix point is order-independent, so the Jacobi
+// parallel runner must reproduce it bit for bit.
+func TestSteadyParallelReachesSameFixPoint(t *testing.T) {
+	for _, f := range equivalenceGrid(t) {
+		for qi, q := range f.queries {
+			want := RunSteady(q, f.g)
+			for _, w := range equivalenceWorkers {
+				got := RunSteadyParallel(q, f.g, w)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s/q%d workers=%d: steady fix points differ", f.name, qi, w)
+				}
+			}
+		}
+	}
+}
+
+// TestDPIsoParallelMatchesSequential locks the refactored root
+// selection: RunDPIsoParallel derives the root from the already-built
+// LDF sets and must agree with RunDPIso (which calls DPIsoRoot) on
+// every fixture and pass count.
+func TestDPIsoParallelMatchesSequential(t *testing.T) {
+	for _, f := range equivalenceGrid(t) {
+		for qi, q := range f.queries {
+			for _, passes := range []int{1, 3, 5} {
+				want := RunDPIso(q, f.g, passes)
+				for _, w := range equivalenceWorkers {
+					got := RunDPIsoParallel(q, f.g, passes, w)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s/q%d passes=%d workers=%d: differs", f.name, qi, passes, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunParallelStatsTalliesWork sanity-checks the makespan
+// instrumentation: tallies must be non-empty for the parallelized
+// methods and sum to at least the total label-pool work of one scan.
+func TestRunParallelStatsTalliesWork(t *testing.T) {
+	f := equivalenceGrid(t)[0]
+	q := f.queries[0]
+	for _, m := range []Method{LDF, NLF, GQL, DPIso, Steady} {
+		_, work, err := RunParallelStats(m, q, f.g, 4)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		var total uint64
+		for _, w := range work {
+			total += w
+		}
+		if total == 0 {
+			t.Errorf("%v: zero work tallied", m)
+		}
+	}
+}

@@ -52,9 +52,16 @@ func (s *state) ldfOK(u graph.Vertex, v uint32) bool {
 // nlfOK checks the neighbor label frequency condition: for every label l
 // among u's neighbors, v must have at least as many l-labeled neighbors.
 func (s *state) nlfOK(u graph.Vertex, v uint32) bool {
-	s.counter.CountNeighbors(s.g, v)
+	return s.nlfOKWith(s.counter, u, v)
+}
+
+// nlfOKWith is nlfOK against an explicit counter, so the parallel
+// runners can hand every worker its own scratch counter while sharing
+// the immutable qNLF requirement tables.
+func (s *state) nlfOKWith(counter *graph.LabelCounter, u graph.Vertex, v uint32) bool {
+	counter.CountNeighbors(s.g, v)
 	for _, lc := range s.qNLF[u] {
-		if s.counter.Count(lc.label) < lc.count {
+		if counter.Count(lc.label) < lc.count {
 			return false
 		}
 	}

@@ -1,0 +1,63 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversEveryTaskExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, n := range []int{0, 1, 7, 100} {
+			hits := make([]int32, n)
+			Run(workers, n, func(w, task int) uint64 {
+				atomic.AddInt32(&hits[task], 1)
+				return 1
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: task %d ran %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestRunTalliesSumToTotalWork(t *testing.T) {
+	work := Run(4, 100, func(w, task int) uint64 { return uint64(task) })
+	var sum uint64
+	for _, v := range work {
+		sum += v
+	}
+	if want := uint64(100 * 99 / 2); sum != want {
+		t.Fatalf("tallies sum to %d, want %d", sum, want)
+	}
+}
+
+func TestRunClampsWorkers(t *testing.T) {
+	if got := len(Run(8, 3, func(w, t int) uint64 { return 1 })); got != 3 {
+		t.Errorf("workers clamped to %d, want 3", got)
+	}
+	if got := len(Run(0, 5, func(w, t int) uint64 { return 1 })); got != 1 {
+		t.Errorf("workers=0 yields %d tallies, want 1", got)
+	}
+}
+
+func TestMakespanBound(t *testing.T) {
+	if got := MakespanBound(nil); got != 1 {
+		t.Errorf("empty tally bound = %v, want 1", got)
+	}
+	if got := MakespanBound([]uint64{4, 4, 4, 4}); got != 4 {
+		t.Errorf("even tally bound = %v, want 4", got)
+	}
+	if got := MakespanBound([]uint64{12, 2, 1, 1}); got != 16.0/12 {
+		t.Errorf("skewed tally bound = %v, want %v", got, 16.0/12)
+	}
+}
+
+func TestAccumulate(t *testing.T) {
+	dst := []uint64{1, 2, 3}
+	Accumulate(dst, []uint64{10, 20})
+	if dst[0] != 11 || dst[1] != 22 || dst[2] != 3 {
+		t.Errorf("Accumulate = %v", dst)
+	}
+}

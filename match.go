@@ -136,6 +136,15 @@ type Options struct {
 	// work under skew) or ScheduleStrided (the static partition of the
 	// start vertex's candidates).
 	Schedule Schedule
+	// Workers sets the worker-goroutine count for the parallelized
+	// preprocessing phases — candidate filtering and candidate-space
+	// construction (0 = inherit Parallel, 1 = sequential
+	// preprocessing). Candidate sets are identical across worker
+	// counts, except that GraphQL filtering under more than one worker
+	// refines in Jacobi rounds, which within the bounded round budget
+	// keep a (still sound and complete) superset of the sequential
+	// sets. Embedding counts are unaffected either way.
+	Workers int
 }
 
 // Match finds subgraph isomorphisms from q to g. The query must be
@@ -151,6 +160,7 @@ func Match(q, g *Graph, opts Options) (*Result, error) {
 		OnMatch:       opts.OnMatch,
 		Parallel:      opts.Parallel,
 		Schedule:      opts.Schedule,
+		Workers:       opts.Workers,
 	})
 }
 
