@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race race-stress fuzz-smoke bench-smoke bench-parallel bench-preprocess
+.PHONY: ci vet build test race race-stress fuzz-smoke bench-smoke bench-parallel bench-preprocess bench-serve
 
 ci: vet build race race-stress fuzz-smoke bench-smoke
 
@@ -23,10 +23,12 @@ race:
 	$(GO) test -race ./...
 
 # Hammer the parallel filter + candidate-space paths under the race
-# detector: 100 iterations at 8 workers each, diffed against the
-# 1-worker reference. Any cross-worker state leak trips -race here.
+# detector (100 iterations at 8 workers each, diffed against the
+# 1-worker reference), plus the serving layer's 100-goroutine
+# concurrent-Submit stress over shared cached plans. Any cross-worker
+# state leak trips -race here.
 race-stress:
-	$(GO) test -race -run 'Stress' -count 1 ./internal/filter ./internal/candspace
+	$(GO) test -race -run 'Stress' -count 1 ./internal/filter ./internal/candspace ./internal/service
 
 # Short corpus-plus-mutation run of the filter soundness fuzz target
 # (candidate sets never drop a ground-truth embedding vertex).
@@ -45,3 +47,8 @@ bench-parallel:
 # "Parallel preprocessing" section.
 bench-preprocess:
 	$(GO) test -run '^$$' -bench BenchmarkPreprocess -benchmem -benchtime 5x .
+
+# The repeated-query serving measurement behind EXPERIMENTS.md's
+# "Serving" section: cold (uncached) vs warm (plan-cache hit) Submit.
+bench-serve:
+	$(GO) test -run '^$$' -bench 'BenchmarkServe' -benchmem -benchtime 2s ./internal/service

@@ -13,9 +13,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	sm "subgraphmatching"
@@ -39,21 +43,33 @@ func main() {
 		csvPath   = flag.String("csv", "", "batch mode: also write per-query results as CSV")
 	)
 	flag.Parse()
+	// Ctrl-C cancels the context; MatchContext stops the search
+	// cooperatively and the process exits cleanly instead of being
+	// killed mid-enumeration.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if info, err := os.Stat(*queryPath); err == nil && info.IsDir() {
-		if err := runBatch(*queryPath, *dataPath, *algoName, *limit, *timeout, *csvPath); err != nil {
-			fmt.Fprintln(os.Stderr, "smatch:", err)
-			os.Exit(1)
+		if err := runBatch(ctx, *queryPath, *dataPath, *algoName, *limit, *timeout, *csvPath); err != nil {
+			exitErr(err)
 		}
 		return
 	}
-	if err := run(*queryPath, *dataPath, *algoName, *limit, *timeout, *printN, *parallel, *workers, *schedule,
+	if err := run(ctx, *queryPath, *dataPath, *algoName, *limit, *timeout, *printN, *parallel, *workers, *schedule,
 		*profile, *hom, *sym, *estimate); err != nil {
-		fmt.Fprintln(os.Stderr, "smatch:", err)
-		os.Exit(1)
+		exitErr(err)
 	}
 }
 
-func run(queryPath, dataPath, algoName string, limit uint64, timeout time.Duration, printN, parallel, workers int,
+func exitErr(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "smatch: interrupted")
+		os.Exit(130)
+	}
+	fmt.Fprintln(os.Stderr, "smatch:", err)
+	os.Exit(1)
+}
+
+func run(ctx context.Context, queryPath, dataPath, algoName string, limit uint64, timeout time.Duration, printN, parallel, workers int,
 	scheduleName string, profile, hom, sym, estimate bool) error {
 	if queryPath == "" || dataPath == "" {
 		return fmt.Errorf("both -q and -d are required")
@@ -111,7 +127,7 @@ func run(queryPath, dataPath, algoName string, limit uint64, timeout time.Durati
 			return true
 		}
 	}
-	res, err := sm.Match(q, g, opts)
+	res, err := sm.MatchContext(ctx, q, g, opts)
 	if err != nil {
 		return err
 	}
@@ -141,7 +157,7 @@ func run(queryPath, dataPath, algoName string, limit uint64, timeout time.Durati
 
 // runBatch executes every query in a directory and prints the paper's
 // aggregate metrics, optionally dumping per-query rows as CSV.
-func runBatch(queryDir, dataPath, algoName string, limit uint64, timeout time.Duration, csvPath string) error {
+func runBatch(ctx context.Context, queryDir, dataPath, algoName string, limit uint64, timeout time.Duration, csvPath string) error {
 	if dataPath == "" {
 		return fmt.Errorf("-d is required")
 	}
@@ -165,8 +181,11 @@ func runBatch(queryDir, dataPath, algoName string, limit uint64, timeout time.Du
 	var results []*sm.Result
 	errored := 0
 	for i, q := range queries {
-		res, err := sm.Match(q, g, sm.Options{Algorithm: algo, MaxEmbeddings: limit, TimeLimit: timeout})
+		res, err := sm.MatchContext(ctx, q, g, sm.Options{Algorithm: algo, MaxEmbeddings: limit, TimeLimit: timeout})
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				return err
+			}
 			// A malformed query (e.g. disconnected) fails alone, not the
 			// batch.
 			fmt.Printf("  query %3d: error: %v\n", i, err)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -33,7 +34,7 @@ func TestRunPaperExample(t *testing.T) {
 	defer func() { os.Stdout = old }()
 
 	for _, algo := range []string{"Optimized", "DPiso", "GLW"} {
-		if err := run(qPath, gPath, algo, 1000, time.Minute, 2, 2, 2, "steal", true, false, false, true); err != nil {
+		if err := run(context.Background(), qPath, gPath, algo, 1000, time.Minute, 2, 2, 2, "steal", true, false, false, true); err != nil {
 			t.Errorf("run with %s: %v", algo, err)
 		}
 	}
@@ -52,11 +53,11 @@ func TestRunErrors(t *testing.T) {
 		{"g not found", qPath, gPath + ".missing", "Optimized"},
 	}
 	for _, c := range cases {
-		if err := run(c.q, c.g, c.algo, 0, 0, 0, 1, 0, "steal", false, false, false, false); err == nil {
+		if err := run(context.Background(), c.q, c.g, c.algo, 0, 0, 0, 1, 0, "steal", false, false, false, false); err == nil {
 			t.Errorf("%s: expected error", c.name)
 		}
 	}
-	if err := run(qPath, gPath, "Optimized", 0, 0, 0, 1, 0, "fifo", false, false, false, false); err == nil {
+	if err := run(context.Background(), qPath, gPath, "Optimized", 0, 0, 0, 1, 0, "fifo", false, false, false, false); err == nil {
 		t.Error("bad schedule: expected error")
 	}
 }
@@ -69,15 +70,15 @@ func TestRunModes(t *testing.T) {
 	defer func() { os.Stdout = old }()
 
 	// Homomorphism mode.
-	if err := run(qPath, gPath, "Optimized", 100, time.Minute, 0, 1, 0, "steal", false, true, false, false); err != nil {
+	if err := run(context.Background(), qPath, gPath, "Optimized", 100, time.Minute, 0, 1, 0, "steal", false, true, false, false); err != nil {
 		t.Errorf("hom mode: %v", err)
 	}
 	// Symmetry breaking.
-	if err := run(qPath, gPath, "GQL", 100, time.Minute, 0, 1, 0, "strided", false, false, true, false); err != nil {
+	if err := run(context.Background(), qPath, gPath, "GQL", 100, time.Minute, 0, 1, 0, "strided", false, false, true, false); err != nil {
 		t.Errorf("sym mode: %v", err)
 	}
 	// Homomorphism routed away from an external engine.
-	if err := run(qPath, gPath, "GLW", 100, time.Minute, 0, 1, 0, "steal", false, true, false, false); err != nil {
+	if err := run(context.Background(), qPath, gPath, "GLW", 100, time.Minute, 0, 1, 0, "steal", false, true, false, false); err != nil {
 		t.Errorf("hom with GLW preset: %v", err)
 	}
 }
@@ -103,7 +104,7 @@ func TestRunBatch(t *testing.T) {
 		}
 	}
 	csvPath := filepath.Join(dir, "out.csv")
-	if err := runBatch(qDir, gPath, "Optimized", 1000, time.Minute, csvPath); err != nil {
+	if err := runBatch(context.Background(), qDir, gPath, "Optimized", 1000, time.Minute, csvPath); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(csvPath)
@@ -115,13 +116,13 @@ func TestRunBatch(t *testing.T) {
 		t.Fatal("empty CSV")
 	}
 	// Batch errors.
-	if err := runBatch(qDir, "", "Optimized", 0, 0, ""); err == nil {
+	if err := runBatch(context.Background(), qDir, "", "Optimized", 0, 0, ""); err == nil {
 		t.Error("expected error for missing data path")
 	}
-	if err := runBatch(qDir, gPath, "nope", 0, 0, ""); err == nil {
+	if err := runBatch(context.Background(), qDir, gPath, "nope", 0, 0, ""); err == nil {
 		t.Error("expected error for bad algorithm")
 	}
-	if err := runBatch(filepath.Join(dir, "missing"), gPath, "RI", 0, 0, ""); err == nil {
+	if err := runBatch(context.Background(), filepath.Join(dir, "missing"), gPath, "RI", 0, 0, ""); err == nil {
 		t.Error("expected error for missing query dir")
 	}
 }

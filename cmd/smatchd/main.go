@@ -1,0 +1,116 @@
+// Command smatchd serves subgraph matching over HTTP: a long-lived
+// process holding named data graphs in memory, caching preprocessing
+// plans across repeated queries, and bounding concurrent enumeration
+// work with admission control (see internal/service).
+//
+// Usage:
+//
+//	smatchd [-addr :7733] [-graph name=path]... [-max-inflight 2*P]
+//	        [-max-queue 64] [-max-queue-wait 5s] [-plan-cache 256]
+//	        [-timeout 5m]
+//
+// API:
+//
+//	GET    /healthz               liveness
+//	GET    /graphs                registered graphs (JSON)
+//	PUT    /graphs/{name}         register graph (body: t/v/e text
+//	                              format; ?replace=1 hot-swaps)
+//	DELETE /graphs/{name}         unregister
+//	POST   /match                 run a query (body: query graph text)
+//	       ?graph=name [&algo=Optimized] [&limit=N] [&timeout=5m]
+//	       [&parallel=4] [&workers=4] [&stream=1]
+//	GET    /stats                 serving statistics (JSON)
+//
+// Without stream, /match returns one JSON result object. With
+// stream=1 it returns NDJSON: one {"embedding":[...]} line per match
+// (written with backpressure — a slow reader slows the search), then a
+// final {"result":{...}} summary line.
+//
+// Status mapping: unknown graph 404, invalid query or graph text 400,
+// overload 503 (with Retry-After), deadline 504.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/service"
+)
+
+// graphFlags collects repeated -graph name=path arguments.
+type graphFlags []string
+
+func (g *graphFlags) String() string     { return strings.Join(*g, ",") }
+func (g *graphFlags) Set(v string) error { *g = append(*g, v); return nil }
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":7733", "listen address")
+		inflight  = flag.Int("max-inflight", 0, "max concurrent enumeration workers (0 = 2x GOMAXPROCS)")
+		queue     = flag.Int("max-queue", 0, "max queued requests (0 = 64)")
+		queueWait = flag.Duration("max-queue-wait", 0, "max admission wait (0 = 5s)")
+		cacheSize = flag.Int("plan-cache", 0, "plan cache entries (0 = 256, negative disables)")
+		timeout   = flag.Duration("timeout", 0, "default per-query time limit (0 = 5m)")
+		graphs    graphFlags
+	)
+	flag.Var(&graphs, "graph", "preload a data graph as name=path (repeatable)")
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		MaxInFlight:      *inflight,
+		MaxQueue:         *queue,
+		MaxQueueWait:     *queueWait,
+		PlanCacheSize:    *cacheSize,
+		DefaultTimeLimit: *timeout,
+	})
+	for _, spec := range graphs {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "smatchd: -graph %q: want name=path\n", spec)
+			os.Exit(1)
+		}
+		g, err := graph.Load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smatchd: load %q: %v\n", path, err)
+			os.Exit(1)
+		}
+		info, err := svc.RegisterGraph(name, g, false)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smatchd: register %q: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("smatchd: loaded %s: %d vertices, %d edges, %d labels\n",
+			info.Name, info.Vertices, info.Edges, info.Labels)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: newServer(svc)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("smatchd: listening on %s\n", *addr)
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "smatchd:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("smatchd: shutting down")
+	svc.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "smatchd: shutdown:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,245 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"subgraphmatching/internal/core"
+	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/service"
+)
+
+// maxQueryBody bounds a /match or /graphs request body. Query graphs
+// are small by nature (the paper's largest has 32 vertices); data
+// graphs get a far larger allowance.
+const (
+	maxQueryBody = 4 << 20 // 4 MiB
+	maxGraphBody = 1 << 30 // 1 GiB
+)
+
+// server adapts a service.Service to HTTP; transport concerns (JSON,
+// status codes, streaming) live here and nowhere else.
+type server struct {
+	svc *service.Service
+}
+
+// newServer builds the smatchd handler — exported shape so tests can
+// mount it on httptest.Server.
+func newServer(svc *service.Service) http.Handler {
+	s := &server{svc: svc}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /graphs", s.listGraphs)
+	mux.HandleFunc("PUT /graphs/{name}", s.putGraph)
+	mux.HandleFunc("DELETE /graphs/{name}", s.deleteGraph)
+	mux.HandleFunc("POST /match", s.match)
+	mux.HandleFunc("GET /stats", s.stats)
+	return mux
+}
+
+// httpError maps the service's typed errors onto status codes.
+func httpError(w http.ResponseWriter, err error) {
+	var status int
+	switch {
+	case errors.Is(err, service.ErrUnknownGraph):
+		status = http.StatusNotFound
+	case errors.Is(err, service.ErrOverloaded), errors.Is(err, service.ErrClosed):
+		w.Header().Set("Retry-After", "1")
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is moot but 499-style
+		// accounting helps log readers.
+		status = 499
+	case errors.Is(err, service.ErrDuplicateGraph):
+		status = http.StatusConflict
+	default:
+		// Validation errors: nil/empty/disconnected/oversized queries,
+		// unknown labels, bad graph text, bad parameters.
+		status = http.StatusBadRequest
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *server) listGraphs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Graphs())
+}
+
+func (s *server) putGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	g, err := graph.Parse(http.MaxBytesReader(w, r.Body, maxGraphBody))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	replace := r.URL.Query().Get("replace") == "1"
+	info, err := s.svc.RegisterGraph(name, g, replace)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *server) deleteGraph(w http.ResponseWriter, r *http.Request) {
+	if err := s.svc.UnregisterGraph(r.PathValue("name")); err != nil {
+		httpError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *server) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Stats())
+}
+
+// matchResult is the JSON shape of one query's outcome.
+type matchResult struct {
+	Embeddings uint64        `json:"embeddings"`
+	Nodes      uint64        `json:"nodes"`
+	TimedOut   bool          `json:"timed_out"`
+	LimitHit   bool          `json:"limit_hit"`
+	CacheHit   bool          `json:"cache_hit"`
+	Preprocess time.Duration `json:"preprocess_ns"`
+	Enumerate  time.Duration `json:"enumerate_ns"`
+	QueueWait  time.Duration `json:"queue_wait_ns"`
+}
+
+func toMatchResult(resp *service.Response) matchResult {
+	return matchResult{
+		Embeddings: resp.Result.Embeddings,
+		Nodes:      resp.Result.Nodes,
+		TimedOut:   resp.Result.TimedOut,
+		LimitHit:   resp.Result.LimitHit,
+		CacheHit:   resp.CacheHit,
+		Preprocess: resp.Result.PreprocessTime(),
+		Enumerate:  resp.Result.EnumTime,
+		QueueWait:  resp.QueueWait,
+	}
+}
+
+// parseMatchRequest turns query parameters + body into a service
+// request. The request body is the query graph in the t/v/e text
+// format.
+func (s *server) parseMatchRequest(w http.ResponseWriter, r *http.Request) (service.Request, error) {
+	var req service.Request
+	params := r.URL.Query()
+	req.Graph = params.Get("graph")
+	if req.Graph == "" {
+		return req, fmt.Errorf("missing required parameter graph")
+	}
+	req.Algorithm = core.Optimized
+	if a := params.Get("algo"); a != "" {
+		algo, err := core.ParseAlgorithm(a)
+		if err != nil {
+			return req, err
+		}
+		req.Algorithm = algo
+	}
+	var err error
+	if v := params.Get("limit"); v != "" {
+		if req.MaxEmbeddings, err = strconv.ParseUint(v, 10, 64); err != nil {
+			return req, fmt.Errorf("bad limit %q", v)
+		}
+	}
+	if v := params.Get("timeout"); v != "" {
+		if req.TimeLimit, err = time.ParseDuration(v); err != nil {
+			return req, fmt.Errorf("bad timeout %q", v)
+		}
+	}
+	if v := params.Get("parallel"); v != "" {
+		if req.Parallel, err = strconv.Atoi(v); err != nil {
+			return req, fmt.Errorf("bad parallel %q", v)
+		}
+	}
+	if v := params.Get("workers"); v != "" {
+		if req.Workers, err = strconv.Atoi(v); err != nil {
+			return req, fmt.Errorf("bad workers %q", v)
+		}
+	}
+	req.Query, err = graph.Parse(http.MaxBytesReader(w, r.Body, maxQueryBody))
+	if err != nil {
+		return req, err
+	}
+	return req, nil
+}
+
+func (s *server) match(w http.ResponseWriter, r *http.Request) {
+	req, err := s.parseMatchRequest(w, r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	if r.URL.Query().Get("stream") != "1" {
+		resp, err := s.svc.Submit(r.Context(), req)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, toMatchResult(resp))
+		return
+	}
+	s.matchStream(w, r, req)
+}
+
+// embeddingLine is one NDJSON stream record.
+type embeddingLine struct {
+	Embedding []uint32 `json:"embedding"`
+}
+
+// matchStream writes embeddings as NDJSON while the search runs. The
+// sink executes inside enumeration, so every write applies backpressure
+// to the search; a failed write (client gone) aborts it. Headers go out
+// before the search completes, so a mid-stream failure is reported as a
+// final {"error": ...} line instead of a status code.
+func (s *server) matchStream(w http.ResponseWriter, r *http.Request, req service.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(bw)
+	const flushEvery = 64
+	n := 0
+	resp, err := s.svc.Stream(r.Context(), req, func(m []uint32) bool {
+		if err := enc.Encode(embeddingLine{Embedding: m}); err != nil {
+			return false
+		}
+		n++
+		if n%flushEvery == 0 {
+			if bw.Flush() != nil {
+				return false
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		return true
+	})
+	if err != nil {
+		enc.Encode(map[string]string{"error": err.Error()})
+		return
+	}
+	enc.Encode(map[string]matchResult{"result": toMatchResult(resp)})
+}

@@ -1,0 +1,114 @@
+package subgraphmatching_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	sm "subgraphmatching"
+	"subgraphmatching/internal/testutil"
+)
+
+// contextWorkload returns a query/data pair whose full enumeration takes
+// long enough that mid-flight cancellation is observable.
+func contextWorkload(t *testing.T) (*sm.Graph, *sm.Graph) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	g := testutil.RandomGraph(rng, 500, 12_000, 1)
+	q, err := sm.FromEdges(make([]sm.Label, 6),
+		[][2]sm.Vertex{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, g
+}
+
+func TestMatchContextPreCancelled(t *testing.T) {
+	q, g := contextWorkload(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sm.MatchContext(ctx, q, g, sm.Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMatchContextCancelMidSearch(t *testing.T) {
+	q, g := contextWorkload(t)
+	for _, parallel := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		errc := make(chan error, 1)
+		go func() {
+			_, err := sm.MatchContext(ctx, q, g, sm.Options{Parallel: parallel})
+			errc <- err
+		}()
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+		select {
+		case err := <-errc:
+			// A fast machine may finish the whole search before cancel
+			// lands; then err is nil and there is nothing to assert.
+			if err != nil && !errors.Is(err, context.Canceled) {
+				t.Errorf("parallel=%d: err = %v, want context.Canceled or nil", parallel, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("parallel=%d: cancellation did not stop the search", parallel)
+		}
+	}
+}
+
+func TestMatchContextDeadline(t *testing.T) {
+	q, g := contextWorkload(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := sm.MatchContext(ctx, q, g, sm.Options{})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("deadline enforced only after %v", elapsed)
+	}
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded or nil (search finished first)", err)
+	}
+}
+
+// A context with room to spare must not perturb the result.
+func TestMatchContextEquivalence(t *testing.T) {
+	q, g := contextWorkload(t)
+	want, err := sm.Match(q, g, sm.Options{MaxEmbeddings: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	got, err := sm.MatchContext(ctx, q, g, sm.Options{MaxEmbeddings: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Embeddings != want.Embeddings {
+		t.Errorf("MatchContext found %d embeddings, Match found %d", got.Embeddings, want.Embeddings)
+	}
+}
+
+// The external engines poll the same cancel flag.
+func TestMatchContextCancelExternalEngines(t *testing.T) {
+	q, g := contextWorkload(t)
+	for _, algo := range []sm.Algorithm{sm.AlgoVF2, sm.AlgoUllmann, sm.AlgoGlasgow} {
+		ctx, cancel := context.WithCancel(context.Background())
+		errc := make(chan error, 1)
+		go func() {
+			_, err := sm.MatchContext(ctx, q, g, sm.Options{Algorithm: algo})
+			errc <- err
+		}()
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+		select {
+		case err := <-errc:
+			if err != nil && !errors.Is(err, context.Canceled) {
+				t.Errorf("%v: err = %v, want context.Canceled or nil", algo, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("%v: cancellation did not stop the engine", algo)
+		}
+	}
+}

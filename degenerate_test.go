@@ -1,0 +1,131 @@
+package subgraphmatching_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	sm "subgraphmatching"
+)
+
+// The degenerate-input contract: malformed queries produce typed errors
+// (never panics), while provably-empty-but-well-formed queries keep
+// Match's historical zero-result behavior and are rejected only by the
+// strict Validate.
+func TestDegenerateInputs(t *testing.T) {
+	g, err := sm.FromEdges([]sm.Label{0, 1, 0}, [][2]sm.Vertex{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, err := sm.FromEdges(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disconnected, err := sm.FromEdges([]sm.Label{0, 1, 0, 1}, [][2]sm.Vertex{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tooLarge, err := sm.FromEdges([]sm.Label{0, 1, 0, 1}, [][2]sm.Vertex{{0, 1}, {1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unknownLabel, err := sm.FromEdges([]sm.Label{0, 7}, [][2]sm.Vertex{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := sm.FromEdges([]sm.Label{0, 1}, [][2]sm.Vertex{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("match", func(t *testing.T) {
+		cases := []struct {
+			name string
+			q, g *sm.Graph
+			want error
+		}{
+			{"nil query", nil, g, sm.ErrNilGraph},
+			{"nil data", ok, nil, sm.ErrNilGraph},
+			{"both nil", nil, nil, sm.ErrNilGraph},
+			{"empty query", empty, g, sm.ErrEmptyQuery},
+			{"disconnected query", disconnected, g, sm.ErrDisconnectedQuery},
+		}
+		for _, tc := range cases {
+			for _, algo := range sm.Algorithms() {
+				res, err := sm.Match(tc.q, tc.g, sm.Options{Algorithm: algo})
+				if !errors.Is(err, tc.want) {
+					t.Errorf("%s / %v: err = %v, want %v", tc.name, algo, err, tc.want)
+				}
+				if res != nil {
+					t.Errorf("%s / %v: non-nil result alongside error", tc.name, algo)
+				}
+			}
+		}
+		// Provably empty but well-formed inputs stay zero-result successes.
+		for name, q := range map[string]*sm.Graph{"query too large": tooLarge, "unknown label": unknownLabel} {
+			n, err := sm.Count(q, g, sm.Options{})
+			if err != nil || n != 0 {
+				t.Errorf("%s: Count = %d, %v; want 0, nil", name, n, err)
+			}
+		}
+	})
+
+	t.Run("validate", func(t *testing.T) {
+		cases := []struct {
+			name string
+			q, g *sm.Graph
+			want error
+		}{
+			{"nil query", nil, g, sm.ErrNilGraph},
+			{"nil data", ok, nil, sm.ErrNilGraph},
+			{"empty query", empty, g, sm.ErrEmptyQuery},
+			{"disconnected query", disconnected, g, sm.ErrDisconnectedQuery},
+			{"query too large", tooLarge, g, sm.ErrQueryTooLarge},
+			{"unknown label", unknownLabel, g, sm.ErrUnknownLabel},
+			{"valid", ok, g, nil},
+		}
+		for _, tc := range cases {
+			if err := sm.Validate(tc.q, tc.g); !errors.Is(err, tc.want) {
+				t.Errorf("%s: Validate = %v, want %v", tc.name, err, tc.want)
+			}
+		}
+	})
+
+	t.Run("nil callback", func(t *testing.T) {
+		_, err := sm.ForEachMatch(context.Background(), ok, g, sm.Options{}, nil)
+		if !errors.Is(err, sm.ErrNilCallback) {
+			t.Errorf("ForEachMatch(nil fn) = %v, want ErrNilCallback", err)
+		}
+	})
+}
+
+func TestForEachMatchStreams(t *testing.T) {
+	g, _ := sm.FromEdges([]sm.Label{0, 0, 0, 0}, [][2]sm.Vertex{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	q, _ := sm.FromEdges([]sm.Label{0, 0}, [][2]sm.Vertex{{0, 1}})
+	var seen int
+	res, err := sm.ForEachMatch(context.Background(), q, g, sm.Options{}, func(m []sm.Vertex) bool {
+		if len(m) != 2 || !g.HasEdge(m[0], m[1]) {
+			t.Errorf("bad embedding %v", m)
+		}
+		seen++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Embeddings != 8 || seen != 8 {
+		t.Errorf("embeddings = %d, callback saw %d; want 8 each", res.Embeddings, seen)
+	}
+	// Early stop via the callback is not an error.
+	seen = 0
+	res, err = sm.ForEachMatch(context.Background(), q, g, sm.Options{}, func(m []sm.Vertex) bool {
+		seen++
+		return seen < 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 3 {
+		t.Errorf("callback ran %d times after stop at 3", seen)
+	}
+}

@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"subgraphmatching/internal/candspace"
@@ -105,6 +106,13 @@ type Config struct {
 type Limits struct {
 	MaxEmbeddings uint64
 	TimeLimit     time.Duration
+	// Cancel, when non-nil, is polled cooperatively during enumeration:
+	// storing true stops the search. The parallel runner additionally
+	// uses the same flag as its internal stop signal, so it may itself
+	// store true when the embedding cap or an OnMatch abort fires —
+	// callers must hand each run its own flag, not a shared long-lived
+	// one. This is how context cancellation reaches the engines.
+	Cancel *atomic.Bool
 	// OnMatch optionally receives every embedding; returning false
 	// aborts the search. Sequentially the slice is reused between calls
 	// (copy it to retain); under parallel execution calls are serialized,
@@ -192,18 +200,219 @@ func (r *Result) TotalTime() time.Duration { return r.PreprocessTime() + r.EnumT
 // the embedding cap counts as solved, timing out does not).
 func (r *Result) Solved() bool { return !r.TimedOut }
 
-// Match runs the full pipeline for one query.
-func Match(q, g *graph.Graph, cfg Config, limits Limits) (*Result, error) {
+// Plan is the reusable product of the preprocessing pipeline for one
+// (query, data, config) triple: the filtered candidate sets, the
+// auxiliary candidate-space structure, the matching order, DP-iso's
+// weight array and the symmetry classes — everything enumeration needs,
+// and everything the paper's time split files under "preprocessing".
+//
+// A Plan is immutable once built. MatchPlan runs enumerate over it
+// without mutating any field, so one Plan may serve many concurrent
+// MatchPlan calls — this is the contract the serving layer's plan cache
+// is built on.
+type Plan struct {
+	// Query and Data are the graphs the plan was preprocessed for.
+	Query, Data *graph.Graph
+	// Cfg is the configuration the plan was built under; enumeration
+	// replays its Local/FailingSets/Adaptive/... choices.
+	Cfg Config
+	// Cand holds the filtered candidate sets C(u), indexed by query
+	// vertex.
+	Cand [][]uint32
+	// Space is the candidate-space CSR (nil for Direct/Scan locals).
+	Space *candspace.Space
+	// Order is the matching order (nil when Empty).
+	Order []graph.Vertex
+	// Weights is DP-iso's path-count weight array (nil unless
+	// Cfg.Adaptive && Cfg.DPWeights).
+	Weights [][]float64
+	// SymClasses and Orbit carry the symmetry-breaking setup; Orbit is 1
+	// when symmetry breaking is off.
+	SymClasses [][]graph.Vertex
+	Orbit      uint64
+	// Empty marks a plan whose filtering produced an empty candidate set:
+	// the result is the empty set and enumeration is skipped entirely.
+	Empty bool
+
+	// FilterTime, BuildTime and OrderTime record how long each
+	// preprocessing step took when the plan was built — the cost a plan
+	// reuse saves.
+	FilterTime time.Duration
+	BuildTime  time.Duration
+	OrderTime  time.Duration
+	// MeanCandidates and MemoryBytes describe the candidate structures
+	// (the Figure 8 metric and the footprint).
+	MeanCandidates float64
+	MemoryBytes    int64
+}
+
+// Preprocess runs the preprocessing half of the pipeline — filtering
+// (paper Algorithm 1 line 1), auxiliary-structure construction, ordering
+// (line 2) and the symmetry-class setup — and returns the resulting
+// Plan. workers parallelizes filtering and the candidate-space build
+// (1 = sequential). Configurations routed to the external engines have
+// no plan; Preprocess reports ErrNoPlan for them.
+func Preprocess(q, g *graph.Graph, cfg Config, workers int) (*Plan, error) {
+	if q == nil || g == nil {
+		return nil, fmt.Errorf("core: %w", ErrNilGraph)
+	}
+	if cfg.UseGlasgow || cfg.UseVF2 || cfg.UseUllmann {
+		return nil, fmt.Errorf("core: %w", ErrNoPlan)
+	}
 	if q.NumVertices() == 0 {
-		return nil, fmt.Errorf("core: empty query graph")
+		return nil, fmt.Errorf("core: %w", ErrEmptyQuery)
 	}
 	if !q.IsConnected() {
-		return nil, fmt.Errorf("core: query graph must be connected")
+		return nil, fmt.Errorf("core: %w", ErrDisconnectedQuery)
 	}
 	if cfg.Homomorphism && (cfg.SymmetryBreaking || cfg.VF2PPRules) {
 		return nil, fmt.Errorf("core: homomorphism mode is incompatible with symmetry breaking and VF2++ rules")
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	plan := &Plan{Query: q, Data: g, Cfg: cfg, Orbit: 1}
+
+	// Step 1: filtering.
+	t0 := time.Now()
+	cand, err := runFilter(q, g, cfg, workers)
+	if err != nil {
+		return nil, err
+	}
+	plan.Cand = cand
+	plan.FilterTime = time.Since(t0)
+	plan.MeanCandidates = filter.MeanCandidates(cand)
+	if filter.AnyEmpty(cand) {
+		plan.Empty = true
+		return plan, nil
+	}
+
+	// Step 1b: auxiliary structure.
+	t0 = time.Now()
+	needSpace := cfg.Local == enumerate.TreeEdge || cfg.Local == enumerate.Intersect ||
+		cfg.Local == enumerate.IntersectBlock
+	if needSpace {
+		if cfg.TreeSpace {
+			root := filter.CFLRoot(q, g)
+			tree := graph.NewBFSTree(q, root)
+			if workers > 1 {
+				plan.Space = candspace.BuildTreeParallel(q, g, cand, tree.Parent, workers)
+			} else {
+				plan.Space = candspace.BuildTree(q, g, cand, tree.Parent)
+			}
+		} else if workers > 1 {
+			plan.Space = candspace.BuildFullParallel(q, g, cand, workers)
+		} else {
+			plan.Space = candspace.BuildFull(q, g, cand)
+		}
+		if cfg.Local == enumerate.IntersectBlock {
+			plan.Space.MaterializeBlocks()
+		}
+	}
+	plan.BuildTime = time.Since(t0)
+	if plan.Space != nil {
+		plan.MemoryBytes = plan.Space.MemoryBytes()
+	} else {
+		for _, c := range cand {
+			plan.MemoryBytes += int64(len(c)) * 4
+		}
+	}
+
+	// Step 2: ordering.
+	t0 = time.Now()
+	phi := cfg.FixedOrder
+	if phi == nil {
+		if cfg.AutoOrder && plan.Space != nil {
+			_, phi, err = order.Best(q, g, cand, plan.Space)
+		} else {
+			phi, err = order.Compute(cfg.Order, q, g, cand)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Adaptive && cfg.DPWeights && plan.Space != nil {
+		plan.Weights = order.BuildDPWeights(q, plan.Space, phi)
+	}
+	plan.OrderTime = time.Since(t0)
+	plan.Order = phi
+
+	if cfg.SymmetryBreaking {
+		plan.SymClasses = NeighborhoodEquivalenceClasses(q)
+		plan.Orbit = OrbitMultiplier(plan.SymClasses)
+	}
+	return plan, nil
+}
+
+// PreprocessTime is the plan's FilterTime + BuildTime + OrderTime — the
+// cost each cache hit on this plan saves.
+func (p *Plan) PreprocessTime() time.Duration {
+	return p.FilterTime + p.BuildTime + p.OrderTime
+}
+
+// MatchPlan runs the enumeration step (paper Algorithm 1 line 3) over a
+// previously built plan. The plan is read-only: concurrent MatchPlan
+// calls over one shared plan are safe, each allocating its own engines.
+// The returned Result carries only enumeration-side fields; the
+// preprocessing times live on the plan (a caller reusing a cached plan
+// did not pay them).
+func MatchPlan(plan *Plan, limits Limits) (*Result, error) {
+	q, g, cfg := plan.Query, plan.Data, plan.Cfg
+	res := &Result{MeanCandidates: plan.MeanCandidates, MemoryBytes: plan.MemoryBytes}
+	if plan.Empty {
+		return res, nil
+	}
+	res.Order = plan.Order
+
+	if limits.Parallel > 1 {
+		if cfg.SymmetryBreaking || cfg.Homomorphism {
+			return nil, fmt.Errorf("core: parallel execution does not yet compose with symmetry breaking or homomorphism mode")
+		}
+		if err := matchParallel(q, g, plan.Cand, plan.Space, plan.Order, plan.Weights, cfg, limits, limits.Parallel, res); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	stats, err := enumerate.Run(q, g, plan.Cand, plan.Space, plan.Order, enumerate.Options{
+		Local:           cfg.Local,
+		FailingSets:     cfg.FailingSets,
+		Adaptive:        cfg.Adaptive,
+		AdaptiveWeights: plan.Weights,
+		VF2PPRules:      cfg.VF2PPRules,
+		Homomorphism:    cfg.Homomorphism,
+		SymmetryClasses: plan.SymClasses,
+		MaxEmbeddings:   limits.MaxEmbeddings,
+		TimeLimit:       limits.TimeLimit,
+		OnMatch:         limits.OnMatch,
+		Cancel:          limits.Cancel,
+		Profile:         cfg.Profile,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Embeddings = stats.Embeddings * plan.Orbit
+	res.Nodes = stats.Nodes
+	res.TimedOut = stats.TimedOut
+	res.LimitHit = stats.LimitHit
+	res.EnumTime = stats.Duration
+	res.Profile = stats.Profile
+	return res, nil
+}
+
+// Match runs the full pipeline for one query: Preprocess followed by
+// MatchPlan, with the external engines (Glasgow, VF2, Ullmann)
+// dispatched directly.
+func Match(q, g *graph.Graph, cfg Config, limits Limits) (*Result, error) {
+	if q == nil || g == nil {
+		return nil, fmt.Errorf("core: %w", ErrNilGraph)
+	}
 	if cfg.UseGlasgow || cfg.UseVF2 || cfg.UseUllmann {
+		if q.NumVertices() == 0 {
+			return nil, fmt.Errorf("core: %w", ErrEmptyQuery)
+		}
+		if !q.IsConnected() {
+			return nil, fmt.Errorf("core: %w", ErrDisconnectedQuery)
+		}
 		if cfg.Homomorphism {
 			return nil, fmt.Errorf("core: the external engines do not support homomorphisms")
 		}
@@ -216,116 +425,17 @@ func Match(q, g *graph.Graph, cfg Config, limits Limits) (*Result, error) {
 			return matchUllmann(q, g, limits)
 		}
 	}
-
-	res := &Result{}
-	preWorkers := limits.preprocessWorkers()
-
-	// Step 1: filtering (paper line 1 of Algorithm 1).
-	t0 := time.Now()
-	cand, err := runFilter(q, g, cfg, preWorkers)
+	plan, err := Preprocess(q, g, cfg, limits.preprocessWorkers())
 	if err != nil {
 		return nil, err
 	}
-	res.FilterTime = time.Since(t0)
-	if filter.AnyEmpty(cand) {
-		res.MeanCandidates = filter.MeanCandidates(cand)
-		return res, nil
-	}
-
-	// Step 1b: auxiliary structure.
-	t0 = time.Now()
-	var space *candspace.Space
-	needSpace := cfg.Local == enumerate.TreeEdge || cfg.Local == enumerate.Intersect ||
-		cfg.Local == enumerate.IntersectBlock
-	if needSpace {
-		if cfg.TreeSpace {
-			root := filter.CFLRoot(q, g)
-			tree := graph.NewBFSTree(q, root)
-			if preWorkers > 1 {
-				space = candspace.BuildTreeParallel(q, g, cand, tree.Parent, preWorkers)
-			} else {
-				space = candspace.BuildTree(q, g, cand, tree.Parent)
-			}
-		} else if preWorkers > 1 {
-			space = candspace.BuildFullParallel(q, g, cand, preWorkers)
-		} else {
-			space = candspace.BuildFull(q, g, cand)
-		}
-		if cfg.Local == enumerate.IntersectBlock {
-			space.MaterializeBlocks()
-		}
-	}
-	res.BuildTime = time.Since(t0)
-	res.MeanCandidates = filter.MeanCandidates(cand)
-	if space != nil {
-		res.MemoryBytes = space.MemoryBytes()
-	} else {
-		for _, c := range cand {
-			res.MemoryBytes += int64(len(c)) * 4
-		}
-	}
-
-	// Step 2: ordering (paper line 2).
-	t0 = time.Now()
-	phi := cfg.FixedOrder
-	if phi == nil {
-		if cfg.AutoOrder && space != nil {
-			_, phi, err = order.Best(q, g, cand, space)
-		} else {
-			phi, err = order.Compute(cfg.Order, q, g, cand)
-		}
-		if err != nil {
-			return nil, err
-		}
-	}
-	var weights [][]float64
-	if cfg.Adaptive && cfg.DPWeights && space != nil {
-		weights = order.BuildDPWeights(q, space, phi)
-	}
-	res.OrderTime = time.Since(t0)
-	res.Order = phi
-
-	// Optional symmetry breaking: enumerate canonical orbit
-	// representatives and scale the count.
-	var symClasses [][]graph.Vertex
-	orbit := uint64(1)
-	if cfg.SymmetryBreaking {
-		symClasses = NeighborhoodEquivalenceClasses(q)
-		orbit = OrbitMultiplier(symClasses)
-	}
-
-	// Step 3: enumeration (paper line 3).
-	if limits.Parallel > 1 {
-		if cfg.SymmetryBreaking || cfg.Homomorphism {
-			return nil, fmt.Errorf("core: parallel execution does not yet compose with symmetry breaking or homomorphism mode")
-		}
-		if err := matchParallel(q, g, cand, space, phi, weights, cfg, limits, limits.Parallel, res); err != nil {
-			return nil, err
-		}
-		return res, nil
-	}
-	stats, err := enumerate.Run(q, g, cand, space, phi, enumerate.Options{
-		Local:           cfg.Local,
-		FailingSets:     cfg.FailingSets,
-		Adaptive:        cfg.Adaptive,
-		AdaptiveWeights: weights,
-		VF2PPRules:      cfg.VF2PPRules,
-		Homomorphism:    cfg.Homomorphism,
-		SymmetryClasses: symClasses,
-		MaxEmbeddings:   limits.MaxEmbeddings,
-		TimeLimit:       limits.TimeLimit,
-		OnMatch:         limits.OnMatch,
-		Profile:         cfg.Profile,
-	})
+	res, err := MatchPlan(plan, limits)
 	if err != nil {
 		return nil, err
 	}
-	res.Embeddings = stats.Embeddings * orbit
-	res.Nodes = stats.Nodes
-	res.TimedOut = stats.TimedOut
-	res.LimitHit = stats.LimitHit
-	res.EnumTime = stats.Duration
-	res.Profile = stats.Profile
+	res.FilterTime = plan.FilterTime
+	res.BuildTime = plan.BuildTime
+	res.OrderTime = plan.OrderTime
 	return res, nil
 }
 
@@ -374,6 +484,7 @@ func matchVF2(q, g *graph.Graph, limits Limits) (*Result, error) {
 		MaxEmbeddings: limits.MaxEmbeddings,
 		TimeLimit:     limits.TimeLimit,
 		OnMatch:       limits.OnMatch,
+		Cancel:        limits.Cancel,
 	})
 	if err != nil {
 		return nil, err
@@ -392,6 +503,7 @@ func matchUllmann(q, g *graph.Graph, limits Limits) (*Result, error) {
 		MaxEmbeddings: limits.MaxEmbeddings,
 		TimeLimit:     limits.TimeLimit,
 		OnMatch:       limits.OnMatch,
+		Cancel:        limits.Cancel,
 	})
 	if err != nil {
 		return nil, err
@@ -412,6 +524,7 @@ func matchGlasgow(q, g *graph.Graph, cfg Config, limits Limits) (*Result, error)
 		MemoryBudget:  cfg.GlasgowMemoryBudget,
 		OnMatch:       limits.OnMatch,
 		Parallel:      limits.Parallel,
+		Cancel:        limits.Cancel,
 	})
 	if err != nil {
 		return nil, err

@@ -40,9 +40,17 @@ func matchParallel(q, g *graph.Graph, cand [][]uint32, space *candspace.Space,
 		accepted  atomic.Uint64
 		timedOut  atomic.Bool
 		limitHit  atomic.Bool
-		stop      atomic.Bool
 		matchLock sync.Mutex
 	)
+	// The caller's cancel flag, when supplied, doubles as the shared stop
+	// signal: an external store(true) halts every worker at its next
+	// poll, and internal stop causes (cap reached, OnMatch abort) store
+	// into the same flag — which is why Limits.Cancel is documented as
+	// per-run.
+	stop := limits.Cancel
+	if stop == nil {
+		stop = new(atomic.Bool)
+	}
 
 	// acceptMatch reserves an exact sequence number for one embedding.
 	// The CAS loop never lets the counter pass the cap, so the final
@@ -107,7 +115,7 @@ func matchParallel(q, g *graph.Graph, cand [][]uint32, space *candspace.Space,
 		AdaptiveWeights: weights,
 		VF2PPRules:      cfg.VF2PPRules,
 		Profile:         cfg.Profile,
-		Cancel:          &stop,
+		Cancel:          stop,
 	}
 	if !countLocally {
 		opts.OnMatch = onMatch

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"subgraphmatching/internal/bitset"
@@ -57,6 +58,11 @@ type Options struct {
 	// scheme); 0 or 1 = sequential. The memory budget accounts for the
 	// per-worker domain trails.
 	Parallel int
+	// Cancel, when non-nil, is polled periodically; setting it to true
+	// stops the search cooperatively (not reported as a timeout). Under
+	// parallel execution the same flag doubles as the workers' shared
+	// stop signal, so hand each run its own flag.
+	Cancel *atomic.Bool
 }
 
 // Stats reports the outcome of a Solve call.
@@ -98,7 +104,7 @@ func Solve(q, g *graph.Graph, opts Options) (*Stats, error) {
 		return nil, fmt.Errorf("%w: need %d bytes, budget %d", ErrOutOfMemory, need, budget)
 	}
 
-	s := &solver{q: q, g: g, opts: opts, stats: &Stats{MemoryBytes: need}}
+	s := &solver{q: q, g: g, opts: opts, stats: &Stats{MemoryBytes: need}, cancel: opts.Cancel}
 	s.buildAdjacency()
 	if !s.initDomains() {
 		s.stats.Duration = 0

@@ -55,11 +55,16 @@ func solveParallel(template *solver, workers int) {
 		nodes     atomic.Uint64
 		timedOut  atomic.Bool
 		limitHit  atomic.Bool
-		stop      atomic.Bool
 		matchLock sync.Mutex
 		wg        sync.WaitGroup
 	)
 	opts := template.opts
+	// The caller's cancel flag, when supplied, doubles as the workers'
+	// shared stop signal (see Options.Cancel).
+	stop := opts.Cancel
+	if stop == nil {
+		stop = new(atomic.Bool)
+	}
 	deadline := time.Time{}
 	if opts.TimeLimit > 0 {
 		deadline = time.Now().Add(opts.TimeLimit)
@@ -74,7 +79,7 @@ func solveParallel(template *solver, workers int) {
 				adj: template.adj, qadj: template.qadj,
 				stats:    &Stats{},
 				deadline: deadline,
-				cancel:   &stop,
+				cancel:   stop,
 			}
 			ws.opts = opts
 			ws.opts.MaxEmbeddings = 0 // the shared counter enforces the cap

@@ -23,6 +23,9 @@ import (
 
 // Parse reads a graph in the text format from r.
 func Parse(r io.Reader) (*Graph, error) {
+	if r == nil {
+		return nil, fmt.Errorf("graph: nil reader")
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 

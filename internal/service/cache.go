@@ -1,0 +1,164 @@
+package service
+
+import (
+	"container/list"
+	"encoding/binary"
+	"hash/fnv"
+	"sync"
+
+	"subgraphmatching/internal/core"
+	"subgraphmatching/internal/filter"
+	"subgraphmatching/internal/graph"
+)
+
+// planKey identifies one cached preprocessing plan. Two requests share a
+// plan exactly when they target the same registered graph *generation*,
+// their query graphs serialize identically (labels + sorted adjacency —
+// graph.FingerprintOf), and every plan-shaping configuration knob
+// matches. The generation component means hot-swapping a graph never
+// serves a stale plan: old keys simply stop being produced and their
+// entries age out of the LRU.
+type planKey struct {
+	graph   string
+	gen     uint64
+	queryFP graph.Fingerprint
+	cfgHash uint64
+}
+
+// configHash digests every Config field that influences the plan's
+// contents plus the one preprocessing-mode distinction that does
+// (GraphQL's Jacobi rounds under parallel preprocessing keep a superset
+// of the sequential candidate sets, so parallel- and sequential-built
+// GQL plans get distinct keys).
+func configHash(cfg core.Config, preWorkers int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	u64 := func(x uint64) {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		h.Write(buf[:])
+	}
+	flag := func(b bool) {
+		if b {
+			u64(1)
+		} else {
+			u64(0)
+		}
+	}
+	u64(uint64(cfg.Filter))
+	u64(uint64(cfg.Order))
+	u64(uint64(cfg.Local))
+	flag(cfg.AutoOrder)
+	flag(cfg.TreeSpace)
+	flag(cfg.FailingSets)
+	flag(cfg.Adaptive)
+	flag(cfg.DPWeights)
+	flag(cfg.VF2PPRules)
+	flag(cfg.Homomorphism)
+	flag(cfg.SymmetryBreaking)
+	flag(cfg.Profile)
+	u64(uint64(cfg.GQLRounds))
+	u64(uint64(cfg.GQLRadius))
+	u64(uint64(cfg.DPIsoPasses))
+	u64(uint64(len(cfg.FixedOrder)))
+	for _, v := range cfg.FixedOrder {
+		u64(uint64(v))
+	}
+	jacobi := cfg.Filter == filter.GQL && !cfg.Homomorphism && preWorkers > 1
+	flag(jacobi)
+	return h.Sum64()
+}
+
+// CacheStats is a point-in-time snapshot of the plan cache's accounting.
+type CacheStats struct {
+	Size      int    `json:"size"`
+	Capacity  int    `json:"capacity"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// planCache is a mutex-guarded LRU over read-only *core.Plan values.
+// Entries are shared: a get returns the same plan pointer to every
+// caller, which is safe because MatchPlan never mutates a plan. The
+// cache bounds entry count, not bytes — plans are dominated by the
+// candidate-space CSR, whose size varies too much per workload for a
+// byte budget to beat a simple count knob here.
+type planCache struct {
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List // front = most recently used
+	entries   map[planKey]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key  planKey
+	plan *core.Plan
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity <= 0 {
+		return nil // caching disabled
+	}
+	return &planCache{cap: capacity, ll: list.New(), entries: make(map[planKey]*list.Element)}
+}
+
+func (c *planCache) get(k planKey) (*core.Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[k]; ok {
+		c.ll.MoveToFront(e)
+		c.hits++
+		return e.Value.(*cacheEntry).plan, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// add inserts a freshly built plan. If a concurrent request already
+// inserted the same key (the benign dogpile on a cold key), the existing
+// entry wins so every caller converges on one shared plan.
+func (c *planCache) add(k planKey, p *core.Plan) *core.Plan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[k]; ok {
+		c.ll.MoveToFront(e)
+		return e.Value.(*cacheEntry).plan
+	}
+	c.entries[k] = c.ll.PushFront(&cacheEntry{key: k, plan: p})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+	return p
+}
+
+// purgeGraph drops every entry for the named graph — called on
+// unregister so a dropped graph's plans free promptly instead of waiting
+// to age out.
+func (c *planCache) purgeGraph(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for e := c.ll.Front(); e != nil; e = next {
+		next = e.Next()
+		ent := e.Value.(*cacheEntry)
+		if ent.key.graph == name {
+			c.ll.Remove(e)
+			delete(c.entries, ent.key)
+		}
+	}
+}
+
+func (c *planCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Size: c.ll.Len(), Capacity: c.cap,
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+	}
+}

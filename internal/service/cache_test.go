@@ -1,0 +1,119 @@
+package service
+
+import (
+	"testing"
+
+	"subgraphmatching/internal/core"
+	"subgraphmatching/internal/enumerate"
+	"subgraphmatching/internal/filter"
+	"subgraphmatching/internal/graph"
+)
+
+func testKey(graphName string, gen uint64, id uint64) planKey {
+	return planKey{graph: graphName, gen: gen, cfgHash: id}
+}
+
+func TestPlanCacheDisabled(t *testing.T) {
+	if c := newPlanCache(0); c != nil {
+		t.Fatal("capacity 0 must disable the cache")
+	}
+	if c := newPlanCache(-1); c != nil {
+		t.Fatal("negative capacity must disable the cache")
+	}
+}
+
+func TestPlanCacheHitMissEvictionAccounting(t *testing.T) {
+	c := newPlanCache(2)
+	k1, k2, k3 := testKey("g", 1, 1), testKey("g", 1, 2), testKey("g", 1, 3)
+	p1, p2, p3 := &core.Plan{}, &core.Plan{}, &core.Plan{}
+
+	if _, ok := c.get(k1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.add(k1, p1)
+	c.add(k2, p2)
+	if got, ok := c.get(k1); !ok || got != p1 {
+		t.Fatal("k1 must hit with the inserted plan pointer")
+	}
+	// k1 is now MRU; inserting k3 must evict k2.
+	c.add(k3, p3)
+	if _, ok := c.get(k2); ok {
+		t.Fatal("k2 must have been evicted (LRU)")
+	}
+	if got, ok := c.get(k1); !ok || got != p1 {
+		t.Fatal("k1 must survive the eviction")
+	}
+	st := c.stats()
+	// gets: miss(k1), hit(k1), miss(k2), hit(k1) → 2 hits, 2 misses.
+	if st.Hits != 2 || st.Misses != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want hits 2 misses 2 evictions 1", st)
+	}
+	if st.Size != 2 || st.Capacity != 2 {
+		t.Fatalf("stats = %+v, want size 2 cap 2", st)
+	}
+}
+
+func TestPlanCacheDogpileFirstInsertWins(t *testing.T) {
+	c := newPlanCache(4)
+	k := testKey("g", 1, 1)
+	first, second := &core.Plan{}, &core.Plan{}
+	if got := c.add(k, first); got != first {
+		t.Fatal("first add must return its own plan")
+	}
+	if got := c.add(k, second); got != first {
+		t.Fatal("second add of the same key must converge on the first plan")
+	}
+}
+
+func TestPlanCachePurgeGraph(t *testing.T) {
+	c := newPlanCache(8)
+	c.add(testKey("a", 1, 1), &core.Plan{})
+	c.add(testKey("a", 2, 2), &core.Plan{})
+	c.add(testKey("b", 1, 3), &core.Plan{})
+	c.purgeGraph("a")
+	st := c.stats()
+	if st.Size != 1 {
+		t.Fatalf("size after purge = %d, want 1", st.Size)
+	}
+	if _, ok := c.get(testKey("b", 1, 3)); !ok {
+		t.Fatal("purge must not touch other graphs' entries")
+	}
+}
+
+func TestConfigHashDistinguishesPlanShapingKnobs(t *testing.T) {
+	base := core.Config{Filter: filter.GQL, Local: enumerate.Intersect}
+	seen := map[uint64]string{}
+	record := func(name string, cfg core.Config, workers int) {
+		h := configHash(cfg, workers)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("configHash collision: %s == %s", name, prev)
+		}
+		seen[h] = name
+	}
+	record("base", base, 1)
+	// GQL under parallel preprocessing refines in Jacobi rounds → its
+	// candidate sets (and thus plans) differ from the sequential build.
+	record("base-jacobi", base, 4)
+	cfg := base
+	cfg.Filter = filter.CFL
+	record("filter", cfg, 1)
+	cfg = base
+	cfg.TreeSpace = true
+	record("treespace", cfg, 1)
+	cfg = base
+	cfg.FailingSets = true
+	record("failingsets", cfg, 1)
+	cfg = base
+	cfg.GQLRounds = 7
+	record("rounds", cfg, 1)
+	cfg = base
+	cfg.FixedOrder = []graph.Vertex{0, 1, 2}
+	record("fixedorder", cfg, 1)
+
+	// Non-GQL filters build identical candidate sets at any worker
+	// count, so the worker count must NOT split their keys.
+	cfl := core.Config{Filter: filter.CFL, Local: enumerate.Intersect}
+	if configHash(cfl, 1) != configHash(cfl, 8) {
+		t.Fatal("non-GQL configs must share keys across preprocessing worker counts")
+	}
+}

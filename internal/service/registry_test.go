@@ -1,0 +1,95 @@
+package service
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"subgraphmatching/internal/core"
+	"subgraphmatching/internal/testutil"
+)
+
+func TestRegistryRegisterAndGet(t *testing.T) {
+	var r registry
+	g := testutil.PaperData()
+	info, err := r.register("paper", g, false, time.Unix(100, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "paper" || info.Vertices != g.NumVertices() || info.Edges != g.NumEdges() {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.Generation == 0 {
+		t.Fatal("generation must start above zero")
+	}
+	e, err := r.get("paper")
+	if err != nil || e.g != g {
+		t.Fatalf("get = (%v, %v)", e, err)
+	}
+	if _, err := r.get("nope"); !errors.Is(err, ErrUnknownGraph) {
+		t.Fatalf("get unknown err = %v, want ErrUnknownGraph", err)
+	}
+}
+
+func TestRegistryNameValidation(t *testing.T) {
+	var r registry
+	g := testutil.PaperData()
+	if _, err := r.register("", g, false, time.Now()); !errors.Is(err, ErrInvalidGraphName) {
+		t.Fatalf("empty name err = %v", err)
+	}
+	long := strings.Repeat("x", maxGraphNameLen+1)
+	if _, err := r.register(long, g, false, time.Now()); !errors.Is(err, ErrInvalidGraphName) {
+		t.Fatalf("long name err = %v", err)
+	}
+	if _, err := r.register("ok", nil, false, time.Now()); !errors.Is(err, core.ErrNilGraph) {
+		t.Fatalf("nil graph err = %v", err)
+	}
+}
+
+func TestRegistryDuplicateAndReplace(t *testing.T) {
+	var r registry
+	g1 := testutil.PaperData()
+	g2 := testutil.RandomGraph(rand.New(rand.NewSource(1)), 20, 40, 2)
+	first, err := r.register("g", g1, false, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.register("g", g2, false, time.Now()); !errors.Is(err, ErrDuplicateGraph) {
+		t.Fatalf("duplicate err = %v", err)
+	}
+	second, err := r.register("g", g2, true, time.Now())
+	if err != nil {
+		t.Fatalf("replace: %v", err)
+	}
+	if second.Generation <= first.Generation {
+		t.Fatalf("replace generation %d must exceed %d", second.Generation, first.Generation)
+	}
+	e, _ := r.get("g")
+	if e.g != g2 {
+		t.Fatal("get returned the pre-replace graph")
+	}
+}
+
+func TestRegistryUnregisterAndList(t *testing.T) {
+	var r registry
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		if _, err := r.register(name, testutil.PaperData(), false, time.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos := r.list()
+	if len(infos) != 3 || infos[0].Name != "alpha" || infos[1].Name != "mid" || infos[2].Name != "zeta" {
+		t.Fatalf("list = %+v, want name-sorted", infos)
+	}
+	if err := r.unregister("mid"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.unregister("mid"); !errors.Is(err, ErrUnknownGraph) {
+		t.Fatalf("double unregister err = %v", err)
+	}
+	if len(r.list()) != 2 {
+		t.Fatal("unregister did not remove the entry")
+	}
+}

@@ -1,0 +1,133 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"time"
+)
+
+// semaphore is a weighted counting semaphore with strict-FIFO waiters, a
+// bounded wait queue, and a per-acquire wait deadline. It is the
+// admission controller: capacity is the total number of enumeration
+// workers the service lets run at once, and each request acquires its
+// worker count before preprocessing or enumerating anything. Overload
+// therefore surfaces as a typed error at the front door instead of an
+// unbounded goroutine pileup behind it.
+//
+// Strict FIFO (no small-request bypass) keeps heavy parallel requests
+// from starving: a waiter at the head blocks later light requests until
+// it fits, trading a little throughput for a wait-time bound.
+type semaphore struct {
+	mu       sync.Mutex
+	capacity int64
+	inUse    int64
+	waiters  list.List // of *semWaiter, front = oldest
+}
+
+type semWaiter struct {
+	weight int64
+	ready  chan struct{} // closed when the slot is granted
+}
+
+func newSemaphore(capacity int64) *semaphore {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &semaphore{capacity: capacity}
+}
+
+// clampWeight bounds a request's weight to the total capacity so an
+// oversized request degrades to "the whole machine" instead of
+// deadlocking the queue.
+func (s *semaphore) clampWeight(w int64) int64 {
+	if w < 1 {
+		return 1
+	}
+	if w > s.capacity {
+		return s.capacity
+	}
+	return w
+}
+
+// acquire obtains weight units, waiting at most maxWait (0 = no waiting)
+// behind at most maxQueue earlier waiters. It returns nil on success,
+// ErrQueueFull / ErrQueueTimeout on overload, or ctx.Err() if the
+// context ends first.
+func (s *semaphore) acquire(ctx context.Context, weight int64, maxWait time.Duration, maxQueue int) error {
+	weight = s.clampWeight(weight)
+	s.mu.Lock()
+	if s.inUse+weight <= s.capacity && s.waiters.Len() == 0 {
+		s.inUse += weight
+		s.mu.Unlock()
+		return nil
+	}
+	if maxWait <= 0 || s.waiters.Len() >= maxQueue {
+		s.mu.Unlock()
+		return ErrQueueFull
+	}
+	w := &semWaiter{weight: weight, ready: make(chan struct{})}
+	elem := s.waiters.PushBack(w)
+	s.mu.Unlock()
+
+	timer := time.NewTimer(maxWait)
+	defer timer.Stop()
+	var err error
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		err = ctx.Err()
+	case <-timer.C:
+		err = ErrQueueTimeout
+	}
+	// Lost the race between grant and give-up? The grant wins for a
+	// timeout (the slot is here, use it) but not for a dead context.
+	s.mu.Lock()
+	select {
+	case <-w.ready:
+		s.mu.Unlock()
+		if ctx.Err() != nil {
+			s.release(weight)
+			return err
+		}
+		return nil
+	default:
+		s.waiters.Remove(elem)
+		// Removing a waiter can unblock the ones behind it.
+		s.grantLocked()
+		s.mu.Unlock()
+		return err
+	}
+}
+
+// release returns weight units and wakes eligible waiters in FIFO order.
+func (s *semaphore) release(weight int64) {
+	weight = s.clampWeight(weight)
+	s.mu.Lock()
+	s.inUse -= weight
+	if s.inUse < 0 {
+		panic("service: semaphore released more than acquired")
+	}
+	s.grantLocked()
+	s.mu.Unlock()
+}
+
+func (s *semaphore) grantLocked() {
+	for e := s.waiters.Front(); e != nil; e = s.waiters.Front() {
+		w := e.Value.(*semWaiter)
+		if s.inUse+w.weight > s.capacity {
+			return
+		}
+		s.inUse += w.weight
+		s.waiters.Remove(e)
+		close(w.ready)
+	}
+}
+
+// load reports the current occupancy and queue depth.
+func (s *semaphore) load() (capacity, inUse int64, queued int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.capacity, s.inUse, s.waiters.Len()
+}

@@ -1,0 +1,193 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSemaphoreImmediateGrant(t *testing.T) {
+	s := newSemaphore(4)
+	if err := s.acquire(context.Background(), 3, time.Second, 8); err != nil {
+		t.Fatalf("acquire(3): %v", err)
+	}
+	if err := s.acquire(context.Background(), 1, time.Second, 8); err != nil {
+		t.Fatalf("acquire(1): %v", err)
+	}
+	cap_, inUse, queued := s.load()
+	if cap_ != 4 || inUse != 4 || queued != 0 {
+		t.Fatalf("load = (%d,%d,%d), want (4,4,0)", cap_, inUse, queued)
+	}
+	s.release(3)
+	s.release(1)
+	if _, inUse, _ := s.load(); inUse != 0 {
+		t.Fatalf("inUse after release = %d, want 0", inUse)
+	}
+}
+
+func TestSemaphoreClampsOversizedWeight(t *testing.T) {
+	s := newSemaphore(2)
+	// Weight 10 exceeds capacity; it must degrade to "the whole
+	// semaphore" rather than deadlock.
+	if err := s.acquire(context.Background(), 10, time.Second, 8); err != nil {
+		t.Fatalf("oversized acquire: %v", err)
+	}
+	if _, inUse, _ := s.load(); inUse != 2 {
+		t.Fatalf("inUse = %d, want clamped 2", inUse)
+	}
+	s.release(10)
+	if _, inUse, _ := s.load(); inUse != 0 {
+		t.Fatalf("inUse = %d, want 0", inUse)
+	}
+}
+
+func TestSemaphoreQueueFull(t *testing.T) {
+	s := newSemaphore(1)
+	if err := s.acquire(context.Background(), 1, time.Second, 1); err != nil {
+		t.Fatal(err)
+	}
+	// No waiting allowed → immediate ErrQueueFull.
+	if err := s.acquire(context.Background(), 1, 0, 1); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("maxWait=0 err = %v, want ErrQueueFull", err)
+	}
+	// Fill the one queue slot with a real waiter, then overflow it.
+	done := make(chan error, 1)
+	go func() { done <- s.acquire(context.Background(), 1, time.Minute, 1) }()
+	waitForQueued(t, s, 1)
+	if err := s.acquire(context.Background(), 1, time.Minute, 1); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow err = %v, want ErrQueueFull", err)
+	}
+	if !errors.Is(ErrQueueFull, ErrOverloaded) {
+		t.Fatal("ErrQueueFull must wrap ErrOverloaded")
+	}
+	s.release(1)
+	if err := <-done; err != nil {
+		t.Fatalf("queued waiter err = %v", err)
+	}
+	s.release(1)
+}
+
+func TestSemaphoreQueueTimeout(t *testing.T) {
+	s := newSemaphore(1)
+	if err := s.acquire(context.Background(), 1, time.Second, 4); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := s.acquire(context.Background(), 1, 20*time.Millisecond, 4)
+	if !errors.Is(err, ErrQueueTimeout) || !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrQueueTimeout wrapping ErrOverloaded", err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("returned before the wait budget elapsed")
+	}
+	// The timed-out waiter must be gone so capacity isn't leaked.
+	if _, _, queued := s.load(); queued != 0 {
+		t.Fatalf("queued = %d after timeout, want 0", queued)
+	}
+	s.release(1)
+	if err := s.acquire(context.Background(), 1, time.Second, 4); err != nil {
+		t.Fatalf("acquire after timeout cleanup: %v", err)
+	}
+	s.release(1)
+}
+
+func TestSemaphoreContextCancelWhileQueued(t *testing.T) {
+	s := newSemaphore(1)
+	if err := s.acquire(context.Background(), 1, time.Second, 4); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.acquire(ctx, 1, time.Minute, 4) }()
+	waitForQueued(t, s, 1)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	s.release(1)
+	if _, inUse, queued := s.load(); inUse != 0 || queued != 0 {
+		t.Fatalf("load after cancel = inUse %d queued %d, want 0,0", inUse, queued)
+	}
+}
+
+func TestSemaphoreFIFOOrder(t *testing.T) {
+	s := newSemaphore(1)
+	if err := s.acquire(context.Background(), 1, time.Second, 8); err != nil {
+		t.Fatal(err)
+	}
+	const n = 5
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		i := i
+		go func() {
+			defer wg.Done()
+			if err := s.acquire(context.Background(), 1, time.Minute, 8); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			s.release(1)
+		}()
+		waitForQueued(t, s, i+1) // serialize arrival so FIFO order is defined
+	}
+	s.release(1)
+	wg.Wait()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("grant order = %v, want FIFO 0..%d", order, n-1)
+		}
+	}
+}
+
+// TestSemaphoreHeavyWaiterNotStarved checks strict FIFO: a queued heavy
+// request blocks later light requests instead of being bypassed forever.
+func TestSemaphoreHeavyWaiterNotStarved(t *testing.T) {
+	s := newSemaphore(4)
+	if err := s.acquire(context.Background(), 3, time.Second, 8); err != nil {
+		t.Fatal(err)
+	}
+	heavy := make(chan error, 1)
+	go func() { heavy <- s.acquire(context.Background(), 4, time.Minute, 8) }()
+	waitForQueued(t, s, 1)
+	// A light request that would fit must still queue behind the heavy
+	// head — strict FIFO is the anti-starvation guarantee.
+	light := make(chan error, 1)
+	go func() { light <- s.acquire(context.Background(), 1, time.Minute, 8) }()
+	waitForQueued(t, s, 2)
+	select {
+	case err := <-light:
+		t.Fatalf("light request bypassed the queued heavy head (err=%v)", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	s.release(3)
+	if err := <-heavy; err != nil {
+		t.Fatalf("heavy: %v", err)
+	}
+	s.release(4)
+	if err := <-light; err != nil {
+		t.Fatalf("light: %v", err)
+	}
+	s.release(1)
+}
+
+func waitForQueued(t *testing.T, s *semaphore, want int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, _, queued := s.load(); queued >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			_, _, queued := s.load()
+			t.Fatalf("queued = %d, want >= %d", queued, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,356 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"subgraphmatching/internal/core"
+	"subgraphmatching/internal/graph"
+)
+
+// Config sizes the service. The zero value gets sensible defaults from
+// New; a negative PlanCacheSize disables plan caching entirely.
+type Config struct {
+	// MaxInFlight caps the total enumeration workers running at once
+	// across all requests (a request with Parallel=4 holds 4 units).
+	// Default: 2×GOMAXPROCS.
+	MaxInFlight int
+	// MaxQueue bounds how many requests may wait for admission; one
+	// more arrival is rejected with ErrQueueFull. Default: 64.
+	MaxQueue int
+	// MaxQueueWait bounds how long one request may wait for admission
+	// before ErrQueueTimeout. Default: 5s.
+	MaxQueueWait time.Duration
+	// PlanCacheSize bounds the plan LRU (entries, not bytes). 0 means
+	// the default of 256; negative disables caching.
+	PlanCacheSize int
+	// DefaultTimeLimit applies to requests that set no TimeLimit,
+	// mirroring the paper's five-minute per-query budget. Default: 5m.
+	DefaultTimeLimit time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.MaxQueueWait <= 0 {
+		c.MaxQueueWait = 5 * time.Second
+	}
+	switch {
+	case c.PlanCacheSize == 0:
+		c.PlanCacheSize = 256
+	case c.PlanCacheSize < 0:
+		c.PlanCacheSize = 0 // newPlanCache(0) = disabled
+	}
+	if c.DefaultTimeLimit <= 0 {
+		c.DefaultTimeLimit = 5 * time.Minute
+	}
+	return c
+}
+
+// Request is one matching query against a registered graph.
+type Request struct {
+	// Graph names the registered data graph.
+	Graph string
+	// Query is the query graph (connected, non-empty).
+	Query *graph.Graph
+	// Algorithm picks a preset; Custom overrides it with an explicit
+	// component configuration.
+	Algorithm core.Algorithm
+	Custom    *core.Config
+	// MaxEmbeddings, TimeLimit, Parallel, Schedule and Workers carry the
+	// meanings of core.Limits. TimeLimit 0 inherits the service default;
+	// Parallel is also the request's admission weight.
+	MaxEmbeddings uint64
+	TimeLimit     time.Duration
+	Parallel      int
+	Schedule      core.Schedule
+	Workers       int
+	// OnMatch optionally receives every embedding (see core.Limits);
+	// Stream sets it from its sink argument.
+	OnMatch func(mapping []uint32) bool
+	// NoCache bypasses the plan cache for this request — preprocessing
+	// always runs fresh and the plan is not retained. Benchmarks use it
+	// to measure the cold path.
+	NoCache bool
+}
+
+// Response pairs the matching result with serving-side facts.
+type Response struct {
+	Result *core.Result
+	// CacheHit reports that preprocessing was skipped because a cached
+	// plan served the request. The Result's preprocessing times are zero
+	// in that case — the hit is exactly that saving.
+	CacheHit bool
+	// QueueWait is how long admission control held the request.
+	QueueWait time.Duration
+}
+
+// Service is the long-lived matching layer: registry + plan cache +
+// admission control + stats. Safe for concurrent use.
+type Service struct {
+	cfg    Config
+	reg    registry
+	cache  *planCache
+	sem    *semaphore
+	stats  statsRegistry
+	start  time.Time
+	closed atomic.Bool
+}
+
+// New builds a Service; zero-value Config fields get defaults.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:   cfg,
+		cache: newPlanCache(cfg.PlanCacheSize),
+		sem:   newSemaphore(int64(cfg.MaxInFlight)),
+		start: time.Now(),
+	}
+}
+
+// Close marks the service closed; subsequent Submits fail with
+// ErrClosed. In-flight requests finish normally.
+func (s *Service) Close() error {
+	s.closed.Store(true)
+	return nil
+}
+
+// RegisterGraph adds (or, with replace, hot-swaps) a named data graph.
+// Replacement bumps the generation, so cached plans against the old
+// version can never serve new requests; their entries are purged.
+func (s *Service) RegisterGraph(name string, g *graph.Graph, replace bool) (GraphInfo, error) {
+	info, err := s.reg.register(name, g, replace, time.Now())
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	if replace && s.cache != nil {
+		s.cache.purgeGraph(name)
+	}
+	return info, nil
+}
+
+// UnregisterGraph removes a named graph and purges its cached plans.
+func (s *Service) UnregisterGraph(name string) error {
+	if err := s.reg.unregister(name); err != nil {
+		return err
+	}
+	if s.cache != nil {
+		s.cache.purgeGraph(name)
+	}
+	return nil
+}
+
+// Graphs lists the registered graphs, name-sorted.
+func (s *Service) Graphs() []GraphInfo { return s.reg.list() }
+
+// Stats snapshots the full serving state.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		Uptime:    time.Since(s.start),
+		Graphs:    s.reg.list(),
+		Workloads: s.stats.snapshot(),
+	}
+	if s.cache != nil {
+		st.Cache = s.cache.stats()
+	}
+	st.Admission.Capacity, st.Admission.InUse, st.Admission.Queued = s.sem.load()
+	return st
+}
+
+// algoName labels a request's workload for stats.
+func (r *Request) algoName() string {
+	if r.Custom != nil {
+		return "custom"
+	}
+	return r.Algorithm.String()
+}
+
+// preprocessWorkers mirrors core.Limits' resolution so the cache key and
+// the actual preprocessing agree on the worker count.
+func (r *Request) preprocessWorkers() int {
+	w := r.Workers
+	if w == 0 {
+		w = r.Parallel
+	}
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// Submit runs one request end to end: resolve the graph, validate the
+// query strictly (typed errors, not the zero-result tolerance of the
+// library-level Match), pass admission control, then serve enumeration
+// from a cached plan when one exists. Cancelling ctx stops the search
+// cooperatively; a ctx deadline tightens the time limit.
+func (s *Service) Submit(ctx context.Context, req Request) (*Response, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	if req.Query == nil {
+		return nil, ErrNilQuery
+	}
+	entry, err := s.reg.get(req.Graph)
+	if err != nil {
+		return nil, err
+	}
+	algo := req.algoName()
+	if err := core.Validate(req.Query, entry.g); err != nil {
+		s.stats.record(entry.name, algo, func(c *workloadCounters) { c.errors++ })
+		return nil, err
+	}
+	cfg := core.PresetConfig(req.Algorithm, req.Query, entry.g)
+	if req.Custom != nil {
+		cfg = *req.Custom
+	}
+
+	// Admission: hold the request's worker count before doing any work.
+	began := time.Now()
+	weight := int64(req.Parallel)
+	if weight < 1 {
+		weight = 1
+	}
+	weight = s.sem.clampWeight(weight)
+	if err := s.sem.acquire(ctx, weight, s.cfg.MaxQueueWait, s.cfg.MaxQueue); err != nil {
+		s.stats.record(entry.name, algo, func(c *workloadCounters) { c.rejected++ })
+		return nil, err
+	}
+	defer s.sem.release(weight)
+	queueWait := time.Since(began)
+
+	// Fold the ctx deadline into the time limit after the queue wait —
+	// waiting consumes the caller's budget.
+	timeLimit := req.TimeLimit
+	if timeLimit <= 0 {
+		timeLimit = s.cfg.DefaultTimeLimit
+	}
+	deadline, hasDeadline := ctx.Deadline()
+	if hasDeadline {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			s.stats.record(entry.name, algo, func(c *workloadCounters) { c.timeouts++ })
+			return nil, context.DeadlineExceeded
+		}
+		if remain < timeLimit {
+			timeLimit = remain
+		}
+	}
+	var flag atomic.Bool
+	stop := context.AfterFunc(ctx, func() { flag.Store(true) })
+	defer stop()
+	limits := core.Limits{
+		MaxEmbeddings: req.MaxEmbeddings,
+		TimeLimit:     timeLimit,
+		Cancel:        &flag,
+		OnMatch:       req.OnMatch,
+		Parallel:      req.Parallel,
+		Schedule:      req.Schedule,
+		Workers:       req.Workers,
+	}
+
+	var (
+		res      *core.Result
+		cacheHit bool
+	)
+	if cfg.UseGlasgow || cfg.UseVF2 || cfg.UseUllmann {
+		// The external engines have no preprocessing plan to cache.
+		res, err = core.Match(req.Query, entry.g, cfg, limits)
+	} else {
+		res, cacheHit, err = s.matchCached(entry, req, cfg, limits)
+	}
+	if err != nil {
+		s.stats.record(entry.name, algo, func(c *workloadCounters) { c.errors++ })
+		return nil, err
+	}
+	cerr := ctx.Err()
+	// An engine timeout driven by the folded ctx deadline can land a
+	// scheduler tick before the context's own timer fires — resolve by
+	// the wall clock so it deterministically reports DeadlineExceeded.
+	if cerr == nil && hasDeadline && res.TimedOut && !time.Now().Before(deadline) {
+		cerr = context.DeadlineExceeded
+	}
+	if cerr != nil {
+		s.stats.record(entry.name, algo, func(c *workloadCounters) {
+			if cerr == context.DeadlineExceeded {
+				c.timeouts++
+			} else {
+				c.errors++
+			}
+		})
+		return nil, cerr
+	}
+
+	latency := time.Since(began)
+	s.stats.record(entry.name, algo, func(c *workloadCounters) {
+		c.queries++
+		c.embeddings += res.Embeddings
+		if cacheHit {
+			c.cacheHits++
+		}
+		if res.TimedOut {
+			c.timeouts++
+		}
+		if res.LimitHit {
+			c.limitHits++
+		}
+		c.lat.add(latency)
+	})
+	return &Response{Result: res, CacheHit: cacheHit, QueueWait: queueWait}, nil
+}
+
+// matchCached serves the pipeline configurations: look the plan up by
+// (graph generation, query fingerprint, config), preprocess on a miss,
+// then enumerate over the shared read-only plan.
+func (s *Service) matchCached(entry *graphEntry, req Request, cfg core.Config, limits core.Limits) (*core.Result, bool, error) {
+	useCache := s.cache != nil && !req.NoCache
+	var key planKey
+	if useCache {
+		key = planKey{
+			graph:   entry.name,
+			gen:     entry.gen,
+			queryFP: graph.FingerprintOf(req.Query),
+			cfgHash: configHash(cfg, req.preprocessWorkers()),
+		}
+		if plan, ok := s.cache.get(key); ok {
+			res, err := core.MatchPlan(plan, limits)
+			return res, true, err
+		}
+	}
+	plan, err := core.Preprocess(req.Query, entry.g, cfg, req.preprocessWorkers())
+	if err != nil {
+		return nil, false, fmt.Errorf("preprocess %q: %w", entry.name, err)
+	}
+	if useCache {
+		// On a dogpiled cold key the first insert wins; converge on it.
+		plan = s.cache.add(key, plan)
+	}
+	res, err := core.MatchPlan(plan, limits)
+	if err != nil {
+		return nil, false, err
+	}
+	// A fresh build pays preprocessing; report it like core.Match does.
+	res.FilterTime = plan.FilterTime
+	res.BuildTime = plan.BuildTime
+	res.OrderTime = plan.OrderTime
+	return res, false, nil
+}
+
+// Stream is Submit with a mandatory per-embedding sink. The sink runs
+// synchronously inside enumeration — a slow consumer therefore applies
+// natural backpressure to the search instead of buffering unboundedly —
+// and returning false stops the search early. See core.Limits.OnMatch
+// for the slice-reuse rules.
+func (s *Service) Stream(ctx context.Context, req Request, sink func(mapping []uint32) bool) (*Response, error) {
+	if sink == nil {
+		return nil, ErrNilCallback
+	}
+	req.OnMatch = sink
+	return s.Submit(ctx, req)
+}

@@ -1,0 +1,139 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencySampleSize is how many recent request latencies each workload
+// keeps for percentile estimation. A fixed ring bounds memory per
+// workload; 512 samples put the p99 estimate within a handful of
+// requests of the true tail at serving rates.
+const latencySampleSize = 512
+
+// latencyRing is a fixed-size ring of recent latencies.
+type latencyRing struct {
+	buf  [latencySampleSize]time.Duration
+	n    int // total recorded (saturates the ring at len(buf))
+	next int
+}
+
+func (r *latencyRing) add(d time.Duration) {
+	r.buf[r.next] = d
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// percentile returns the p-quantile (0 < p <= 1) of the retained
+// samples, 0 when empty. Called on a copy under the workload lock.
+func (r *latencyRing) percentile(p float64) time.Duration {
+	if r.n == 0 {
+		return 0
+	}
+	tmp := make([]time.Duration, r.n)
+	copy(tmp, r.buf[:r.n])
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	idx := int(p*float64(r.n)) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= r.n {
+		idx = r.n - 1
+	}
+	return tmp[idx]
+}
+
+// WorkloadStats reports one (graph, algorithm) pair's counters. Latency
+// percentiles cover the most recent latencySampleSize requests and
+// include queue wait.
+type WorkloadStats struct {
+	Graph      string        `json:"graph"`
+	Algorithm  string        `json:"algorithm"`
+	Queries    uint64        `json:"queries"`
+	CacheHits  uint64        `json:"cache_hits"`
+	Timeouts   uint64        `json:"timeouts"`
+	LimitHits  uint64        `json:"limit_hits"`
+	Rejected   uint64        `json:"rejected"`
+	Errors     uint64        `json:"errors"`
+	Embeddings uint64        `json:"embeddings"`
+	P50        time.Duration `json:"p50_ns"`
+	P99        time.Duration `json:"p99_ns"`
+}
+
+type workloadCounters struct {
+	queries, cacheHits, timeouts, limitHits, rejected, errors, embeddings uint64
+	lat                                                                   latencyRing
+}
+
+type statKey struct{ graph, algo string }
+
+// statsRegistry aggregates per-workload counters. One mutex over the
+// whole map is enough: updates are a handful of integer stores per
+// request, far off the enumeration hot path.
+type statsRegistry struct {
+	mu        sync.Mutex
+	workloads map[statKey]*workloadCounters
+}
+
+func (s *statsRegistry) counters(graph, algo string) *workloadCounters {
+	if s.workloads == nil {
+		s.workloads = make(map[statKey]*workloadCounters)
+	}
+	k := statKey{graph, algo}
+	c, ok := s.workloads[k]
+	if !ok {
+		c = &workloadCounters{}
+		s.workloads[k] = c
+	}
+	return c
+}
+
+// record applies one request outcome.
+func (s *statsRegistry) record(graph, algo string, fn func(*workloadCounters)) {
+	s.mu.Lock()
+	fn(s.counters(graph, algo))
+	s.mu.Unlock()
+}
+
+func (s *statsRegistry) snapshot() []WorkloadStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]WorkloadStats, 0, len(s.workloads))
+	for k, c := range s.workloads {
+		out = append(out, WorkloadStats{
+			Graph: k.graph, Algorithm: k.algo,
+			Queries: c.queries, CacheHits: c.cacheHits,
+			Timeouts: c.timeouts, LimitHits: c.limitHits,
+			Rejected: c.rejected, Errors: c.errors,
+			Embeddings: c.embeddings,
+			P50:        c.lat.percentile(0.50),
+			P99:        c.lat.percentile(0.99),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Graph != out[j].Graph {
+			return out[i].Graph < out[j].Graph
+		}
+		return out[i].Algorithm < out[j].Algorithm
+	})
+	return out
+}
+
+// Stats is the full service snapshot smatchd serves on /stats.
+type Stats struct {
+	Uptime    time.Duration   `json:"uptime_ns"`
+	Graphs    []GraphInfo     `json:"graphs"`
+	Cache     CacheStats      `json:"cache"`
+	Admission AdmissionStats  `json:"admission"`
+	Workloads []WorkloadStats `json:"workloads"`
+}
+
+// AdmissionStats reports the admission controller's occupancy.
+type AdmissionStats struct {
+	Capacity int64 `json:"capacity"`
+	InUse    int64 `json:"in_use"`
+	Queued   int   `json:"queued"`
+}

@@ -9,6 +9,7 @@ package ullmann
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"subgraphmatching/internal/bitset"
@@ -25,6 +26,9 @@ type Options struct {
 	// OnMatch, when non-nil, receives each embedding (indexed by query
 	// vertex; the slice is reused). Returning false aborts the search.
 	OnMatch func(mapping []uint32) bool
+	// Cancel, when non-nil, is polled periodically; setting it to true
+	// stops the search cooperatively (not reported as a timeout).
+	Cancel *atomic.Bool
 }
 
 // Stats reports the outcome of a Solve call.
@@ -153,6 +157,10 @@ func (s *solver) enterNode() bool {
 	s.ticker++
 	if s.ticker >= 1<<10 {
 		s.ticker = 0
+		if s.opts.Cancel != nil && s.opts.Cancel.Load() {
+			s.aborted = true
+			return false
+		}
 		if !s.deadline.IsZero() && time.Now().After(s.deadline) {
 			s.stats.TimedOut = true
 			s.aborted = true

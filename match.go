@@ -1,6 +1,9 @@
 package subgraphmatching
 
 import (
+	"context"
+	"fmt"
+	"sync/atomic"
 	"time"
 
 	"subgraphmatching/internal/core"
@@ -150,6 +153,15 @@ type Options struct {
 // Match finds subgraph isomorphisms from q to g. The query must be
 // connected and non-empty.
 func Match(q, g *Graph, opts Options) (*Result, error) {
+	return match(q, g, opts, nil)
+}
+
+// match is the shared implementation behind Match and MatchContext;
+// cancel, when non-nil, is the cooperative stop flag the engines poll.
+func match(q, g *Graph, opts Options, cancel *atomic.Bool) (*Result, error) {
+	if q == nil || g == nil {
+		return nil, fmt.Errorf("subgraphmatching: %w", ErrNilGraph)
+	}
 	cfg := core.PresetConfig(opts.Algorithm, q, g)
 	if opts.Custom != nil {
 		cfg = *opts.Custom
@@ -161,7 +173,63 @@ func Match(q, g *Graph, opts Options) (*Result, error) {
 		Parallel:      opts.Parallel,
 		Schedule:      opts.Schedule,
 		Workers:       opts.Workers,
+		Cancel:        cancel,
 	})
+}
+
+// MatchContext is Match under a context: cancelling ctx stops the
+// search cooperatively (sequential, parallel, and the external engines
+// all poll the same flag), and a ctx deadline tightens Options.TimeLimit
+// so the engines' own deadline checks enforce it. When ctx ends before
+// the search completes, the context's error is returned; a TimeLimit
+// expiry that is not the context's deadline still reports a normal
+// Result with TimedOut set, preserving the paper's unsolved-query
+// accounting.
+func MatchContext(ctx context.Context, q, g *Graph, opts Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	deadline, hasDeadline := ctx.Deadline()
+	if hasDeadline {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, context.DeadlineExceeded
+		}
+		if opts.TimeLimit == 0 || remain < opts.TimeLimit {
+			opts.TimeLimit = remain
+		}
+	}
+	var flag atomic.Bool
+	stop := context.AfterFunc(ctx, func() { flag.Store(true) })
+	defer stop()
+	res, err := match(q, g, opts, &flag)
+	if err != nil {
+		return nil, err
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
+	// The engine's own clock can expire a folded ctx deadline a
+	// scheduler tick before the context's timer fires (ctx.Err() still
+	// nil on a busy machine) — resolve that race by the wall clock, so
+	// a deadline-driven timeout deterministically reports as such.
+	if hasDeadline && res.TimedOut && !time.Now().Before(deadline) {
+		return nil, context.DeadlineExceeded
+	}
+	return res, nil
+}
+
+// ForEachMatch streams every embedding to fn under a context, combining
+// MatchContext's cancellation with a mandatory callback: fn receives
+// each mapping indexed by query vertex (see Options.OnMatch for the
+// slice-reuse rules) and returns false to stop early. A nil fn is
+// rejected with ErrNilCallback.
+func ForEachMatch(ctx context.Context, q, g *Graph, opts Options, fn func(mapping []Vertex) bool) (*Result, error) {
+	if fn == nil {
+		return nil, fmt.Errorf("subgraphmatching: %w", ErrNilCallback)
+	}
+	opts.OnMatch = fn
+	return MatchContext(ctx, q, g, opts)
 }
 
 // Count is a convenience wrapper returning only the number of
