@@ -27,7 +27,9 @@
 // final {"result":{...}} summary line.
 //
 // Status mapping: unknown graph 404, invalid query or graph text 400,
-// overload 503 (with Retry-After), deadline 504.
+// overload 503 (with Retry-After), deadline 504. Streamed requests get
+// the same codes for failures that occur before the first embedding is
+// written; afterwards the stream ends with an {"error":...} line.
 package main
 
 import (

@@ -174,7 +174,15 @@ func TestMatchErrorStatusMapping(t *testing.T) {
 		{"bad limit", "/match?graph=main&limit=x", qText, http.StatusBadRequest},
 		{"bad query text", "/match?graph=main", "v 0 0", http.StatusBadRequest},
 		{"disconnected query", "/match?graph=main", disconnected, http.StatusBadRequest},
+		{"negative parallel", "/match?graph=main&parallel=-1", qText, http.StatusBadRequest},
+		{"oversized parallel", "/match?graph=main&parallel=1000000", qText, http.StatusBadRequest},
+		{"negative workers", "/match?graph=main&workers=-2", qText, http.StatusBadRequest},
+		{"oversized workers", "/match?graph=main&workers=1000000", qText, http.StatusBadRequest},
 		{"deadline", "/match?graph=main&timeout=1ns", qText, http.StatusOK}, // engine timeout → TimedOut result, not an error
+		// Pre-stream failures must carry real status codes even with
+		// stream=1 — the 200 is committed only at the first embedding.
+		{"stream unknown graph", "/match?graph=nope&stream=1", qText, http.StatusNotFound},
+		{"stream bad query text", "/match?graph=main&stream=1", "v 0 0", http.StatusBadRequest},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -219,6 +227,15 @@ func TestMatchOverloadMapsTo503(t *testing.T) {
 	}
 	if resp.Header.Get("Retry-After") == "" {
 		t.Fatal("503 must carry Retry-After")
+	}
+	// Streaming requests hit admission before committing the 200, so
+	// overload surfaces as the same 503 — not an NDJSON error line.
+	resp, body = do(t, "POST", ts.URL+"/match?graph=main&stream=1", graphText(t, q))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("stream overload = %d %q, want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("stream 503 must carry Retry-After")
 	}
 	close(release)
 	if err := <-done; err != nil {

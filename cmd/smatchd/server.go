@@ -23,6 +23,12 @@ const (
 	maxGraphBody = 1 << 30 // 1 GiB
 )
 
+// maxWorkersParam bounds the parallel= and workers= parameters at the
+// front door. The service additionally clamps admitted requests to its
+// MaxInFlight budget; this just rejects nonsense (negative or absurd
+// values) with a 400 before any work happens.
+const maxWorkersParam = 4096
+
 // server adapts a service.Service to HTTP; transport concerns (JSON,
 // status codes, streaming) live here and nowhere else.
 type server struct {
@@ -169,13 +175,13 @@ func (s *server) parseMatchRequest(w http.ResponseWriter, r *http.Request) (serv
 		}
 	}
 	if v := params.Get("parallel"); v != "" {
-		if req.Parallel, err = strconv.Atoi(v); err != nil {
-			return req, fmt.Errorf("bad parallel %q", v)
+		if req.Parallel, err = strconv.Atoi(v); err != nil || req.Parallel < 0 || req.Parallel > maxWorkersParam {
+			return req, fmt.Errorf("bad parallel %q (want 0..%d)", v, maxWorkersParam)
 		}
 	}
 	if v := params.Get("workers"); v != "" {
-		if req.Workers, err = strconv.Atoi(v); err != nil {
-			return req, fmt.Errorf("bad workers %q", v)
+		if req.Workers, err = strconv.Atoi(v); err != nil || req.Workers < 0 || req.Workers > maxWorkersParam {
+			return req, fmt.Errorf("bad workers %q (want 0..%d)", v, maxWorkersParam)
 		}
 	}
 	req.Query, err = graph.Parse(http.MaxBytesReader(w, r.Body, maxQueryBody))
@@ -210,19 +216,27 @@ type embeddingLine struct {
 
 // matchStream writes embeddings as NDJSON while the search runs. The
 // sink executes inside enumeration, so every write applies backpressure
-// to the search; a failed write (client gone) aborts it. Headers go out
-// before the search completes, so a mid-stream failure is reported as a
-// final {"error": ...} line instead of a status code.
+// to the search; a failed write (client gone) aborts it. The 200 status
+// is committed lazily at the first embedding, so everything that fails
+// before enumeration streams anything — unknown graph, validation,
+// admission overload — still maps to a real status code via httpError;
+// only a mid-stream failure degrades to a final {"error": ...} line.
 func (s *server) matchStream(w http.ResponseWriter, r *http.Request, req service.Request) {
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
 	bw := bufio.NewWriter(w)
-	defer bw.Flush()
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(bw)
+	started := false
+	start := func() {
+		if !started {
+			started = true
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+		}
+	}
 	const flushEvery = 64
 	n := 0
 	resp, err := s.svc.Stream(r.Context(), req, func(m []uint32) bool {
+		start()
 		if err := enc.Encode(embeddingLine{Embedding: m}); err != nil {
 			return false
 		}
@@ -238,8 +252,15 @@ func (s *server) matchStream(w http.ResponseWriter, r *http.Request, req service
 		return true
 	})
 	if err != nil {
+		if !started {
+			httpError(w, err)
+			return
+		}
 		enc.Encode(map[string]string{"error": err.Error()})
+		bw.Flush()
 		return
 	}
+	start()
 	enc.Encode(map[string]matchResult{"result": toMatchResult(resp)})
+	bw.Flush()
 }

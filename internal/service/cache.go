@@ -84,10 +84,16 @@ type CacheStats struct {
 // candidate-space CSR, whose size varies too much per workload for a
 // byte budget to beat a simple count knob here.
 type planCache struct {
-	mu        sync.Mutex
-	cap       int
-	ll        *list.List // front = most recently used
-	entries   map[planKey]*list.Element
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	entries map[planKey]*list.Element
+	// minGen fences inserts per graph name: add drops any entry whose
+	// generation is below the recorded floor. purgeGraph raises the floor,
+	// closing the race where a request that resolved a graph before a
+	// hot-swap/unregister inserts its (now unreachable) plan after the
+	// purge ran, pinning dead plan memory in an LRU slot.
+	minGen    map[string]uint64
 	hits      uint64
 	misses    uint64
 	evictions uint64
@@ -102,7 +108,11 @@ func newPlanCache(capacity int) *planCache {
 	if capacity <= 0 {
 		return nil // caching disabled
 	}
-	return &planCache{cap: capacity, ll: list.New(), entries: make(map[planKey]*list.Element)}
+	return &planCache{
+		cap: capacity, ll: list.New(),
+		entries: make(map[planKey]*list.Element),
+		minGen:  make(map[string]uint64),
+	}
 }
 
 func (c *planCache) get(k planKey) (*core.Plan, bool) {
@@ -123,6 +133,12 @@ func (c *planCache) get(k planKey) (*core.Plan, bool) {
 func (c *planCache) add(k planKey, p *core.Plan) *core.Plan {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if k.gen < c.minGen[k.graph] {
+		// The graph was swapped or unregistered while this plan was being
+		// built; no future request can produce this key, so don't let the
+		// dead plan occupy an LRU slot.
+		return p
+	}
 	if e, ok := c.entries[k]; ok {
 		c.ll.MoveToFront(e)
 		return e.Value.(*cacheEntry).plan
@@ -137,17 +153,22 @@ func (c *planCache) add(k planKey, p *core.Plan) *core.Plan {
 	return p
 }
 
-// purgeGraph drops every entry for the named graph — called on
-// unregister so a dropped graph's plans free promptly instead of waiting
-// to age out.
-func (c *planCache) purgeGraph(name string) {
+// purgeGraph drops every entry for the named graph built against a
+// generation below `before`, and raises that name's insert floor so a
+// concurrent miss on the old generation cannot re-add its plan after the
+// purge. Hot swap passes the new generation; unregister passes the
+// removed generation + 1 (a later re-register always gets a higher one).
+func (c *planCache) purgeGraph(name string, before uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if before > c.minGen[name] {
+		c.minGen[name] = before
+	}
 	var next *list.Element
 	for e := c.ll.Front(); e != nil; e = next {
 		next = e.Next()
 		ent := e.Value.(*cacheEntry)
-		if ent.key.graph == name {
+		if ent.key.graph == name && ent.key.gen < before {
 			c.ll.Remove(e)
 			delete(c.entries, ent.key)
 		}

@@ -70,13 +70,42 @@ func TestPlanCachePurgeGraph(t *testing.T) {
 	c.add(testKey("a", 1, 1), &core.Plan{})
 	c.add(testKey("a", 2, 2), &core.Plan{})
 	c.add(testKey("b", 1, 3), &core.Plan{})
-	c.purgeGraph("a")
+	c.purgeGraph("a", 3)
 	st := c.stats()
 	if st.Size != 1 {
 		t.Fatalf("size after purge = %d, want 1", st.Size)
 	}
 	if _, ok := c.get(testKey("b", 1, 3)); !ok {
 		t.Fatal("purge must not touch other graphs' entries")
+	}
+}
+
+// TestPlanCachePurgeBlocksStaleInserts pins the hot-swap race fix: a
+// request that resolved the old graph generation before the purge must
+// not be able to insert its plan afterwards.
+func TestPlanCachePurgeBlocksStaleInserts(t *testing.T) {
+	c := newPlanCache(8)
+	c.purgeGraph("a", 3)
+	p := &core.Plan{}
+	if got := c.add(testKey("a", 2, 1), p); got != p {
+		t.Fatal("a dropped add must still hand back the caller's plan")
+	}
+	if st := c.stats(); st.Size != 0 {
+		t.Fatalf("stale-generation insert must be dropped, size = %d", st.Size)
+	}
+	// The current generation and other graphs are unaffected.
+	c.add(testKey("a", 3, 1), &core.Plan{})
+	c.add(testKey("b", 1, 2), &core.Plan{})
+	if st := c.stats(); st.Size != 2 {
+		t.Fatalf("size = %d, want 2", st.Size)
+	}
+	// A later purge at a lower generation must not lower the floor.
+	c.purgeGraph("a", 2)
+	if got := c.add(testKey("a", 2, 9), p); got != p {
+		t.Fatal("dropped add must hand back the caller's plan")
+	}
+	if st := c.stats(); st.Size != 2 {
+		t.Fatalf("floor must be monotonic, size = %d", st.Size)
 	}
 }
 

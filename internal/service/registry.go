@@ -74,14 +74,17 @@ func (r *registry) register(name string, g *graph.Graph, replace bool, now time.
 	return e.info(), nil
 }
 
-func (r *registry) unregister(name string) error {
+// unregister removes the named graph, returning the removed entry's
+// generation so the caller can fence late plan-cache inserts against it.
+func (r *registry) unregister(name string) (uint64, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.graphs[name]; !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownGraph, name)
+	e, ok := r.graphs[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownGraph, name)
 	}
 	delete(r.graphs, name)
-	return nil
+	return e.gen, nil
 }
 
 func (r *registry) get(name string) (*graphEntry, error) {

@@ -83,10 +83,14 @@ func TestRegistryUnregisterAndList(t *testing.T) {
 	if len(infos) != 3 || infos[0].Name != "alpha" || infos[1].Name != "mid" || infos[2].Name != "zeta" {
 		t.Fatalf("list = %+v, want name-sorted", infos)
 	}
-	if err := r.unregister("mid"); err != nil {
+	gen, err := r.unregister("mid")
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.unregister("mid"); !errors.Is(err, ErrUnknownGraph) {
+	if gen != 3 {
+		t.Fatalf("unregistered generation = %d, want 3 (third registration)", gen)
+	}
+	if _, err := r.unregister("mid"); !errors.Is(err, ErrUnknownGraph) {
 		t.Fatalf("double unregister err = %v", err)
 	}
 	if len(r.list()) != 2 {

@@ -16,7 +16,8 @@ import (
 type Config struct {
 	// MaxInFlight caps the total enumeration workers running at once
 	// across all requests (a request with Parallel=4 holds 4 units).
-	// Default: 2×GOMAXPROCS.
+	// Requests asking for more are clamped to it — admission weight and
+	// actual worker count always agree. Default: 2×GOMAXPROCS.
 	MaxInFlight int
 	// MaxQueue bounds how many requests may wait for admission; one
 	// more arrival is rejected with ErrQueueFull. Default: 64.
@@ -131,18 +132,19 @@ func (s *Service) RegisterGraph(name string, g *graph.Graph, replace bool) (Grap
 		return GraphInfo{}, err
 	}
 	if replace && s.cache != nil {
-		s.cache.purgeGraph(name)
+		s.cache.purgeGraph(name, info.Generation)
 	}
 	return info, nil
 }
 
 // UnregisterGraph removes a named graph and purges its cached plans.
 func (s *Service) UnregisterGraph(name string) error {
-	if err := s.reg.unregister(name); err != nil {
+	gen, err := s.reg.unregister(name)
+	if err != nil {
 		return err
 	}
 	if s.cache != nil {
-		s.cache.purgeGraph(name)
+		s.cache.purgeGraph(name, gen+1)
 	}
 	return nil
 }
@@ -218,6 +220,17 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Response, error) {
 		weight = 1
 	}
 	weight = s.sem.clampWeight(weight)
+	// The admitted weight IS the enumeration budget: clamp the request's
+	// parallelism to it, so an oversized ?parallel= cannot hold MaxInFlight
+	// units yet spawn an engine per root candidate. Preprocessing workers
+	// get the same ceiling. Clamping precedes the cache-key computation in
+	// matchCached, so the key reflects the worker count actually used.
+	if req.Parallel > int(weight) {
+		req.Parallel = int(weight)
+	}
+	if req.Workers > s.cfg.MaxInFlight {
+		req.Workers = s.cfg.MaxInFlight
+	}
 	if err := s.sem.acquire(ctx, weight, s.cfg.MaxQueueWait, s.cfg.MaxQueue); err != nil {
 		s.stats.record(entry.name, algo, func(c *workloadCounters) { c.rejected++ })
 		return nil, err

@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
@@ -324,6 +325,42 @@ func TestOverloadReturnsTypedErrors(t *testing.T) {
 	}
 	if rejected != 2 {
 		t.Fatalf("rejected = %d, want 2", rejected)
+	}
+}
+
+// TestSubmitClampsParallelToAdmission pins the admission invariant: a
+// request asking for a million workers holds at most MaxInFlight
+// admission units, so it must also run at most that many enumeration
+// workers — not one goroutine per root candidate. Observed via the
+// process goroutine count from inside the (serialized) sink.
+func TestSubmitClampsParallelToAdmission(t *testing.T) {
+	s, g := newTestService(t, Config{MaxInFlight: 2})
+	q := testutil.RandomConnectedQuery(rand.New(rand.NewSource(4)), g, 3)
+	baseline := runtime.NumGoroutine()
+	maxSeen := 0
+	resp, err := s.Stream(context.Background(), Request{
+		Graph:     "main",
+		Query:     q,
+		Algorithm: core.GraphQL,
+		Parallel:  1 << 20,
+		Workers:   1 << 20,
+	}, func([]uint32) bool {
+		if n := runtime.NumGoroutine(); n > maxSeen {
+			maxSeen = n
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Result.Embeddings == 0 {
+		t.Fatal("test needs embeddings to observe the worker pool")
+	}
+	// Unclamped, matchParallel spawns a goroutine per root candidate
+	// (hundreds on this graph); clamped it runs ≤ MaxInFlight workers.
+	if maxSeen > baseline+16 {
+		t.Fatalf("observed %d goroutines over a baseline of %d; parallelism not clamped to admission weight",
+			maxSeen, baseline)
 	}
 }
 
