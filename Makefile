@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race race-stress fuzz-smoke bench-smoke bench-parallel bench-preprocess bench-serve
+.PHONY: ci vet build test race race-stress fuzz-smoke bench-smoke bench-parallel bench-preprocess bench-serve bench-obs
 
 ci: vet build race race-stress fuzz-smoke bench-smoke
 
@@ -25,10 +25,11 @@ race:
 # Hammer the parallel filter + candidate-space paths under the race
 # detector (100 iterations at 8 workers each, diffed against the
 # 1-worker reference), plus the serving layer's 100-goroutine
-# concurrent-Submit stress over shared cached plans. Any cross-worker
-# state leak trips -race here.
+# concurrent-Submit stress over shared cached plans, plus the metrics
+# registry's concurrent counter/gauge/histogram hammering. Any
+# cross-worker state leak trips -race here.
 race-stress:
-	$(GO) test -race -run 'Stress' -count 1 ./internal/filter ./internal/candspace ./internal/service
+	$(GO) test -race -run 'Stress' -count 1 ./internal/filter ./internal/candspace ./internal/service ./internal/obs
 
 # Short corpus-plus-mutation run of the filter soundness fuzz target
 # (candidate sets never drop a ground-truth embedding vertex).
@@ -52,3 +53,9 @@ bench-preprocess:
 # "Serving" section: cold (uncached) vs warm (plan-cache hit) Submit.
 bench-serve:
 	$(GO) test -run '^$$' -bench 'BenchmarkServe' -benchmem -benchtime 2s ./internal/service
+
+# The instrumentation-overhead measurement behind EXPERIMENTS.md's
+# "Instrumentation overhead" section: span tracing off vs on over the
+# skew workload, sequential and parallel.
+bench-obs:
+	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchmem -benchtime 5x .

@@ -414,6 +414,37 @@ func BenchmarkParallelSkew(b *testing.B) {
 	})
 }
 
+// BenchmarkObsOverhead measures the cost of the observability layer on
+// the skew workload: the same matches with span tracing off (the
+// default) and on. Instrumentation is batched per phase and per worker
+// — engines count in locals and publish once at exit — so the delta
+// stays within noise (EXPERIMENTS.md documents the measured numbers).
+func BenchmarkObsOverhead(b *testing.B) {
+	f := getSkewFixture(b)
+	cfg := core.Config{Filter: filter.GQL, Order: order.GQL, Local: enumerate.Intersect}
+	for _, c := range []struct {
+		name  string
+		limit core.Limits
+	}{
+		{"seq/trace-off", core.Limits{}},
+		{"seq/trace-on", core.Limits{Trace: true}},
+		{"steal-8/trace-off", core.Limits{Parallel: 8, Schedule: core.ScheduleWorkSteal}},
+		{"steal-8/trace-on", core.Limits{Parallel: 8, Schedule: core.ScheduleWorkSteal, Trace: true}},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Match(f.q, f.g, cfg, c.limit)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if c.limit.Trace && res.Trace == nil {
+					b.Fatal("trace requested but absent")
+				}
+			}
+		})
+	}
+}
+
 // --- Historical baselines: Ullmann vs VF2 vs VF2++ ---------------------
 
 // BenchmarkBaselineLineage reproduces the lineage claim of the paper's

@@ -8,7 +8,7 @@
 //
 //	smatch -q query.graph -d data.graph [-algo Optimized] [-limit 100000]
 //	       [-timeout 5m] [-print 3] [-profile] [-parallel 4] [-workers 4]
-//	       [-schedule steal]
+//	       [-schedule steal] [-trace]
 //	smatch -q queries/ -d data.graph [-csv out.csv]   # batch mode
 package main
 
@@ -37,6 +37,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "preprocessing (filter + candidate-space) worker goroutines (0 = same as -parallel)")
 		schedule  = flag.String("schedule", "steal", "parallel scheduler: steal (work stealing) or strided (static partition)")
 		profile   = flag.Bool("profile", false, "print a per-depth search profile")
+		trace     = flag.Bool("trace", false, "print the phase-span trace (filter stages, build, order, per-worker enumeration)")
 		hom       = flag.Bool("hom", false, "count homomorphisms instead of isomorphisms")
 		sym       = flag.Bool("sym", false, "enable symmetry breaking (NEC orbit counting)")
 		estimate  = flag.Bool("estimate", false, "print the spanning-tree cardinality estimate first")
@@ -55,7 +56,7 @@ func main() {
 		return
 	}
 	if err := run(ctx, *queryPath, *dataPath, *algoName, *limit, *timeout, *printN, *parallel, *workers, *schedule,
-		*profile, *hom, *sym, *estimate); err != nil {
+		*profile, *trace, *hom, *sym, *estimate); err != nil {
 		exitErr(err)
 	}
 }
@@ -70,7 +71,7 @@ func exitErr(err error) {
 }
 
 func run(ctx context.Context, queryPath, dataPath, algoName string, limit uint64, timeout time.Duration, printN, parallel, workers int,
-	scheduleName string, profile, hom, sym, estimate bool) error {
+	scheduleName string, profile, trace, hom, sym, estimate bool) error {
 	if queryPath == "" || dataPath == "" {
 		return fmt.Errorf("both -q and -d are required")
 	}
@@ -102,7 +103,7 @@ func run(ctx context.Context, queryPath, dataPath, algoName string, limit uint64
 
 	printed := 0
 	opts := sm.Options{Algorithm: algo, MaxEmbeddings: limit, TimeLimit: timeout,
-		Parallel: parallel, Workers: workers, Schedule: sched}
+		Parallel: parallel, Workers: workers, Schedule: sched, Trace: trace}
 	if profile || hom || sym {
 		cfg := sm.PresetConfig(algo, q, g)
 		cfg.Profile = profile
@@ -151,6 +152,10 @@ func run(ctx context.Context, queryPath, dataPath, algoName string, limit uint64
 		fmt.Println("\nsearch profile:")
 		res.Profile.Render(os.Stdout)
 		fmt.Println(res.Profile.BranchingSummary())
+	}
+	if trace && res.Trace != nil {
+		fmt.Println("\ntrace:")
+		res.Trace.Render(os.Stdout)
 	}
 	return nil
 }

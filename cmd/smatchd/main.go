@@ -7,19 +7,28 @@
 //
 //	smatchd [-addr :7733] [-graph name=path]... [-max-inflight 2*P]
 //	        [-max-queue 64] [-max-queue-wait 5s] [-plan-cache 256]
-//	        [-timeout 5m]
+//	        [-timeout 5m] [-pprof] [-slowlog path] [-slow-threshold 1s]
 //
 // API:
 //
-//	GET    /healthz               liveness
+//	GET    /healthz               readiness: uptime, graph count,
+//	                              admission occupancy (JSON)
 //	GET    /graphs                registered graphs (JSON)
 //	PUT    /graphs/{name}         register graph (body: t/v/e text
 //	                              format; ?replace=1 hot-swaps)
 //	DELETE /graphs/{name}         unregister
 //	POST   /match                 run a query (body: query graph text)
 //	       ?graph=name [&algo=Optimized] [&limit=N] [&timeout=5m]
-//	       [&parallel=4] [&workers=4] [&stream=1]
+//	       [&parallel=4] [&workers=4] [&stream=1] [&trace=1]
 //	GET    /stats                 serving statistics (JSON)
+//	GET    /metrics               Prometheus text exposition
+//	GET    /debug/pprof/...       runtime profiling (only with -pprof)
+//
+// With trace=1 the /match result includes the request's phase-span
+// breakdown (admission wait, plan lookup or preprocessing stages,
+// enumeration with per-worker tallies). With -slowlog, requests at or
+// above -slow-threshold append one NDJSON record with the same
+// breakdown to the given file.
 //
 // Without stream, /match returns one JSON result object. With
 // stream=1 it returns NDJSON: one {"embedding":[...]} line per match
@@ -56,24 +65,38 @@ func (g *graphFlags) Set(v string) error { *g = append(*g, v); return nil }
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":7733", "listen address")
-		inflight  = flag.Int("max-inflight", 0, "max concurrent enumeration workers (0 = 2x GOMAXPROCS)")
-		queue     = flag.Int("max-queue", 0, "max queued requests (0 = 64)")
-		queueWait = flag.Duration("max-queue-wait", 0, "max admission wait (0 = 5s)")
-		cacheSize = flag.Int("plan-cache", 0, "plan cache entries (0 = 256, negative disables)")
-		timeout   = flag.Duration("timeout", 0, "default per-query time limit (0 = 5m)")
-		graphs    graphFlags
+		addr       = flag.String("addr", ":7733", "listen address")
+		inflight   = flag.Int("max-inflight", 0, "max concurrent enumeration workers (0 = 2x GOMAXPROCS)")
+		queue      = flag.Int("max-queue", 0, "max queued requests (0 = 64)")
+		queueWait  = flag.Duration("max-queue-wait", 0, "max admission wait (0 = 5s)")
+		cacheSize  = flag.Int("plan-cache", 0, "plan cache entries (0 = 256, negative disables)")
+		timeout    = flag.Duration("timeout", 0, "default per-query time limit (0 = 5m)")
+		pprofOn    = flag.Bool("pprof", false, "mount /debug/pprof (exposes runtime internals; keep off unless needed)")
+		slowLog    = flag.String("slowlog", "", "append slow-query NDJSON records to this file")
+		slowThresh = flag.Duration("slow-threshold", 0, "latency at which a request is logged as slow (0 = 1s; needs -slowlog)")
+		graphs     graphFlags
 	)
 	flag.Var(&graphs, "graph", "preload a data graph as name=path (repeatable)")
 	flag.Parse()
 
-	svc := service.New(service.Config{
-		MaxInFlight:      *inflight,
-		MaxQueue:         *queue,
-		MaxQueueWait:     *queueWait,
-		PlanCacheSize:    *cacheSize,
-		DefaultTimeLimit: *timeout,
-	})
+	cfg := service.Config{
+		MaxInFlight:        *inflight,
+		MaxQueue:           *queue,
+		MaxQueueWait:       *queueWait,
+		PlanCacheSize:      *cacheSize,
+		DefaultTimeLimit:   *timeout,
+		SlowQueryThreshold: *slowThresh,
+	}
+	if *slowLog != "" {
+		f, err := os.OpenFile(*slowLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smatchd: open slowlog %q: %v\n", *slowLog, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.SlowQueryLog = f
+	}
+	svc := service.New(cfg)
 	for _, spec := range graphs {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {
@@ -94,7 +117,7 @@ func main() {
 			info.Name, info.Vertices, info.Edges, info.Labels)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newServer(svc)}
+	srv := &http.Server{Addr: *addr, Handler: newServer(svc, serverOptions{pprof: *pprofOn})}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)

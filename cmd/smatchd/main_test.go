@@ -36,7 +36,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *graph.Graph) {
 	if _, err := svc.RegisterGraph("main", g, false); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(svc))
+	ts := httptest.NewServer(newServer(svc, serverOptions{}))
 	t.Cleanup(ts.Close)
 	return ts, g
 }
@@ -62,8 +62,27 @@ func do(t *testing.T, method, url, body string) (*http.Response, string) {
 func TestHealthz(t *testing.T) {
 	ts, _ := newTestServer(t)
 	resp, body := do(t, "GET", ts.URL+"/healthz", "")
-	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "ok") {
+	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz = %d %q", resp.StatusCode, body)
+	}
+	var h healthResponse
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("healthz body not JSON: %v\n%s", err, body)
+	}
+	if h.Status != "ok" {
+		t.Errorf("status = %q", h.Status)
+	}
+	if h.Graphs != 1 {
+		t.Errorf("graphs = %d, want 1", h.Graphs)
+	}
+	if h.Capacity <= 0 {
+		t.Errorf("capacity = %d, want positive", h.Capacity)
+	}
+	if h.Uptime <= 0 {
+		t.Error("uptime missing")
+	}
+	if h.InUse != 0 || h.Queued != 0 {
+		t.Errorf("idle server reports in_use=%d queued=%d", h.InUse, h.Queued)
 	}
 }
 
@@ -200,7 +219,7 @@ func TestMatchOverloadMapsTo503(t *testing.T) {
 	if _, err := svc.RegisterGraph("main", g, false); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(svc))
+	ts := httptest.NewServer(newServer(svc, serverOptions{}))
 	t.Cleanup(ts.Close)
 	// Hold the only slot directly through the service, then hit HTTP.
 	occupied := make(chan struct{})

@@ -7,11 +7,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
 	"subgraphmatching/internal/core"
 	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/obs"
 	"subgraphmatching/internal/service"
 )
 
@@ -35,9 +37,17 @@ type server struct {
 	svc *service.Service
 }
 
+// serverOptions selects the optional diagnostic surfaces.
+type serverOptions struct {
+	// pprof mounts /debug/pprof. Off by default: the profiling
+	// endpoints expose goroutine stacks and allow CPU captures, which
+	// is an operator decision, not a default.
+	pprof bool
+}
+
 // newServer builds the smatchd handler — exported shape so tests can
 // mount it on httptest.Server.
-func newServer(svc *service.Service) http.Handler {
+func newServer(svc *service.Service, opts serverOptions) http.Handler {
 	s := &server{svc: svc}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.healthz)
@@ -46,6 +56,17 @@ func newServer(svc *service.Service) http.Handler {
 	mux.HandleFunc("DELETE /graphs/{name}", s.deleteGraph)
 	mux.HandleFunc("POST /match", s.match)
 	mux.HandleFunc("GET /stats", s.stats)
+	mux.HandleFunc("GET /metrics", s.metrics)
+	if opts.pprof {
+		// Explicit registrations: importing net/http/pprof for its
+		// side effect would mount the handlers on the default mux,
+		// which smatchd does not serve.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -84,8 +105,34 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
+// healthResponse is the /healthz readiness report: enough occupancy
+// detail for a load balancer or operator to judge the instance without
+// pulling the full /stats snapshot.
+type healthResponse struct {
+	Status   string        `json:"status"`
+	Uptime   time.Duration `json:"uptime_ns"`
+	Graphs   int           `json:"graphs"`
+	Capacity int64         `json:"capacity"`
+	InUse    int64         `json:"in_use"`
+	Queued   int           `json:"queued"`
+}
+
 func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	st := s.svc.Stats()
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:   "ok",
+		Uptime:   st.Uptime,
+		Graphs:   len(st.Graphs),
+		Capacity: st.Admission.Capacity,
+		InUse:    st.Admission.InUse,
+		Queued:   st.Admission.Queued,
+	})
+}
+
+// metrics serves the registry in the Prometheus text exposition format.
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.svc.Metrics().WritePrometheus(w)
 }
 
 func (s *server) listGraphs(w http.ResponseWriter, r *http.Request) {
@@ -120,7 +167,8 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.svc.Stats())
 }
 
-// matchResult is the JSON shape of one query's outcome.
+// matchResult is the JSON shape of one query's outcome. Trace carries
+// the request's span tree when the client asked for it with ?trace=1.
 type matchResult struct {
 	Embeddings uint64        `json:"embeddings"`
 	Nodes      uint64        `json:"nodes"`
@@ -130,10 +178,11 @@ type matchResult struct {
 	Preprocess time.Duration `json:"preprocess_ns"`
 	Enumerate  time.Duration `json:"enumerate_ns"`
 	QueueWait  time.Duration `json:"queue_wait_ns"`
+	Trace      *obs.Span     `json:"trace,omitempty"`
 }
 
-func toMatchResult(resp *service.Response) matchResult {
-	return matchResult{
+func toMatchResult(resp *service.Response, withTrace bool) matchResult {
+	res := matchResult{
 		Embeddings: resp.Result.Embeddings,
 		Nodes:      resp.Result.Nodes,
 		TimedOut:   resp.Result.TimedOut,
@@ -143,6 +192,10 @@ func toMatchResult(resp *service.Response) matchResult {
 		Enumerate:  resp.Result.EnumTime,
 		QueueWait:  resp.QueueWait,
 	}
+	if withTrace {
+		res.Trace = resp.Result.Trace
+	}
+	return res
 }
 
 // parseMatchRequest turns query parameters + body into a service
@@ -197,16 +250,17 @@ func (s *server) match(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
+	withTrace := r.URL.Query().Get("trace") == "1"
 	if r.URL.Query().Get("stream") != "1" {
 		resp, err := s.svc.Submit(r.Context(), req)
 		if err != nil {
 			httpError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, toMatchResult(resp))
+		writeJSON(w, http.StatusOK, toMatchResult(resp, withTrace))
 		return
 	}
-	s.matchStream(w, r, req)
+	s.matchStream(w, r, req, withTrace)
 }
 
 // embeddingLine is one NDJSON stream record.
@@ -221,7 +275,7 @@ type embeddingLine struct {
 // before enumeration streams anything — unknown graph, validation,
 // admission overload — still maps to a real status code via httpError;
 // only a mid-stream failure degrades to a final {"error": ...} line.
-func (s *server) matchStream(w http.ResponseWriter, r *http.Request, req service.Request) {
+func (s *server) matchStream(w http.ResponseWriter, r *http.Request, req service.Request, withTrace bool) {
 	bw := bufio.NewWriter(w)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(bw)
@@ -261,6 +315,6 @@ func (s *server) matchStream(w http.ResponseWriter, r *http.Request, req service
 		return
 	}
 	start()
-	enc.Encode(map[string]matchResult{"result": toMatchResult(resp)})
+	enc.Encode(map[string]matchResult{"result": toMatchResult(resp, withTrace)})
 	bw.Flush()
 }

@@ -21,6 +21,7 @@ import (
 	"subgraphmatching/internal/filter"
 	"subgraphmatching/internal/glasgow"
 	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/obs"
 	"subgraphmatching/internal/order"
 	"subgraphmatching/internal/ullmann"
 	"subgraphmatching/internal/vf2"
@@ -141,6 +142,10 @@ type Limits struct {
 	// bounded round budget prune a (still sound and complete) superset
 	// of the sequential Gauss–Seidel sets.
 	Workers int
+	// Trace attaches the phase-span breakdown to Result.Trace. Spans
+	// are built only at phase boundaries (a handful of allocations per
+	// query), never inside the enumeration hot path.
+	Trace bool
 }
 
 // preprocessWorkers resolves the effective preprocessing worker count.
@@ -186,6 +191,33 @@ type Result struct {
 	// unconstrained cores (the makespan bound), independent of how many
 	// CPUs this process actually got.
 	WorkerNodes []uint64
+	// Workers, set on parallel runs, carries each worker's scheduler
+	// tallies: tasks executed, successful and failed steal attempts,
+	// and search-tree nodes. Counters are accumulated in worker-local
+	// variables and published once at worker exit, so collecting them
+	// costs nothing on the task loop.
+	Workers []WorkerStats
+	// Trace is the phase-span breakdown, set when Limits.Trace was on.
+	// For Match the root span is "match" with "preprocess" and
+	// "enumerate" children; for MatchPlan it is the "enumerate" span
+	// alone (the preprocessing spans live on the plan the caller
+	// reused).
+	Trace *obs.Span
+}
+
+// WorkerStats is one parallel worker's scheduler tally.
+type WorkerStats struct {
+	// Tasks is the number of task units (root candidates or depth-1
+	// pairs) the worker executed.
+	Tasks uint64
+	// Steals counts successful chunk steals; FailedSteals counts empty
+	// victims probed during steal sweeps. A high failed/successful
+	// ratio at the end of a run is the normal termination pattern; a
+	// high ratio throughout signals task starvation.
+	Steals       uint64
+	FailedSteals uint64
+	// Nodes is the search-tree nodes the worker expanded.
+	Nodes uint64
 }
 
 // PreprocessTime is FilterTime + BuildTime + OrderTime.
@@ -244,6 +276,14 @@ type Plan struct {
 	// (the Figure 8 metric and the footprint).
 	MeanCandidates float64
 	MemoryBytes    int64
+
+	// Span is the preprocessing phase breakdown: a "preprocess" root
+	// with "filter" (and its per-stage children on sequential runs),
+	// "build" and "order" children. Always populated — span assembly
+	// happens once per plan at phase boundaries and is dwarfed by the
+	// phases themselves. Immutable once the plan is built: cached plans
+	// share it across requests.
+	Span *obs.Span
 }
 
 // Preprocess runs the preprocessing half of the pipeline — filtering
@@ -272,18 +312,37 @@ func Preprocess(q, g *graph.Graph, cfg Config, workers int) (*Plan, error) {
 		workers = 1
 	}
 	plan := &Plan{Query: q, Data: g, Cfg: cfg, Orbit: 1}
+	plan.Span = obs.StartSpan("preprocess")
 
-	// Step 1: filtering.
+	// Step 1: filtering. On sequential runs the method's internal
+	// stages (e.g. GQL's local pruning and refinement rounds) become
+	// children of the filter span; parallel filtering reports one
+	// coarse span.
 	t0 := time.Now()
-	cand, err := runFilter(q, g, cfg, workers)
+	var stages filter.StageTrace
+	cand, err := runFilter(q, g, cfg, workers, &stages)
 	if err != nil {
 		return nil, err
 	}
 	plan.Cand = cand
 	plan.FilterTime = time.Since(t0)
 	plan.MeanCandidates = filter.MeanCandidates(cand)
+	fs := obs.NewSpan("filter", t0, plan.FilterTime)
+	if cfg.Homomorphism {
+		fs.SetAttr("method", "label-only")
+	} else {
+		fs.SetAttr("method", cfg.Filter.String())
+	}
+	fs.SetAttr("candidates", filter.TotalCandidates(cand))
+	for _, st := range stages.Stages {
+		fs.AddChild(obs.NewSpan(st.Name, time.Time{}, st.Duration).
+			SetAttr("candidates", st.Candidates))
+	}
+	plan.Span.AddChild(fs)
 	if filter.AnyEmpty(cand) {
 		plan.Empty = true
+		plan.Span.SetAttr("empty", true)
+		plan.Span.End()
 		return plan, nil
 	}
 
@@ -317,15 +376,30 @@ func Preprocess(q, g *graph.Graph, cfg Config, workers int) (*Plan, error) {
 			plan.MemoryBytes += int64(len(c)) * 4
 		}
 	}
+	structure := "none"
+	if plan.Space != nil {
+		if cfg.TreeSpace {
+			structure = "tree"
+		} else {
+			structure = "full"
+		}
+	}
+	plan.Span.AddChild(obs.NewSpan("build", t0, plan.BuildTime).
+		SetAttr("structure", structure).
+		SetAttr("memory_bytes", plan.MemoryBytes))
 
 	// Step 2: ordering.
 	t0 = time.Now()
 	phi := cfg.FixedOrder
+	orderMethod := "fixed"
 	if phi == nil {
 		if cfg.AutoOrder && plan.Space != nil {
-			_, phi, err = order.Best(q, g, cand, plan.Space)
+			var best order.Method
+			best, phi, err = order.Best(q, g, cand, plan.Space)
+			orderMethod = "auto:" + best.String()
 		} else {
 			phi, err = order.Compute(cfg.Order, q, g, cand)
+			orderMethod = cfg.Order.String()
 		}
 		if err != nil {
 			return nil, err
@@ -336,11 +410,14 @@ func Preprocess(q, g *graph.Graph, cfg Config, workers int) (*Plan, error) {
 	}
 	plan.OrderTime = time.Since(t0)
 	plan.Order = phi
+	plan.Span.AddChild(obs.NewSpan("order", t0, plan.OrderTime).
+		SetAttr("method", orderMethod))
 
 	if cfg.SymmetryBreaking {
 		plan.SymClasses = NeighborhoodEquivalenceClasses(q)
 		plan.Orbit = OrbitMultiplier(plan.SymClasses)
 	}
+	plan.Span.End()
 	return plan, nil
 }
 
@@ -359,7 +436,11 @@ func (p *Plan) PreprocessTime() time.Duration {
 func MatchPlan(plan *Plan, limits Limits) (*Result, error) {
 	q, g, cfg := plan.Query, plan.Data, plan.Cfg
 	res := &Result{MeanCandidates: plan.MeanCandidates, MemoryBytes: plan.MemoryBytes}
+	enumStart := time.Now()
 	if plan.Empty {
+		if limits.Trace {
+			res.Trace = obs.NewSpan("enumerate", enumStart, 0).SetAttr("empty", true)
+		}
 		return res, nil
 	}
 	res.Order = plan.Order
@@ -370,6 +451,9 @@ func MatchPlan(plan *Plan, limits Limits) (*Result, error) {
 		}
 		if err := matchParallel(q, g, plan.Cand, plan.Space, plan.Order, plan.Weights, cfg, limits, limits.Parallel, res); err != nil {
 			return nil, err
+		}
+		if limits.Trace {
+			res.Trace = enumerateSpan(enumStart, res)
 		}
 		return res, nil
 	}
@@ -396,7 +480,35 @@ func MatchPlan(plan *Plan, limits Limits) (*Result, error) {
 	res.LimitHit = stats.LimitHit
 	res.EnumTime = stats.Duration
 	res.Profile = stats.Profile
+	if limits.Trace {
+		res.Trace = enumerateSpan(enumStart, res)
+	}
 	return res, nil
+}
+
+// enumerateSpan builds the "enumerate" span from a finished result:
+// outcome attributes plus one zero-duration child per parallel worker
+// carrying that worker's scheduler tallies. Worker children annotate
+// rather than time (they all cover the same wall interval), so the
+// sum-of-children invariant holds trivially.
+func enumerateSpan(start time.Time, res *Result) *obs.Span {
+	es := obs.NewSpan("enumerate", start, res.EnumTime).
+		SetAttr("embeddings", res.Embeddings).
+		SetAttr("nodes", res.Nodes)
+	if res.TimedOut {
+		es.SetAttr("timed_out", true)
+	}
+	if res.LimitHit {
+		es.SetAttr("limit_hit", true)
+	}
+	for w, ws := range res.Workers {
+		es.AddChild(obs.NewSpan(fmt.Sprintf("worker-%d", w), time.Time{}, 0).
+			SetAttr("tasks", ws.Tasks).
+			SetAttr("steals", ws.Steals).
+			SetAttr("failed_steals", ws.FailedSteals).
+			SetAttr("nodes", ws.Nodes))
+	}
+	return es
 }
 
 // Match runs the full pipeline for one query: Preprocess followed by
@@ -406,6 +518,7 @@ func Match(q, g *graph.Graph, cfg Config, limits Limits) (*Result, error) {
 	if q == nil || g == nil {
 		return nil, fmt.Errorf("core: %w", ErrNilGraph)
 	}
+	start := time.Now()
 	if cfg.UseGlasgow || cfg.UseVF2 || cfg.UseUllmann {
 		if q.NumVertices() == 0 {
 			return nil, fmt.Errorf("core: %w", ErrEmptyQuery)
@@ -416,14 +529,30 @@ func Match(q, g *graph.Graph, cfg Config, limits Limits) (*Result, error) {
 		if cfg.Homomorphism {
 			return nil, fmt.Errorf("core: the external engines do not support homomorphisms")
 		}
+		var (
+			res    *Result
+			err    error
+			engine string
+		)
 		switch {
 		case cfg.UseGlasgow:
-			return matchGlasgow(q, g, cfg, limits)
+			res, err = matchGlasgow(q, g, cfg, limits)
+			engine = "glasgow"
 		case cfg.UseVF2:
-			return matchVF2(q, g, limits)
+			res, err = matchVF2(q, g, limits)
+			engine = "vf2"
 		default:
-			return matchUllmann(q, g, limits)
+			res, err = matchUllmann(q, g, limits)
+			engine = "ullmann"
 		}
+		if err != nil {
+			return nil, err
+		}
+		if limits.Trace {
+			res.Trace = obs.NewSpan("match", start, time.Since(start)).
+				AddChild(enumerateSpan(start, res).SetAttr("engine", engine))
+		}
+		return res, nil
 	}
 	plan, err := Preprocess(q, g, cfg, limits.preprocessWorkers())
 	if err != nil {
@@ -436,10 +565,18 @@ func Match(q, g *graph.Graph, cfg Config, limits Limits) (*Result, error) {
 	res.FilterTime = plan.FilterTime
 	res.BuildTime = plan.BuildTime
 	res.OrderTime = plan.OrderTime
+	if limits.Trace {
+		res.Trace = obs.NewSpan("match", start, time.Since(start)).
+			AddChild(plan.Span).
+			AddChild(res.Trace)
+	}
 	return res, nil
 }
 
-func runFilter(q, g *graph.Graph, cfg Config, workers int) ([][]uint32, error) {
+// runFilter dispatches the configured filtering method. Sequential runs
+// record the method's internal stages into tr; the parallel paths leave
+// tr empty (the filter span still carries the total time).
+func runFilter(q, g *graph.Graph, cfg Config, workers int, tr *filter.StageTrace) ([][]uint32, error) {
 	if cfg.Homomorphism {
 		// Structural filters assume injectivity (even LDF's degree
 		// condition); only label candidates are sound for
@@ -460,7 +597,7 @@ func runFilter(q, g *graph.Graph, cfg Config, workers int) ([][]uint32, error) {
 			if workers > 1 {
 				return filter.RunGraphQLRadiusParallel(q, g, rounds, radius, workers), nil
 			}
-			return filter.RunGraphQLRadius(q, g, rounds, radius), nil
+			return filter.RunGraphQLRadiusTraced(q, g, rounds, radius, tr), nil
 		}
 	case filter.DPIso:
 		if cfg.DPIsoPasses > 0 {
@@ -470,13 +607,13 @@ func runFilter(q, g *graph.Graph, cfg Config, workers int) ([][]uint32, error) {
 			if workers > 1 {
 				return filter.RunDPIsoParallel(q, g, cfg.DPIsoPasses, workers), nil
 			}
-			return filter.RunDPIso(q, g, cfg.DPIsoPasses), nil
+			return filter.RunDPIsoTraced(q, g, cfg.DPIsoPasses, tr), nil
 		}
 	}
 	if workers > 1 {
 		return filter.RunParallel(cfg.Filter, q, g, workers)
 	}
-	return filter.Run(cfg.Filter, q, g)
+	return filter.RunTraced(cfg.Filter, q, g, tr)
 }
 
 func matchVF2(q, g *graph.Graph, limits Limits) (*Result, error) {

@@ -167,6 +167,11 @@ func matchParallel(q, g *graph.Graph, cand [][]uint32, space *candspace.Space,
 		engines[w] = eng
 	}
 
+	// Per-worker scheduler tallies. Each goroutine accumulates into
+	// locals and writes its own slice element once before exiting — no
+	// shared atomics on the task loop.
+	workerStats := make([]WorkerStats, workers)
+
 	start := time.Now()
 	if limits.TimeLimit > 0 {
 		deadline := start.Add(limits.TimeLimit)
@@ -184,11 +189,14 @@ func matchParallel(q, g *graph.Graph, cand [][]uint32, space *candspace.Space,
 			go func(w int) {
 				defer wg.Done()
 				eng := engines[w]
+				var tasks uint64
 				for i := w; i < len(rootCands); i += workers {
+					tasks++
 					if !eng.RunRoot(rootCands[i]) {
 						break
 					}
 				}
+				workerStats[w].Tasks = tasks
 			}(w)
 		}
 	default:
@@ -208,14 +216,22 @@ func matchParallel(q, g *graph.Graph, cand [][]uint32, space *candspace.Space,
 			go func(w int) {
 				defer wg.Done()
 				eng, self := engines[w], deques[w]
+				var tasks, steals, failed uint64
+				defer func() {
+					workerStats[w] = WorkerStats{Tasks: tasks, Steals: steals, FailedSteals: failed}
+				}()
 				for {
 					t, ok := self.pop()
 					if !ok {
-						if !stealInto(self, deques, w) {
+						stolen, probes := stealInto(self, deques, w)
+						failed += uint64(probes)
+						if !stolen {
 							return
 						}
+						steals++
 						continue
 					}
+					tasks++
 					var cont bool
 					if t.second == noSecond {
 						cont = eng.RunRoot(t.root)
@@ -241,6 +257,7 @@ func matchParallel(q, g *graph.Graph, cand [][]uint32, space *candspace.Space,
 		st := eng.Stats()
 		nodes += st.Nodes
 		workerNodes[w] = st.Nodes
+		workerStats[w].Nodes = st.Nodes
 		localEmb += st.Embeddings
 		if st.TimedOut {
 			timedOut.Store(true)
@@ -261,5 +278,6 @@ func matchParallel(q, g *graph.Graph, cand [][]uint32, space *candspace.Space,
 	res.EnumTime = time.Since(start)
 	res.Profile = mergedProf
 	res.WorkerNodes = workerNodes
+	res.Workers = workerStats
 	return nil
 }

@@ -117,15 +117,19 @@ func (d *taskDeque) push(ts ...enumTask) {
 }
 
 // stealInto sweeps the other deques starting after w and moves one
-// stolen chunk into self. It reports whether any work was found; false
+// stolen chunk into self. It reports whether any work was found — false
 // means every deque was empty at the time it was visited, and since
-// tasks are never respawned the worker can exit.
-func stealInto(self *taskDeque, deques []*taskDeque, w int) bool {
+// tasks are never respawned the worker can exit — along with the number
+// of empty victims probed during the sweep, the scheduler's
+// failed-steal tally.
+func stealInto(self *taskDeque, deques []*taskDeque, w int) (bool, int) {
+	probes := 0
 	for i := 1; i < len(deques); i++ {
 		if chunk := deques[(w+i)%len(deques)].stealHalf(); chunk != nil {
 			self.push(chunk...)
-			return true
+			return true, probes
 		}
+		probes++
 	}
-	return false
+	return false, probes
 }

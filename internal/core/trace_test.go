@@ -1,0 +1,216 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"subgraphmatching/internal/obs"
+	"subgraphmatching/internal/testutil"
+)
+
+// wellNested asserts the trace invariant the smatch -trace output relies
+// on: at every node, the children's durations sum to no more than the
+// node's own duration.
+func wellNested(t *testing.T, label string, s *obs.Span) {
+	t.Helper()
+	if sum := s.ChildrenDuration(); sum > s.Duration {
+		t.Errorf("%s: span %q children sum %v > own duration %v", label, s.Name, sum, s.Duration)
+	}
+	for _, c := range s.Children {
+		wellNested(t, label, c)
+	}
+}
+
+// TestMatchTraceAllPresets runs every preset with tracing on and checks
+// the span tree's shape: a "match" root whose phase children nest within
+// the request wall time (the acceptance criterion for -trace).
+func TestMatchTraceAllPresets(t *testing.T) {
+	q, g := testutil.PaperQuery(), testutil.PaperData()
+	for _, a := range Algorithms() {
+		cfg := PresetConfig(a, q, g)
+		res, err := Match(q, g, cfg, Limits{Trace: true})
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		root := res.Trace
+		if root == nil {
+			t.Fatalf("%v: Trace nil with Limits.Trace on", a)
+		}
+		if root.Name != "match" {
+			t.Errorf("%v: root span %q, want match", a, root.Name)
+		}
+		wellNested(t, a.String(), root)
+		if root.Child("enumerate") == nil {
+			t.Errorf("%v: no enumerate child", a)
+		}
+		external := cfg.UseGlasgow || cfg.UseVF2 || cfg.UseUllmann
+		if pre := root.Child("preprocess"); !external {
+			if pre == nil {
+				t.Fatalf("%v: no preprocess child", a)
+			}
+			for _, phase := range []string{"filter", "build", "order"} {
+				if pre.Child(phase) == nil {
+					t.Errorf("%v: preprocess missing %q child", a, phase)
+				}
+			}
+			f := pre.Child("filter")
+			if f != nil && f.Attr("method") == nil {
+				t.Errorf("%v: filter span has no method attr", a)
+			}
+		} else if pre != nil {
+			t.Errorf("%v: external engine grew a preprocess span", a)
+		}
+	}
+}
+
+// TestMatchTraceOff confirms tracing is opt-in.
+func TestMatchTraceOff(t *testing.T) {
+	q, g := testutil.PaperQuery(), testutil.PaperData()
+	res, err := Match(q, g, PresetConfig(Optimized, q, g), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Error("Trace set without Limits.Trace")
+	}
+}
+
+// TestMatchTraceFilterStages checks that a sequential run surfaces the
+// filter's internal stages as children of the filter span.
+func TestMatchTraceFilterStages(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := testutil.RandomGraph(rng, 100, 400, 3)
+	q := testutil.RandomConnectedQuery(rng, g, 5)
+	res, err := Match(q, g, PresetConfig(GraphQL, q, g), Limits{Trace: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Trace.Child("preprocess").Child("filter")
+	if f == nil {
+		t.Fatal("no filter span")
+	}
+	if len(f.Children) < 2 {
+		t.Fatalf("filter span has %d stage children, want >= 2 (local + refine)", len(f.Children))
+	}
+	if f.Children[0].Name != "local" {
+		t.Errorf("first stage %q, want local", f.Children[0].Name)
+	}
+	if !strings.HasPrefix(f.Children[1].Name, "refine-") {
+		t.Errorf("second stage %q, want refine-*", f.Children[1].Name)
+	}
+}
+
+// TestParallelWorkerStats checks the scheduler tallies: every task is
+// accounted to exactly one worker, per-worker nodes match WorkerNodes,
+// and the trace surfaces one worker child per worker.
+func TestParallelWorkerStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := testutil.RandomGraph(rng, 200, 900, 2)
+	q := testutil.RandomConnectedQuery(rng, g, 5)
+	want := testutil.BruteForceCount(q, g, 0)
+
+	for _, sched := range Schedules() {
+		cfg := PresetConfig(Optimized, q, g)
+		res, err := Match(q, g, cfg, Limits{Trace: true, Parallel: 4, Schedule: sched})
+		if err != nil {
+			t.Fatalf("%v: %v", sched, err)
+		}
+		if res.Embeddings != want {
+			t.Fatalf("%v: %d embeddings, want %d", sched, res.Embeddings, want)
+		}
+		if len(res.Workers) == 0 {
+			t.Fatalf("%v: no worker stats on a parallel run", sched)
+		}
+		if len(res.Workers) != len(res.WorkerNodes) {
+			t.Fatalf("%v: %d Workers vs %d WorkerNodes", sched, len(res.Workers), len(res.WorkerNodes))
+		}
+		var tasks, nodes uint64
+		for w, ws := range res.Workers {
+			tasks += ws.Tasks
+			nodes += ws.Nodes
+			if ws.Nodes != res.WorkerNodes[w] {
+				t.Errorf("%v: worker %d nodes %d != WorkerNodes %d", sched, w, ws.Nodes, res.WorkerNodes[w])
+			}
+		}
+		if tasks == 0 {
+			t.Errorf("%v: zero tasks executed", sched)
+		}
+		if nodes != res.Nodes {
+			t.Errorf("%v: worker nodes sum %d != Nodes %d", sched, nodes, res.Nodes)
+		}
+		enum := res.Trace.Child("enumerate")
+		if enum == nil {
+			t.Fatalf("%v: no enumerate span", sched)
+		}
+		if len(enum.Children) != len(res.Workers) {
+			t.Errorf("%v: %d worker spans, want %d", sched, len(enum.Children), len(res.Workers))
+		}
+	}
+}
+
+// TestWorkStealTasksConserved pins down the work-steal accounting: with
+// no early stop, the workers' Tasks must sum to the task-pool size (each
+// root candidate, or each depth-1 pair when the pool was split).
+func TestWorkStealTasksConserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := testutil.RandomGraph(rng, 150, 700, 2)
+	q := testutil.RandomConnectedQuery(rng, g, 4)
+	cfg := PresetConfig(Optimized, q, g)
+
+	// SplitFactor 1 keeps tasks root-grained, so the expected pool size
+	// is exactly the root's candidate count.
+	plan, err := Preprocess(q, g, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Empty {
+		t.Skip("empty candidate set")
+	}
+	res, err := MatchPlan(plan, Limits{Parallel: 3, SplitFactor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tasks uint64
+	for _, ws := range res.Workers {
+		tasks += ws.Tasks
+	}
+	wantTasks := uint64(len(plan.Cand[plan.Order[0]]))
+	if tasks != wantTasks {
+		t.Errorf("tasks sum %d, want %d (root candidates)", tasks, wantTasks)
+	}
+}
+
+// TestPlanSpanAlwaysBuilt: Preprocess populates Plan.Span regardless of
+// tracing flags — the serving layer's cache stores it once per plan.
+func TestPlanSpanAlwaysBuilt(t *testing.T) {
+	q, g := testutil.PaperQuery(), testutil.PaperData()
+	plan, err := Preprocess(q, g, PresetConfig(CFL, q, g), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Span == nil {
+		t.Fatal("Plan.Span nil")
+	}
+	if plan.Span.Name != "preprocess" {
+		t.Errorf("span name %q", plan.Span.Name)
+	}
+	if plan.Span.Duration <= 0 {
+		t.Error("preprocess span has no duration")
+	}
+	if got := plan.Span.ChildrenDuration(); got > plan.Span.Duration {
+		t.Errorf("children %v > span %v", got, plan.Span.Duration)
+	}
+	// The span durations must agree with the plan's recorded times.
+	if f := plan.Span.Child("filter"); f == nil || absDur(f.Duration-plan.FilterTime) > time.Millisecond {
+		t.Errorf("filter span disagrees with FilterTime")
+	}
+}
+
+func absDur(d time.Duration) time.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}

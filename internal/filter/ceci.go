@@ -1,6 +1,8 @@
 package filter
 
 import (
+	"time"
+
 	"subgraphmatching/internal/bitset"
 	"subgraphmatching/internal/graph"
 )
@@ -17,10 +19,14 @@ import (
 //     Figure 8.
 func RunCECI(q, g *graph.Graph) [][]uint32 {
 	root := CECIRoot(q, g)
-	return runCECIFrom(q, g, root)
+	return runCECIFrom(q, g, root, nil)
 }
 
-func runCECIFrom(q, g *graph.Graph, root graph.Vertex) [][]uint32 {
+// runCECIFrom optionally records the two phases as trace stages:
+// "construct" (along δ with symmetric pruning) and "refine" (reverse-δ
+// against tree children).
+func runCECIFrom(q, g *graph.Graph, root graph.Vertex, tr *StageTrace) [][]uint32 {
+	stageStart := time.Now()
 	t := graph.NewBFSTree(q, root)
 	s := newState(q, g)
 	seen := bitset.New(g.NumVertices())
@@ -46,6 +52,8 @@ func runCECIFrom(q, g *graph.Graph, root graph.Vertex) [][]uint32 {
 		}
 	}
 
+	stageStart = tr.add("construct", stageStart, s.total())
+
 	// Phase 2: reverse-δ refinement against tree children.
 	children := t.Children()
 	for i := len(t.Order) - 1; i >= 0; i-- {
@@ -54,5 +62,6 @@ func runCECIFrom(q, g *graph.Graph, root graph.Vertex) [][]uint32 {
 			s.prune(u, c)
 		}
 	}
+	tr.add("refine", stageStart, s.total())
 	return s.result()
 }

@@ -1,6 +1,8 @@
 package filter
 
 import (
+	"time"
+
 	"subgraphmatching/internal/bitset"
 	"subgraphmatching/internal/graph"
 )
@@ -18,10 +20,13 @@ import (
 // edges) is materialized separately by candspace.BuildTree.
 func RunCFL(q, g *graph.Graph) [][]uint32 {
 	root := CFLRoot(q, g)
-	return runCFLFrom(q, g, root)
+	return runCFLFrom(q, g, root, nil)
 }
 
-func runCFLFrom(q, g *graph.Graph, root graph.Vertex) [][]uint32 {
+// runCFLFrom optionally records the two phases as trace stages:
+// "generate" (top-down with backward pruning) and "refine" (bottom-up).
+func runCFLFrom(q, g *graph.Graph, root graph.Vertex, tr *StageTrace) [][]uint32 {
+	stageStart := time.Now()
 	t := graph.NewBFSTree(q, root)
 	s := newState(q, g)
 	seen := bitset.New(g.NumVertices())
@@ -42,6 +47,7 @@ func runCFLFrom(q, g *graph.Graph, root graph.Vertex) [][]uint32 {
 		}
 		visited[u] = true
 	}
+	stageStart = tr.add("generate", stageStart, s.total())
 
 	// Phase 2: bottom-up refinement against deeper neighbors.
 	for i := len(t.Order) - 1; i >= 0; i-- {
@@ -52,5 +58,6 @@ func runCFLFrom(q, g *graph.Graph, root graph.Vertex) [][]uint32 {
 			}
 		}
 	}
+	tr.add("refine", stageStart, s.total())
 	return s.result()
 }

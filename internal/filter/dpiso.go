@@ -1,6 +1,9 @@
 package filter
 
 import (
+	"fmt"
+	"time"
+
 	"subgraphmatching/internal/graph"
 )
 
@@ -12,16 +15,20 @@ import (
 // backward neighbors. The original paper uses passes = 3.
 func RunDPIso(q, g *graph.Graph, passes int) [][]uint32 {
 	root := DPIsoRoot(q, g)
-	return runDPIsoFrom(q, g, root, passes)
+	return runDPIsoFrom(q, g, root, passes, nil)
 }
 
-func runDPIsoFrom(q, g *graph.Graph, root graph.Vertex, passes int) [][]uint32 {
+// runDPIsoFrom optionally records trace stages: "init" for the LDF
+// initialization, then one "pass-<k>" per alternating refinement sweep.
+func runDPIsoFrom(q, g *graph.Graph, root graph.Vertex, passes int, tr *StageTrace) [][]uint32 {
+	stageStart := time.Now()
 	t := graph.NewBFSTree(q, root)
 	s := newState(q, g)
 	for u := 0; u < q.NumVertices(); u++ {
 		s.setCandidates(graph.Vertex(u), s.ldfCandidates(graph.Vertex(u)))
 	}
-	s.dpisoPasses(t, passes)
+	tr.add("init", stageStart, s.total())
+	s.dpisoPassesTraced(t, passes, tr)
 	return s.result()
 }
 
@@ -31,6 +38,12 @@ func runDPIsoFrom(q, g *graph.Graph, root graph.Vertex, passes int) [][]uint32 {
 // sequential and the parallel runner share this exact loop and differ
 // only in how the initialization was produced.
 func (s *state) dpisoPasses(t *graph.BFSTree, passes int) {
+	s.dpisoPassesTraced(t, passes, nil)
+}
+
+// dpisoPassesTraced is dpisoPasses with one trace stage per sweep.
+func (s *state) dpisoPassesTraced(t *graph.BFSTree, passes int, tr *StageTrace) {
+	stageStart := time.Now()
 	q := s.q
 	pos := make([]int, q.NumVertices())
 	for i, u := range t.Order {
@@ -60,6 +73,7 @@ func (s *state) dpisoPasses(t *graph.BFSTree, passes int) {
 				}
 			}
 		}
+		stageStart = tr.add(fmt.Sprintf("pass-%d", pass+1), stageStart, s.total())
 	}
 }
 

@@ -77,30 +77,7 @@ const DefaultDPIsoPasses = 3
 // candidate sets, sorted per query vertex. An error is returned for
 // invalid input (empty or disconnected query).
 func Run(m Method, q, g *graph.Graph) ([][]uint32, error) {
-	if q.NumVertices() == 0 {
-		return nil, fmt.Errorf("filter: empty query graph")
-	}
-	if !q.IsConnected() {
-		return nil, fmt.Errorf("filter: query graph must be connected")
-	}
-	switch m {
-	case LDF:
-		return RunLDF(q, g), nil
-	case NLF:
-		return RunNLF(q, g), nil
-	case GQL:
-		return RunGraphQL(q, g, DefaultGQLRounds), nil
-	case CFL:
-		return RunCFL(q, g), nil
-	case CECI:
-		return RunCECI(q, g), nil
-	case DPIso:
-		return RunDPIso(q, g, DefaultDPIsoPasses), nil
-	case Steady:
-		return RunSteady(q, g), nil
-	default:
-		return nil, fmt.Errorf("filter: unknown method %v", m)
-	}
+	return RunTraced(m, q, g, nil)
 }
 
 // MeanCandidates returns (1/|V(q)|) * sum |C(u)|, the paper's

@@ -1,6 +1,9 @@
 package filter
 
 import (
+	"fmt"
+	"time"
+
 	"subgraphmatching/internal/bipartite"
 	"subgraphmatching/internal/graph"
 )
@@ -30,6 +33,14 @@ func RunGraphQL(q, g *graph.Graph, rounds int) [][]uint32 {
 // candidate: subgraph isomorphisms cannot stretch distances, so the
 // label multiset within r hops of u must embed into that of v.
 func RunGraphQLRadius(q, g *graph.Graph, rounds, radius int) [][]uint32 {
+	return runGraphQLRadius(q, g, rounds, radius, nil)
+}
+
+// runGraphQLRadius is the implementation with optional stage tracing:
+// one "local" stage for the profile-based pruning, then one
+// "refine-<k>" stage per global-refinement round actually executed.
+func runGraphQLRadius(q, g *graph.Graph, rounds, radius int, tr *StageTrace) [][]uint32 {
+	start := time.Now()
 	s := newState(q, g)
 	if radius <= 1 {
 		for u := 0; u < q.NumVertices(); u++ {
@@ -54,6 +65,8 @@ func RunGraphQLRadius(q, g *graph.Graph, rounds, radius int) [][]uint32 {
 		}
 	}
 
+	start = tr.add("local", start, s.total())
+
 	matcher := bipartite.NewMatcher(q.MaxDegree())
 	for round := 0; round < rounds; round++ {
 		changed := false
@@ -72,6 +85,7 @@ func RunGraphQLRadius(q, g *graph.Graph, rounds, radius int) [][]uint32 {
 			}
 			s.cand[u] = kept
 		}
+		start = tr.add(fmt.Sprintf("refine-%d", round+1), start, s.total())
 		if !changed {
 			break
 		}

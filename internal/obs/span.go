@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Span is one node of a request's phase breakdown: a named wall-time
+// interval with typed attributes and child phases. The matching pipeline
+// builds spans at phase boundaries (filter stages, candidate-space
+// build, ordering, enumeration) — never per search node — so tracing
+// costs a handful of allocations per request and leaves the zero-alloc
+// enumeration hot path untouched.
+//
+// A span is mutable while its phase runs and must be treated as
+// immutable once attached to a Result: cached plans share their
+// preprocessing span across every request that hits them.
+type Span struct {
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	Attrs    []Attr
+	Children []*Span
+}
+
+// Attr is one key/value annotation on a span. Values are kept typed so
+// the slow-query log serializes counts as JSON numbers.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// NewSpan builds a completed span from an already-measured interval —
+// the common case in the pipeline, which times phases with time.Now
+// pairs anyway.
+func NewSpan(name string, start time.Time, d time.Duration) *Span {
+	return &Span{Name: name, Start: start, Duration: d}
+}
+
+// StartSpan begins a span now; pair with End.
+func StartSpan(name string) *Span {
+	return &Span{Name: name, Start: time.Now()}
+}
+
+// End fixes the span's duration to the time elapsed since Start.
+func (s *Span) End() { s.Duration = time.Since(s.Start) }
+
+// SetAttr appends (or replaces) an attribute.
+func (s *Span) SetAttr(key string, value any) *Span {
+	for i := range s.Attrs {
+		if s.Attrs[i].Key == key {
+			s.Attrs[i].Value = value
+			return s
+		}
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+	return s
+}
+
+// Attr returns the value of the named attribute, nil if absent.
+func (s *Span) Attr(key string) any {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return nil
+}
+
+// AddChild appends a child span (nil children are ignored, which lets
+// callers attach optional phases unconditionally).
+func (s *Span) AddChild(c *Span) *Span {
+	if c != nil {
+		s.Children = append(s.Children, c)
+	}
+	return s
+}
+
+// Child returns the first child with the given name, nil if absent.
+func (s *Span) Child(name string) *Span {
+	for _, c := range s.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// ChildrenDuration sums the direct children's durations — the quantity
+// that must stay within the span's own duration for a well-nested trace.
+func (s *Span) ChildrenDuration() time.Duration {
+	var d time.Duration
+	for _, c := range s.Children {
+		d += c.Duration
+	}
+	return d
+}
+
+// spanJSON is the wire shape of a span in the slow-query log and the
+// HTTP trace response.
+type spanJSON struct {
+	Name       string         `json:"name"`
+	DurationNS int64          `json:"duration_ns"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []*Span        `json:"children,omitempty"`
+}
+
+// MarshalJSON renders {"name":..., "duration_ns":..., "attrs":{...},
+// "children":[...]} with attrs as an object keyed by attribute name.
+func (s *Span) MarshalJSON() ([]byte, error) {
+	j := spanJSON{Name: s.Name, DurationNS: s.Duration.Nanoseconds(), Children: s.Children}
+	if len(s.Attrs) > 0 {
+		j.Attrs = make(map[string]any, len(s.Attrs))
+		for _, a := range s.Attrs {
+			j.Attrs[a.Key] = a.Value
+		}
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON restores a span tree written by MarshalJSON. Attribute
+// map order is not preserved; attrs come back sorted by key.
+func (s *Span) UnmarshalJSON(b []byte) error {
+	var j spanJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	s.Name = j.Name
+	s.Duration = time.Duration(j.DurationNS)
+	s.Children = j.Children
+	s.Attrs = nil
+	keys := make([]string, 0, len(j.Attrs))
+	for k := range j.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s.Attrs = append(s.Attrs, Attr{Key: k, Value: j.Attrs[k]})
+	}
+	return nil
+}
+
+// Render writes the span tree as an indented table: name, duration, and
+// the attributes on one line per span. Durations are rounded for
+// readability; a zero duration (annotation-only spans, e.g. per-worker
+// tallies) prints as "-".
+func (s *Span) Render(w io.Writer) {
+	s.render(w, 0)
+}
+
+func (s *Span) render(w io.Writer, depth int) {
+	indent := strings.Repeat("  ", depth)
+	d := "-"
+	if s.Duration > 0 {
+		d = s.Duration.Round(time.Microsecond).String()
+	}
+	fmt.Fprintf(w, "%-36s %12s", indent+s.Name, d)
+	for _, a := range s.Attrs {
+		fmt.Fprintf(w, "  %s=%v", a.Key, a.Value)
+	}
+	fmt.Fprintln(w)
+	for _, c := range s.Children {
+		c.render(w, depth+1)
+	}
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanBuildAndRender(t *testing.T) {
+	root := StartSpan("match")
+	pre := NewSpan("preprocess", time.Now(), 3*time.Millisecond)
+	pre.SetAttr("filter", "GQL")
+	pre.AddChild(NewSpan("filter", time.Now(), 2*time.Millisecond).SetAttr("candidates", 42))
+	pre.AddChild(NewSpan("order", time.Now(), time.Millisecond))
+	root.AddChild(pre)
+	root.AddChild(nil) // ignored
+	root.End()
+
+	if got := len(root.Children); got != 1 {
+		t.Fatalf("children = %d, want 1 (nil ignored)", got)
+	}
+	if root.Child("preprocess") != pre || root.Child("nope") != nil {
+		t.Fatal("Child lookup broken")
+	}
+	if pre.ChildrenDuration() != 3*time.Millisecond {
+		t.Fatalf("ChildrenDuration = %v", pre.ChildrenDuration())
+	}
+	if pre.Attr("filter") != "GQL" || pre.Attr("absent") != nil {
+		t.Fatal("Attr lookup broken")
+	}
+	pre.SetAttr("filter", "CFL") // replace, not append
+	if len(pre.Attrs) != 1 || pre.Attr("filter") != "CFL" {
+		t.Fatalf("SetAttr replace broken: %+v", pre.Attrs)
+	}
+
+	var b strings.Builder
+	root.Render(&b)
+	out := b.String()
+	for _, want := range []string{"match", "  preprocess", "    filter", "candidates=42", "filter=CFL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpanJSONRoundTrip(t *testing.T) {
+	s := NewSpan("enumerate", time.Now(), 1500*time.Nanosecond)
+	s.SetAttr("nodes", int64(99))
+	s.SetAttr("local", "intersect")
+	s.AddChild(NewSpan("worker", time.Now(), 0).SetAttr("tasks", int64(4)))
+
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"duration_ns":1500`) ||
+		!strings.Contains(string(data), `"nodes":99`) {
+		t.Fatalf("unexpected JSON: %s", data)
+	}
+	var back Span
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "enumerate" || back.Duration != 1500*time.Nanosecond {
+		t.Fatalf("round trip lost fields: %+v", back)
+	}
+	// JSON numbers come back as float64; values must survive as numbers.
+	if v, ok := back.Attr("nodes").(float64); !ok || v != 99 {
+		t.Fatalf("nodes attr = %#v", back.Attr("nodes"))
+	}
+	if len(back.Children) != 1 || back.Children[0].Name != "worker" {
+		t.Fatalf("children lost: %+v", back.Children)
+	}
+}

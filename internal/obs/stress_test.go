@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// TestStressConcurrentRecordAndScrape hammers one registry from many
+// goroutines — counters, labeled counters, gauges and histograms — while
+// other goroutines scrape it continuously. Run under -race by the
+// race-stress make target; correctness of the final counts is asserted
+// too (every recorded increment must be visible once the writers join).
+func TestStressConcurrentRecordAndScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("stress_total", "t")
+	cv := r.CounterVec("stress_by_label_total", "t", "worker")
+	g := r.Gauge("stress_gauge", "t")
+	h := r.Histogram("stress_seconds", "t", []float64{0.001, 0.01, 0.1, 1})
+	hv := r.HistogramVec("stress_phase_seconds", "t", nil, "phase")
+
+	const (
+		writers = 8
+		iters   = 2000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Scrapers run until the writers finish.
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					r.WritePrometheus(io.Discard)
+				}
+			}
+		}()
+	}
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			label := strconv.Itoa(w % 4)
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				cv.With(label).Inc()
+				g.Add(1)
+				h.Observe(float64(i%100) / 1000)
+				hv.With("filter").Observe(0.002)
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	if got := c.Value(); got != writers*iters {
+		t.Errorf("counter = %d, want %d", got, writers*iters)
+	}
+	var byLabel uint64
+	for i := 0; i < 4; i++ {
+		byLabel += cv.Value(strconv.Itoa(i))
+	}
+	if byLabel != writers*iters {
+		t.Errorf("labeled counters sum = %d, want %d", byLabel, writers*iters)
+	}
+	if got := g.Value(); got != writers*iters {
+		t.Errorf("gauge = %d, want %d", got, writers*iters)
+	}
+	if got := h.Count(); got != writers*iters {
+		t.Errorf("histogram count = %d, want %d", got, writers*iters)
+	}
+	if got := hv.With("filter").Count(); got != writers*iters {
+		t.Errorf("labeled histogram count = %d, want %d", got, writers*iters)
+	}
+}

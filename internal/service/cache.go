@@ -9,6 +9,7 @@ import (
 	"subgraphmatching/internal/core"
 	"subgraphmatching/internal/filter"
 	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/obs"
 )
 
 // planKey identifies one cached preprocessing plan. Two requests share a
@@ -93,10 +94,13 @@ type planCache struct {
 	// closing the race where a request that resolved a graph before a
 	// hot-swap/unregister inserts its (now unreachable) plan after the
 	// purge ran, pinning dead plan memory in an LRU slot.
-	minGen    map[string]uint64
-	hits      uint64
-	misses    uint64
-	evictions uint64
+	minGen map[string]uint64
+	// hits/misses/evictions are obs counters so the cache's accounting
+	// IS the /metrics families — New swaps in the registry-owned
+	// instances; a standalone cache (tests) gets unregistered ones.
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
 }
 
 type cacheEntry struct {
@@ -112,6 +116,7 @@ func newPlanCache(capacity int) *planCache {
 		cap: capacity, ll: list.New(),
 		entries: make(map[planKey]*list.Element),
 		minGen:  make(map[string]uint64),
+		hits:    &obs.Counter{}, misses: &obs.Counter{}, evictions: &obs.Counter{},
 	}
 }
 
@@ -120,10 +125,10 @@ func (c *planCache) get(k planKey) (*core.Plan, bool) {
 	defer c.mu.Unlock()
 	if e, ok := c.entries[k]; ok {
 		c.ll.MoveToFront(e)
-		c.hits++
+		c.hits.Inc()
 		return e.Value.(*cacheEntry).plan, true
 	}
-	c.misses++
+	c.misses.Inc()
 	return nil, false
 }
 
@@ -148,7 +153,7 @@ func (c *planCache) add(k planKey, p *core.Plan) *core.Plan {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheEntry).key)
-		c.evictions++
+		c.evictions.Inc()
 	}
 	return p
 }
@@ -180,6 +185,6 @@ func (c *planCache) stats() CacheStats {
 	defer c.mu.Unlock()
 	return CacheStats{
 		Size: c.ll.Len(), Capacity: c.cap,
-		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Hits: c.hits.Value(), Misses: c.misses.Value(), Evictions: c.evictions.Value(),
 	}
 }

@@ -3,12 +3,14 @@ package service
 import (
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"sync/atomic"
 	"time"
 
 	"subgraphmatching/internal/core"
 	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/obs"
 )
 
 // Config sizes the service. The zero value gets sensible defaults from
@@ -31,6 +33,14 @@ type Config struct {
 	// DefaultTimeLimit applies to requests that set no TimeLimit,
 	// mirroring the paper's five-minute per-query budget. Default: 5m.
 	DefaultTimeLimit time.Duration
+	// SlowQueryLog, when non-nil, receives one NDJSON line (query
+	// fingerprint, config, outcome, span breakdown) for every request
+	// whose end-to-end latency reaches SlowQueryThreshold. Writes are
+	// serialized by the service.
+	SlowQueryLog io.Writer
+	// SlowQueryThreshold gates the slow-query log. Default when a log
+	// writer is set: 1s.
+	SlowQueryThreshold time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -51,6 +61,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DefaultTimeLimit <= 0 {
 		c.DefaultTimeLimit = 5 * time.Minute
+	}
+	if c.SlowQueryLog != nil && c.SlowQueryThreshold <= 0 {
+		c.SlowQueryThreshold = time.Second
 	}
 	return c
 }
@@ -94,27 +107,44 @@ type Response struct {
 }
 
 // Service is the long-lived matching layer: registry + plan cache +
-// admission control + stats. Safe for concurrent use.
+// admission control + metrics. Safe for concurrent use.
 type Service struct {
-	cfg    Config
-	reg    registry
-	cache  *planCache
-	sem    *semaphore
-	stats  statsRegistry
-	start  time.Time
-	closed atomic.Bool
+	cfg     Config
+	reg     registry
+	cache   *planCache
+	sem     *semaphore
+	builds  buildGroup
+	metrics *serviceMetrics
+	slowLog *slowQueryLogger
+	start   time.Time
+	closed  atomic.Bool
 }
 
 // New builds a Service; zero-value Config fields get defaults.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
-	return &Service{
+	s := &Service{
 		cfg:   cfg,
 		cache: newPlanCache(cfg.PlanCacheSize),
 		sem:   newSemaphore(int64(cfg.MaxInFlight)),
 		start: time.Now(),
 	}
+	s.metrics = newServiceMetrics(s)
+	if s.cache != nil {
+		// The cache's accounting becomes the registered families.
+		s.cache.hits = s.metrics.planCacheHits
+		s.cache.misses = s.metrics.planCacheMisses
+		s.cache.evictions = s.metrics.planCacheEvictions
+	}
+	if cfg.SlowQueryLog != nil {
+		s.slowLog = &slowQueryLogger{w: cfg.SlowQueryLog, threshold: cfg.SlowQueryThreshold}
+	}
+	return s
 }
+
+// Metrics exposes the service's metric registry — smatchd serves it on
+// /metrics in the Prometheus text format.
+func (s *Service) Metrics() *obs.Registry { return s.metrics.reg }
 
 // Close marks the service closed; subsequent Submits fail with
 // ErrClosed. In-flight requests finish normally.
@@ -152,12 +182,14 @@ func (s *Service) UnregisterGraph(name string) error {
 // Graphs lists the registered graphs, name-sorted.
 func (s *Service) Graphs() []GraphInfo { return s.reg.list() }
 
-// Stats snapshots the full serving state.
+// Stats snapshots the full serving state. The workload counters are
+// read back from the metric registry, so this JSON view and /metrics
+// always agree.
 func (s *Service) Stats() Stats {
 	st := Stats{
 		Uptime:    time.Since(s.start),
 		Graphs:    s.reg.list(),
-		Workloads: s.stats.snapshot(),
+		Workloads: s.metrics.snapshot(),
 	}
 	if s.cache != nil {
 		st.Cache = s.cache.stats()
@@ -205,7 +237,7 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Response, error) {
 	}
 	algo := req.algoName()
 	if err := core.Validate(req.Query, entry.g); err != nil {
-		s.stats.record(entry.name, algo, func(c *workloadCounters) { c.errors++ })
+		s.metrics.recordError(entry.name, algo)
 		return nil, err
 	}
 	cfg := core.PresetConfig(req.Algorithm, req.Query, entry.g)
@@ -232,11 +264,12 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Response, error) {
 		req.Workers = s.cfg.MaxInFlight
 	}
 	if err := s.sem.acquire(ctx, weight, s.cfg.MaxQueueWait, s.cfg.MaxQueue); err != nil {
-		s.stats.record(entry.name, algo, func(c *workloadCounters) { c.rejected++ })
+		s.metrics.recordRejected(entry.name, algo)
 		return nil, err
 	}
 	defer s.sem.release(weight)
 	queueWait := time.Since(began)
+	s.metrics.admissionWait.Observe(queueWait.Seconds())
 
 	// Fold the ctx deadline into the time limit after the queue wait —
 	// waiting consumes the caller's budget.
@@ -248,7 +281,7 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Response, error) {
 	if hasDeadline {
 		remain := time.Until(deadline)
 		if remain <= 0 {
-			s.stats.record(entry.name, algo, func(c *workloadCounters) { c.timeouts++ })
+			s.metrics.recordTimeout(entry.name, algo)
 			return nil, context.DeadlineExceeded
 		}
 		if remain < timeLimit {
@@ -266,6 +299,10 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Response, error) {
 		Parallel:      req.Parallel,
 		Schedule:      req.Schedule,
 		Workers:       req.Workers,
+		// The service always traces: spans are built at phase
+		// boundaries only, the slow-query log needs them, and callers
+		// get the breakdown for free on Result.Trace.
+		Trace: true,
 	}
 
 	var (
@@ -276,10 +313,10 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Response, error) {
 		// The external engines have no preprocessing plan to cache.
 		res, err = core.Match(req.Query, entry.g, cfg, limits)
 	} else {
-		res, cacheHit, err = s.matchCached(entry, req, cfg, limits)
+		res, cacheHit, err = s.matchCached(ctx, entry, req, cfg, limits)
 	}
 	if err != nil {
-		s.stats.record(entry.name, algo, func(c *workloadCounters) { c.errors++ })
+		s.metrics.recordError(entry.name, algo)
 		return nil, err
 	}
 	cerr := ctx.Err()
@@ -290,69 +327,143 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Response, error) {
 		cerr = context.DeadlineExceeded
 	}
 	if cerr != nil {
-		s.stats.record(entry.name, algo, func(c *workloadCounters) {
-			if cerr == context.DeadlineExceeded {
-				c.timeouts++
-			} else {
-				c.errors++
-			}
-		})
+		if cerr == context.DeadlineExceeded {
+			s.metrics.recordTimeout(entry.name, algo)
+		} else {
+			s.metrics.recordError(entry.name, algo)
+		}
 		return nil, cerr
 	}
 
 	latency := time.Since(began)
-	s.stats.record(entry.name, algo, func(c *workloadCounters) {
-		c.queries++
-		c.embeddings += res.Embeddings
-		if cacheHit {
-			c.cacheHits++
-		}
-		if res.TimedOut {
-			c.timeouts++
-		}
-		if res.LimitHit {
-			c.limitHits++
-		}
-		c.lat.add(latency)
-	})
+	s.metrics.recordSuccess(entry.name, algo, res.Embeddings, cacheHit,
+		res.TimedOut, res.LimitHit, latency)
+	s.metrics.observePhases(res.FilterTime, res.BuildTime, res.OrderTime,
+		res.EnumTime, !cacheHit)
+
+	// Wrap the request root span: admission wait plus the match tree.
+	root := obs.NewSpan("request", began, latency).
+		SetAttr("graph", entry.name).
+		SetAttr("algo", algo)
+	root.AddChild(obs.NewSpan("admission", began, queueWait))
+	root.AddChild(res.Trace)
+	res.Trace = root
+
+	if s.slowLog != nil && latency >= s.slowLog.threshold {
+		s.metrics.slowQueries.Inc()
+		s.slowLog.log(slowQueryRecord{
+			Time:        time.Now().UTC().Format(time.RFC3339Nano),
+			Graph:       entry.name,
+			Algorithm:   algo,
+			QueryFP:     fingerprintHex(graph.FingerprintOf(req.Query)),
+			QueryVerts:  req.Query.NumVertices(),
+			QueryEdges:  req.Query.NumEdges(),
+			Parallel:    req.Parallel,
+			Workers:     req.Workers,
+			MaxEmb:      req.MaxEmbeddings,
+			CacheHit:    cacheHit,
+			Embeddings:  res.Embeddings,
+			Nodes:       res.Nodes,
+			TimedOut:    res.TimedOut,
+			LimitHit:    res.LimitHit,
+			LatencyNS:   latency.Nanoseconds(),
+			QueueWaitNS: queueWait.Nanoseconds(),
+			Trace:       res.Trace,
+		})
+	}
 	return &Response{Result: res, CacheHit: cacheHit, QueueWait: queueWait}, nil
 }
 
 // matchCached serves the pipeline configurations: look the plan up by
-// (graph generation, query fingerprint, config), preprocess on a miss,
+// (graph generation, query fingerprint, config), preprocess on a miss —
+// with concurrent misses on one key collapsed into a single build —
 // then enumerate over the shared read-only plan.
-func (s *Service) matchCached(entry *graphEntry, req Request, cfg core.Config, limits core.Limits) (*core.Result, bool, error) {
-	useCache := s.cache != nil && !req.NoCache
-	var key planKey
-	if useCache {
-		key = planKey{
-			graph:   entry.name,
-			gen:     entry.gen,
-			queryFP: graph.FingerprintOf(req.Query),
-			cfgHash: configHash(cfg, req.preprocessWorkers()),
+//
+// The trace distinguishes the three ways a plan can arrive. A fresh
+// build attaches the plan's full "preprocess" span; a cache hit
+// attaches a "plan" span covering only the lookup, annotated with the
+// preprocessing cost the hit saved; a singleflight follower attaches a
+// "plan" span covering its wait on the leader's build. The latter two
+// report CacheHit — the request did not pay preprocessing — and keep
+// the Result's preprocessing times zero for the same reason.
+func (s *Service) matchCached(ctx context.Context, entry *graphEntry, req Request, cfg core.Config, limits core.Limits) (*core.Result, bool, error) {
+	start := time.Now()
+	if s.cache == nil || req.NoCache {
+		s.metrics.planBuilds.Inc()
+		plan, err := core.Preprocess(req.Query, entry.g, cfg, req.preprocessWorkers())
+		if err != nil {
+			return nil, false, fmt.Errorf("preprocess %q: %w", entry.name, err)
 		}
-		if plan, ok := s.cache.get(key); ok {
-			res, err := core.MatchPlan(plan, limits)
-			return res, true, err
-		}
+		res, err := s.matchFresh(plan, limits, start)
+		return res, false, err
 	}
-	plan, err := core.Preprocess(req.Query, entry.g, cfg, req.preprocessWorkers())
+	key := planKey{
+		graph:   entry.name,
+		gen:     entry.gen,
+		queryFP: graph.FingerprintOf(req.Query),
+		cfgHash: configHash(cfg, req.preprocessWorkers()),
+	}
+	if plan, ok := s.cache.get(key); ok {
+		lookup := time.Since(start)
+		res, err := core.MatchPlan(plan, limits)
+		if err != nil {
+			return nil, false, err
+		}
+		res.Trace = obs.NewSpan("match", start, time.Since(start)).
+			AddChild(obs.NewSpan("plan", start, lookup).
+				SetAttr("cached", true).
+				SetAttr("saved_ns", plan.PreprocessTime().Nanoseconds())).
+			AddChild(res.Trace)
+		return res, true, nil
+	}
+	// Cold key: the first request leads the build, concurrent requests
+	// for the same key wait for it instead of building again. The
+	// leader inserts into the cache inside the flight, so a request
+	// always finds either the flight or the finished plan — one build
+	// per key, no matter how many requests dogpile it.
+	plan, leader, err := s.builds.do(ctx, key, func() (*core.Plan, error) {
+		s.metrics.planBuilds.Inc()
+		p, err := core.Preprocess(req.Query, entry.g, cfg, req.preprocessWorkers())
+		if err != nil {
+			return nil, fmt.Errorf("preprocess %q: %w", entry.name, err)
+		}
+		return s.cache.add(key, p), nil
+	})
 	if err != nil {
-		return nil, false, fmt.Errorf("preprocess %q: %w", entry.name, err)
+		return nil, false, err
 	}
-	if useCache {
-		// On a dogpiled cold key the first insert wins; converge on it.
-		plan = s.cache.add(key, plan)
+	if leader {
+		res, err := s.matchFresh(plan, limits, start)
+		return res, false, err
 	}
+	s.metrics.planBuildWaits.Inc()
+	waited := time.Since(start)
 	res, err := core.MatchPlan(plan, limits)
 	if err != nil {
 		return nil, false, err
 	}
-	// A fresh build pays preprocessing; report it like core.Match does.
+	res.Trace = obs.NewSpan("match", start, time.Since(start)).
+		AddChild(obs.NewSpan("plan", start, waited).
+			SetAttr("shared", true).
+			SetAttr("saved_ns", plan.PreprocessTime().Nanoseconds())).
+		AddChild(res.Trace)
+	return res, true, nil
+}
+
+// matchFresh enumerates over a plan this request just built, charging
+// it the preprocessing times and attaching the full preprocess span.
+func (s *Service) matchFresh(plan *core.Plan, limits core.Limits, start time.Time) (*core.Result, error) {
+	res, err := core.MatchPlan(plan, limits)
+	if err != nil {
+		return nil, err
+	}
 	res.FilterTime = plan.FilterTime
 	res.BuildTime = plan.BuildTime
 	res.OrderTime = plan.OrderTime
-	return res, false, nil
+	res.Trace = obs.NewSpan("match", start, time.Since(start)).
+		AddChild(plan.Span).
+		AddChild(res.Trace)
+	return res, nil
 }
 
 // Stream is Submit with a mandatory per-embedding sink. The sink runs

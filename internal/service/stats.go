@@ -2,7 +2,6 @@ package service
 
 import (
 	"sort"
-	"sync"
 	"time"
 )
 
@@ -12,7 +11,11 @@ import (
 // requests of the true tail at serving rates.
 const latencySampleSize = 512
 
-// latencyRing is a fixed-size ring of recent latencies.
+// latencyRing is a fixed-size ring of recent latencies. The workload
+// counters themselves live on the obs registry (see serviceMetrics);
+// the ring survives because exact p50/p99 over recent requests is a
+// different quantity than a fixed-bucket histogram can provide, and the
+// JSON /stats consumers rely on it.
 type latencyRing struct {
 	buf  [latencySampleSize]time.Duration
 	n    int // total recorded (saturates the ring at len(buf))
@@ -28,7 +31,7 @@ func (r *latencyRing) add(d time.Duration) {
 }
 
 // percentile returns the p-quantile (0 < p <= 1) of the retained
-// samples, 0 when empty. Called on a copy under the workload lock.
+// samples, 0 when empty. Called under the metrics latency lock.
 func (r *latencyRing) percentile(p float64) time.Duration {
 	if r.n == 0 {
 		return 0
@@ -63,63 +66,15 @@ type WorkloadStats struct {
 	P99        time.Duration `json:"p99_ns"`
 }
 
-type workloadCounters struct {
-	queries, cacheHits, timeouts, limitHits, rejected, errors, embeddings uint64
-	lat                                                                   latencyRing
-}
-
 type statKey struct{ graph, algo string }
 
-// statsRegistry aggregates per-workload counters. One mutex over the
-// whole map is enough: updates are a handful of integer stores per
-// request, far off the enumeration hot path.
-type statsRegistry struct {
-	mu        sync.Mutex
-	workloads map[statKey]*workloadCounters
-}
-
-func (s *statsRegistry) counters(graph, algo string) *workloadCounters {
-	if s.workloads == nil {
-		s.workloads = make(map[statKey]*workloadCounters)
-	}
-	k := statKey{graph, algo}
-	c, ok := s.workloads[k]
-	if !ok {
-		c = &workloadCounters{}
-		s.workloads[k] = c
-	}
-	return c
-}
-
-// record applies one request outcome.
-func (s *statsRegistry) record(graph, algo string, fn func(*workloadCounters)) {
-	s.mu.Lock()
-	fn(s.counters(graph, algo))
-	s.mu.Unlock()
-}
-
-func (s *statsRegistry) snapshot() []WorkloadStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]WorkloadStats, 0, len(s.workloads))
-	for k, c := range s.workloads {
-		out = append(out, WorkloadStats{
-			Graph: k.graph, Algorithm: k.algo,
-			Queries: c.queries, CacheHits: c.cacheHits,
-			Timeouts: c.timeouts, LimitHits: c.limitHits,
-			Rejected: c.rejected, Errors: c.errors,
-			Embeddings: c.embeddings,
-			P50:        c.lat.percentile(0.50),
-			P99:        c.lat.percentile(0.99),
-		})
-	}
+func sortWorkloads(out []WorkloadStats) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Graph != out[j].Graph {
 			return out[i].Graph < out[j].Graph
 		}
 		return out[i].Algorithm < out[j].Algorithm
 	})
-	return out
 }
 
 // Stats is the full service snapshot smatchd serves on /stats.

@@ -9,8 +9,15 @@ import (
 	"subgraphmatching/internal/core"
 	"subgraphmatching/internal/enumerate"
 	"subgraphmatching/internal/filter"
+	"subgraphmatching/internal/obs"
 	"subgraphmatching/internal/order"
 )
+
+// Span is one node of a trace: a named phase with a start time,
+// duration, key/value attributes, and child phases. Result.Trace holds
+// the root when Options.Trace is set; Span.Render pretty-prints the
+// tree and the JSON encoding is stable for machine consumption.
+type Span = obs.Span
 
 // Algorithm selects one of the study's algorithm presets.
 type Algorithm = core.Algorithm
@@ -148,6 +155,12 @@ type Options struct {
 	// keep a (still sound and complete) superset of the sequential
 	// sets. Embedding counts are unaffected either way.
 	Workers int
+	// Trace attaches a phase-span tree to Result.Trace: filtering (with
+	// per-stage candidate counts), candidate-space construction,
+	// ordering, and enumeration (with per-worker task/steal tallies
+	// under Parallel). Timing fields are always populated; Trace only
+	// controls building the structured tree.
+	Trace bool
 }
 
 // Match finds subgraph isomorphisms from q to g. The query must be
@@ -173,6 +186,7 @@ func match(q, g *Graph, opts Options, cancel *atomic.Bool) (*Result, error) {
 		Parallel:      opts.Parallel,
 		Schedule:      opts.Schedule,
 		Workers:       opts.Workers,
+		Trace:         opts.Trace,
 		Cancel:        cancel,
 	})
 }
