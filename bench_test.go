@@ -639,6 +639,40 @@ func BenchmarkPreprocessGraphQL(b *testing.B) {
 	}
 }
 
+func BenchmarkPreprocessCFL(b *testing.B) {
+	f := getSkewFixture(b)
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			var work []uint64
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, work, err = filter.RunParallelStats(filter.CFL, f.q, f.g, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportMakespan(b, work)
+		})
+	}
+}
+
+func BenchmarkPreprocessCECI(b *testing.B) {
+	f := getSkewFixture(b)
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			var work []uint64
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, work, err = filter.RunParallelStats(filter.CECI, f.q, f.g, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportMakespan(b, work)
+		})
+	}
+}
+
 func BenchmarkPreprocessDPIso(b *testing.B) {
 	f := getSkewFixture(b)
 	for _, workers := range []int{1, 4, 8} {

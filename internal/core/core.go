@@ -314,13 +314,16 @@ func Preprocess(q, g *graph.Graph, cfg Config, workers int) (*Plan, error) {
 	plan := &Plan{Query: q, Data: g, Cfg: cfg, Orbit: 1}
 	plan.Span = obs.StartSpan("preprocess")
 
-	// Step 1: filtering. On sequential runs the method's internal
-	// stages (e.g. GQL's local pruning and refinement rounds) become
-	// children of the filter span; parallel filtering reports one
-	// coarse span.
+	// Step 1: filtering. The method's internal stages (e.g. GQL's local
+	// pruning and refinement rounds, CFL's generate/refine phases)
+	// become children of the filter span on sequential and parallel
+	// runs alike — the parallel runners close stages at their barriers.
+	// Parallel runs additionally attach one zero-duration child per
+	// worker carrying its work tally (candidate vertices examined), the
+	// preprocessing analogue of the enumerate span's worker children.
 	t0 := time.Now()
 	var stages filter.StageTrace
-	cand, err := runFilter(q, g, cfg, workers, &stages)
+	cand, filterTally, err := runFilter(q, g, cfg, workers, &stages)
 	if err != nil {
 		return nil, err
 	}
@@ -337,6 +340,10 @@ func Preprocess(q, g *graph.Graph, cfg Config, workers int) (*Plan, error) {
 	for _, st := range stages.Stages {
 		fs.AddChild(obs.NewSpan(st.Name, time.Time{}, st.Duration).
 			SetAttr("candidates", st.Candidates))
+	}
+	for w, work := range filterTally {
+		fs.AddChild(obs.NewSpan(fmt.Sprintf("worker-%d", w), time.Time{}, 0).
+			SetAttr("work", work))
 	}
 	plan.Span.AddChild(fs)
 	if filter.AnyEmpty(cand) {
@@ -573,15 +580,17 @@ func Match(q, g *graph.Graph, cfg Config, limits Limits) (*Result, error) {
 	return res, nil
 }
 
-// runFilter dispatches the configured filtering method. Sequential runs
-// record the method's internal stages into tr; the parallel paths leave
-// tr empty (the filter span still carries the total time).
-func runFilter(q, g *graph.Graph, cfg Config, workers int, tr *filter.StageTrace) ([][]uint32, error) {
+// runFilter dispatches the configured filtering method. Both the
+// sequential and the parallel paths record the method's internal
+// stages into tr (same stage names — the parallel runners close stages
+// at their barriers); parallel runs additionally return the per-worker
+// work tallies (nil on sequential runs).
+func runFilter(q, g *graph.Graph, cfg Config, workers int, tr *filter.StageTrace) ([][]uint32, []uint64, error) {
 	if cfg.Homomorphism {
 		// Structural filters assume injectivity (even LDF's degree
 		// condition); only label candidates are sound for
 		// homomorphisms.
-		return filter.RunLabelOnly(q, g), nil
+		return filter.RunLabelOnly(q, g), nil, nil
 	}
 	switch cfg.Filter {
 	case filter.GQL:
@@ -595,25 +604,28 @@ func runFilter(q, g *graph.Graph, cfg Config, workers int, tr *filter.StageTrace
 				radius = 1
 			}
 			if workers > 1 {
-				return filter.RunGraphQLRadiusParallel(q, g, rounds, radius, workers), nil
+				cand, tally := filter.RunGraphQLRadiusParallelStats(q, g, rounds, radius, workers, tr)
+				return cand, tally, nil
 			}
-			return filter.RunGraphQLRadiusTraced(q, g, rounds, radius, tr), nil
+			return filter.RunGraphQLRadiusTraced(q, g, rounds, radius, tr), nil, nil
 		}
 	case filter.DPIso:
 		if cfg.DPIsoPasses > 0 {
 			if !q.IsConnected() || q.NumVertices() == 0 {
-				return nil, fmt.Errorf("core: invalid query")
+				return nil, nil, fmt.Errorf("core: invalid query")
 			}
 			if workers > 1 {
-				return filter.RunDPIsoParallel(q, g, cfg.DPIsoPasses, workers), nil
+				cand, tally := filter.RunDPIsoParallelStats(q, g, cfg.DPIsoPasses, workers, tr)
+				return cand, tally, nil
 			}
-			return filter.RunDPIsoTraced(q, g, cfg.DPIsoPasses, tr), nil
+			return filter.RunDPIsoTraced(q, g, cfg.DPIsoPasses, tr), nil, nil
 		}
 	}
 	if workers > 1 {
-		return filter.RunParallel(cfg.Filter, q, g, workers)
+		return filter.RunParallelTraced(cfg.Filter, q, g, workers, tr)
 	}
-	return filter.RunTraced(cfg.Filter, q, g, tr)
+	cand, err := filter.RunTraced(cfg.Filter, q, g, tr)
+	return cand, nil, err
 }
 
 func matchVF2(q, g *graph.Graph, limits Limits) (*Result, error) {

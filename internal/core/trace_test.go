@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"subgraphmatching/internal/filter"
 	"subgraphmatching/internal/obs"
 	"subgraphmatching/internal/testutil"
 )
@@ -99,6 +100,50 @@ func TestMatchTraceFilterStages(t *testing.T) {
 	}
 	if !strings.HasPrefix(f.Children[1].Name, "refine-") {
 		t.Errorf("second stage %q, want refine-*", f.Children[1].Name)
+	}
+}
+
+// TestParallelPreprocessFilterTrace closes the observability gap where
+// only sequential preprocessing reported filter stage children: under
+// Workers > 1 every filter method must surface its stage children AND
+// one worker-N child per preprocessing worker on the filter span.
+func TestParallelPreprocessFilterTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := testutil.RandomGraph(rng, 100, 400, 3)
+	q := testutil.RandomConnectedQuery(rng, g, 5)
+	for _, m := range filter.Methods() {
+		cfg := PresetConfig(GraphQL, q, g)
+		cfg.Filter = m
+		plan, err := Preprocess(q, g, cfg, 4)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		f := plan.Span.Child("filter")
+		if f == nil {
+			t.Fatalf("%v: no filter span", m)
+		}
+		wellNested(t, m.String(), plan.Span)
+		var stages, workers int
+		var work uint64
+		for _, c := range f.Children {
+			if strings.HasPrefix(c.Name, "worker-") {
+				workers++
+				if v, ok := c.Attr("work").(uint64); ok {
+					work += v
+				}
+			} else {
+				stages++
+			}
+		}
+		if stages == 0 {
+			t.Errorf("%v: parallel filter span has no stage children", m)
+		}
+		if workers == 0 {
+			t.Errorf("%v: parallel filter span has no worker children", m)
+		}
+		if work == 0 {
+			t.Errorf("%v: worker children tally zero work", m)
+		}
 	}
 }
 

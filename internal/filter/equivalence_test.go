@@ -216,16 +216,71 @@ func TestDPIsoParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestTreeFiltersEmptyMidLevel pins the degenerate wave shape: a
+// generation step mid-tree prunes C(u) to empty, so every deeper wave
+// fans out over an empty frontier and the backward cascade empties the
+// ancestors. Query: path u0(A)-u1(B)-u2(C)-u3(A); data: path
+// v0(A)-v1(B)-v2(C), where v2's degree is too small for u2, so C(u2)
+// dies during generation with a whole level still below it. The
+// parallel runners must agree with the sequential ones bit for bit and
+// must not panic on the empty waves.
+func TestTreeFiltersEmptyMidLevel(t *testing.T) {
+	mk := func(labels []graph.Label, edges [][2]graph.Vertex) *graph.Graph {
+		b := graph.NewBuilder(len(labels), len(edges))
+		for _, l := range labels {
+			b.AddVertex(l)
+		}
+		for _, e := range edges {
+			b.AddEdge(e[0], e[1])
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	q := mk([]graph.Label{0, 1, 2, 0}, [][2]graph.Vertex{{0, 1}, {1, 2}, {2, 3}})
+	g := mk([]graph.Label{0, 1, 2}, [][2]graph.Vertex{{0, 1}, {1, 2}})
+	for _, m := range []Method{CFL, CECI} {
+		seq, err := Run(m, q, g)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		empty := 0
+		for u := range seq {
+			if len(seq[u]) == 0 {
+				empty++
+			}
+		}
+		if empty == 0 {
+			t.Fatalf("%v: fixture did not produce an empty candidate set: %v", m, seq)
+		}
+		for _, w := range equivalenceWorkers {
+			got, err := RunParallel(m, q, g, w)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", m, w, err)
+			}
+			if !reflect.DeepEqual(got, seq) {
+				t.Fatalf("%v workers=%d: parallel differs on empty-level fixture:\n got %v\nwant %v",
+					m, w, got, seq)
+			}
+		}
+	}
+}
+
 // TestRunParallelStatsTalliesWork sanity-checks the makespan
 // instrumentation: tallies must be non-empty for the parallelized
 // methods and sum to at least the total label-pool work of one scan.
 func TestRunParallelStatsTalliesWork(t *testing.T) {
 	f := equivalenceGrid(t)[0]
 	q := f.queries[0]
-	for _, m := range []Method{LDF, NLF, GQL, DPIso, Steady} {
+	for _, m := range Methods() {
 		_, work, err := RunParallelStats(m, q, f.g, 4)
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
+		}
+		if work == nil {
+			t.Fatalf("%v: nil tally from parallel run", m)
 		}
 		var total uint64
 		for _, w := range work {

@@ -2,6 +2,7 @@ package filter
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"subgraphmatching/internal/graph"
@@ -65,14 +66,22 @@ func FuzzFilterSoundness(f *testing.F) {
 		if len(truth) == 0 {
 			t.Skip()
 		}
+		workers := 2 + int(qsize)%7
 		for _, m := range Methods() {
 			seq, err := Run(m, q, g)
 			if err != nil {
 				t.Fatalf("%v: Run: %v", m, err)
 			}
-			par, err := RunParallel(m, q, g, 4)
+			par, err := RunParallel(m, q, g, workers)
 			if err != nil {
 				t.Fatalf("%v: RunParallel: %v", m, err)
+			}
+			// Beyond soundness: every method except GQL (Jacobi rounds)
+			// must reproduce the sequential sets exactly at any worker
+			// count — the wave-scheduled CFL/CECI replay included.
+			if m != GQL && !reflect.DeepEqual(par, seq) {
+				t.Fatalf("%v: parallel (workers=%d) differs from sequential:\n got %v\nwant %v",
+					m, workers, par, seq)
 			}
 			for _, emb := range truth {
 				for u, v := range emb {

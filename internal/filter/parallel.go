@@ -3,6 +3,7 @@ package filter
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"subgraphmatching/internal/bipartite"
 	"subgraphmatching/internal/graph"
@@ -33,6 +34,11 @@ import (
 // sets, because the pruning conditions are monotone in the candidate
 // sets (chaotic iteration of a monotone decreasing operator).
 // equivalence_test.go pins down both properties.
+//
+// CFL and CECI run their BFS-tree passes wave-scheduled (see
+// tree_parallel.go): their single-pass pruning sequences are replayed
+// exactly, so — unlike GQL — their parallel output is byte-identical
+// to the sequential one at every worker count.
 
 // genChunk is the number of label-pool vertices one generation task
 // scans. Small enough that a hub label's pool splits into many tasks
@@ -71,14 +77,12 @@ func (s *state) newScratches(workers, radius int) []*scratch {
 // RunParallel executes method m with its default parameters across
 // `workers` goroutines. The result is deterministic: identical for
 // every workers value, including 1. For every method except GQL it is
-// also byte-identical to the sequential Run; GQL's global refinement
-// runs in Jacobi rounds (see the package comment above), which within
-// the default round budget prunes a superset of the sequential
-// Gauss–Seidel sets — still sound and complete, just up to one round
-// behind. CFL and CECI generate candidates along a BFS-tree chain
-// (Generation Rule 3.1 feeds each C(u) from C(parent)), which has no
-// per-vertex independence to exploit; they delegate to the sequential
-// code.
+// also byte-identical to the sequential Run — CFL and CECI replay
+// their sequential operation sequence wave-scheduled (tree_parallel.go).
+// GQL's global refinement runs in Jacobi rounds (see the package
+// comment above), which within the default round budget prunes a
+// superset of the sequential Gauss–Seidel sets — still sound and
+// complete, just up to one round behind.
 func RunParallel(m Method, q, g *graph.Graph, workers int) ([][]uint32, error) {
 	cand, _, err := RunParallelStats(m, q, g, workers)
 	return cand, err
@@ -86,9 +90,18 @@ func RunParallel(m Method, q, g *graph.Graph, workers int) ([][]uint32, error) {
 
 // RunParallelStats is RunParallel returning also the per-worker work
 // tallies of the parallel phases (candidate vertices examined), the
-// input to par.MakespanBound. Methods that delegate to sequential code
-// report an empty tally.
+// input to par.MakespanBound. Every method reports a tally of length
+// `workers` (clamped to at least 1).
 func RunParallelStats(m Method, q, g *graph.Graph, workers int) ([][]uint32, []uint64, error) {
+	return RunParallelTraced(m, q, g, workers, nil)
+}
+
+// RunParallelTraced is RunParallelStats with per-stage instrumentation:
+// each method records the same stage names as its sequential RunTraced
+// counterpart (stage boundaries are the parallel barriers, so per-stage
+// candidate counts remain comparable across the two paths). tr may be
+// nil.
+func RunParallelTraced(m Method, q, g *graph.Graph, workers int, tr *StageTrace) ([][]uint32, []uint64, error) {
 	if q.NumVertices() == 0 {
 		return nil, nil, fmt.Errorf("filter: empty query graph")
 	}
@@ -99,28 +112,32 @@ func RunParallelStats(m Method, q, g *graph.Graph, workers int) ([][]uint32, []u
 		workers = 1
 	}
 	tally := make([]uint64, workers)
+	start := time.Now()
 	switch m {
 	case LDF:
 		s := newState(q, g)
 		s.generateParallel(workers, tally, nil, func(sc *scratch, u graph.Vertex, v uint32) bool {
 			return s.g.Degree(v) >= s.q.Degree(u)
 		})
+		tr.add("ldf", start, s.total())
 		return s.result(), tally, nil
 	case NLF:
 		s := newState(q, g)
 		s.generateParallel(workers, tally, nil, func(sc *scratch, u graph.Vertex, v uint32) bool {
 			return s.g.Degree(v) >= s.q.Degree(u) && s.nlfOKWith(sc.counter, u, v)
 		})
+		tr.add("nlf", start, s.total())
 		return s.result(), tally, nil
 	case GQL:
-		return runGraphQLRadiusParallel(q, g, DefaultGQLRounds, 1, workers, tally), tally, nil
+		return runGraphQLRadiusParallel(q, g, DefaultGQLRounds, 1, workers, tally, tr), tally, nil
 	case DPIso:
-		return runDPIsoParallel(q, g, DefaultDPIsoPasses, workers, tally), tally, nil
+		return runDPIsoParallel(q, g, DefaultDPIsoPasses, workers, tally, tr), tally, nil
 	case Steady:
-		return runSteadyParallel(q, g, workers, tally), tally, nil
-	case CFL, CECI:
-		cand, err := Run(m, q, g)
-		return cand, nil, err
+		return runSteadyParallel(q, g, workers, tally, tr), tally, nil
+	case CFL:
+		return runCFLParallel(q, g, CFLRoot(q, g), workers, tally, tr), tally, nil
+	case CECI:
+		return runCECIParallel(q, g, CECIRoot(q, g), workers, tally, tr), tally, nil
 	default:
 		return nil, nil, fmt.Errorf("filter: unknown method %v", m)
 	}
@@ -138,13 +155,23 @@ func RunGraphQLParallel(q, g *graph.Graph, rounds, workers int) [][]uint32 {
 // sequential (Gauss–Seidel) refinement each bounded round keeps a
 // superset, with equality at the fix point.
 func RunGraphQLRadiusParallel(q, g *graph.Graph, rounds, radius, workers int) [][]uint32 {
+	cand, _ := RunGraphQLRadiusParallelStats(q, g, rounds, radius, workers, nil)
+	return cand
+}
+
+// RunGraphQLRadiusParallelStats is RunGraphQLRadiusParallel returning
+// also the per-worker work tallies and recording trace stages ("local",
+// then one "refine-<k>" per Jacobi round) into tr (may be nil).
+func RunGraphQLRadiusParallelStats(q, g *graph.Graph, rounds, radius, workers int, tr *StageTrace) ([][]uint32, []uint64) {
 	if workers < 1 {
 		workers = 1
 	}
-	return runGraphQLRadiusParallel(q, g, rounds, radius, workers, make([]uint64, workers))
+	tally := make([]uint64, workers)
+	return runGraphQLRadiusParallel(q, g, rounds, radius, workers, tally, tr), tally
 }
 
-func runGraphQLRadiusParallel(q, g *graph.Graph, rounds, radius, workers int, tally []uint64) [][]uint32 {
+func runGraphQLRadiusParallel(q, g *graph.Graph, rounds, radius, workers int, tally []uint64, tr *StageTrace) [][]uint32 {
+	start := time.Now()
 	s := newState(q, g)
 	if radius <= 1 {
 		s.generateParallel(workers, tally, nil, func(sc *scratch, u graph.Vertex, v uint32) bool {
@@ -161,7 +188,8 @@ func runGraphQLRadiusParallel(q, g *graph.Graph, rounds, radius, workers int, ta
 	for u := 0; u < q.NumVertices(); u++ {
 		s.rebuildMember(graph.Vertex(u))
 	}
-	s.refineJacobi(rounds, workers, tally, func(sc *scratch, u graph.Vertex, qn []graph.Vertex, v uint32) bool {
+	tr.add("local", start, s.total())
+	s.refineJacobi(rounds, workers, tally, tr, "refine-%d", func(sc *scratch, u graph.Vertex, qn []graph.Vertex, v uint32) bool {
 		return s.semiPerfect(sc.matcher, qn, v)
 	})
 	return s.result()
@@ -175,13 +203,23 @@ func runGraphQLRadiusParallel(q, g *graph.Graph, rounds, radius, workers int, ta
 // refinement sweeps are order-dependent and stay sequential, so the
 // output is byte-identical to RunDPIso for every workers value.
 func RunDPIsoParallel(q, g *graph.Graph, passes, workers int) [][]uint32 {
+	cand, _ := RunDPIsoParallelStats(q, g, passes, workers, nil)
+	return cand
+}
+
+// RunDPIsoParallelStats is RunDPIsoParallel returning also the
+// per-worker work tallies and recording trace stages ("init", then one
+// "pass-<k>" per sweep) into tr (may be nil).
+func RunDPIsoParallelStats(q, g *graph.Graph, passes, workers int, tr *StageTrace) ([][]uint32, []uint64) {
 	if workers < 1 {
 		workers = 1
 	}
-	return runDPIsoParallel(q, g, passes, workers, make([]uint64, workers))
+	tally := make([]uint64, workers)
+	return runDPIsoParallel(q, g, passes, workers, tally, tr), tally
 }
 
-func runDPIsoParallel(q, g *graph.Graph, passes, workers int, tally []uint64) [][]uint32 {
+func runDPIsoParallel(q, g *graph.Graph, passes, workers int, tally []uint64, tr *StageTrace) [][]uint32 {
+	start := time.Now()
 	s := newState(q, g)
 	s.generateParallel(workers, tally, nil, func(sc *scratch, u graph.Vertex, v uint32) bool {
 		return s.g.Degree(v) >= s.q.Degree(u)
@@ -200,7 +238,8 @@ func runDPIsoParallel(q, g *graph.Graph, passes, workers int, tally []uint64) []
 	for u := 0; u < q.NumVertices(); u++ {
 		s.rebuildMember(graph.Vertex(u))
 	}
-	s.dpisoPasses(graph.NewBFSTree(q, root), passes)
+	tr.add("init", start, s.total())
+	s.dpisoPassesTraced(graph.NewBFSTree(q, root), passes, tr)
 	return s.result()
 }
 
@@ -213,10 +252,11 @@ func RunSteadyParallel(q, g *graph.Graph, workers int) [][]uint32 {
 	if workers < 1 {
 		workers = 1
 	}
-	return runSteadyParallel(q, g, workers, make([]uint64, workers))
+	return runSteadyParallel(q, g, workers, make([]uint64, workers), nil)
 }
 
-func runSteadyParallel(q, g *graph.Graph, workers int, tally []uint64) [][]uint32 {
+func runSteadyParallel(q, g *graph.Graph, workers int, tally []uint64, tr *StageTrace) [][]uint32 {
+	start := time.Now()
 	s := newState(q, g)
 	s.generateParallel(workers, tally, nil, func(sc *scratch, u graph.Vertex, v uint32) bool {
 		return s.g.Degree(v) >= s.q.Degree(u) && s.nlfOKWith(sc.counter, u, v)
@@ -224,7 +264,7 @@ func runSteadyParallel(q, g *graph.Graph, workers int, tally []uint64) [][]uint3
 	for u := 0; u < q.NumVertices(); u++ {
 		s.rebuildMember(graph.Vertex(u))
 	}
-	s.refineJacobi(math.MaxInt, workers, tally, func(sc *scratch, u graph.Vertex, qn []graph.Vertex, v uint32) bool {
+	s.refineJacobi(math.MaxInt, workers, tally, nil, "", func(sc *scratch, u graph.Vertex, qn []graph.Vertex, v uint32) bool {
 		for _, up := range qn {
 			if !s.hasNeighborIn(v, up) {
 				return false
@@ -232,6 +272,9 @@ func runSteadyParallel(q, g *graph.Graph, workers int, tally []uint64) [][]uint3
 		}
 		return true
 	})
+	// The sequential RunSteady records one "fixpoint" stage; the Jacobi
+	// rounds converge to the same fix point, so one stage matches.
+	tr.add("fixpoint", start, s.total())
 	return s.result()
 }
 
@@ -317,8 +360,10 @@ type refineTask struct {
 // inter-round barrier — so the survivor sets are independent of worker
 // count and task order. Rounds re-check only the frontier: query
 // vertices with at least one neighbor that lost candidates in the
-// previous round.
-func (s *state) refineJacobi(rounds, workers int, tally []uint64, keep func(sc *scratch, u graph.Vertex, qn []graph.Vertex, v uint32) bool) {
+// previous round. When stageFmt is non-empty, each round closes one
+// trace stage named fmt.Sprintf(stageFmt, round+1) on tr.
+func (s *state) refineJacobi(rounds, workers int, tally []uint64, tr *StageTrace, stageFmt string, keep func(sc *scratch, u graph.Vertex, qn []graph.Vertex, v uint32) bool) {
+	stageStart := time.Now()
 	q := s.q
 	n := q.NumVertices()
 	scratches := s.newScratches(workers, 1)
@@ -386,6 +431,9 @@ func (s *state) refineJacobi(rounds, workers int, tally []uint64, keep func(sc *
 					break
 				}
 			}
+		}
+		if stageFmt != "" {
+			stageStart = tr.add(fmt.Sprintf(stageFmt, round+1), stageStart, s.total())
 		}
 		if !changed {
 			break

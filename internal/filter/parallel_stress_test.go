@@ -24,7 +24,7 @@ func TestParallelFilterStress(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	methods := []Method{NLF, GQL, DPIso, Steady}
+	methods := []Method{NLF, GQL, CFL, CECI, DPIso, Steady}
 	refs := make(map[Method][][][]uint32)
 	for _, m := range methods {
 		for _, q := range qs {

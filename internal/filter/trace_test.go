@@ -71,6 +71,69 @@ func TestRunTracedStages(t *testing.T) {
 	}
 }
 
+// TestRunParallelTracedStages pins the parallel-path observability fix:
+// every filter method must report stage children and a non-nil per-worker
+// tally under Workers > 1 — previously CFL/CECI (and the GQL/DPIso/Steady
+// stats paths) delegated to sequential code or returned no trace at all.
+func TestRunParallelTracedStages(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := testutil.RandomGraph(rng, 120, 480, 3)
+	q := testutil.RandomConnectedQuery(rng, g, 6)
+
+	wantStages := map[Method][]string{
+		LDF:    {"ldf"},
+		NLF:    {"nlf"},
+		GQL:    {"local", "refine-1"}, // later rounds only if round 1 changed something
+		CFL:    {"generate", "refine"},
+		CECI:   {"construct", "refine"},
+		DPIso:  {"init", "pass-1", "pass-2", "pass-3"},
+		Steady: {"fixpoint"},
+	}
+	for _, m := range Methods() {
+		var tr StageTrace
+		got, work, err := RunParallelTraced(m, q, g, 4, &tr)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if work == nil {
+			t.Fatalf("%v: nil tally", m)
+		}
+		want := wantStages[m]
+		if len(tr.Stages) < len(want) {
+			t.Fatalf("%v: got %d stages %v, want at least %v", m, len(tr.Stages), tr.Stages, want)
+		}
+		for i, name := range want {
+			if tr.Stages[i].Name != name {
+				t.Errorf("%v: stage %d = %q, want %q", m, i, tr.Stages[i].Name, name)
+			}
+		}
+		last := tr.Stages[len(tr.Stages)-1]
+		if last.Candidates != TotalCandidates(got) {
+			t.Errorf("%v: final stage candidates %d != returned total %d", m, last.Candidates, TotalCandidates(got))
+		}
+		// The exact-replay methods must also match the sequential trace
+		// stage for stage — same names, same candidate counts after each.
+		if m == GQL {
+			continue // Jacobi rounds legitimately differ from Gauss–Seidel
+		}
+		var seq StageTrace
+		if _, err := RunTraced(m, q, g, &seq); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if len(tr.Stages) != len(seq.Stages) {
+			t.Fatalf("%v: parallel %d stages, sequential %d", m, len(tr.Stages), len(seq.Stages))
+		}
+		for i := range tr.Stages {
+			if tr.Stages[i].Name != seq.Stages[i].Name ||
+				tr.Stages[i].Candidates != seq.Stages[i].Candidates {
+				t.Errorf("%v: stage %d parallel (%s, %d) != sequential (%s, %d)", m, i,
+					tr.Stages[i].Name, tr.Stages[i].Candidates,
+					seq.Stages[i].Name, seq.Stages[i].Candidates)
+			}
+		}
+	}
+}
+
 // TestRunTracedNil confirms the nil-trace path is exactly Run.
 func TestRunTracedNil(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))

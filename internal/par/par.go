@@ -64,6 +64,64 @@ func Run(workers, n int, fn func(worker, task int) uint64) []uint64 {
 	return work
 }
 
+// Frontier is the level-synchronous companion to Run: one worker pool
+// whose per-worker scratch survives across many small task waves. The
+// tree-indexed filters (CFL, CECI) advance a BFS frontier one
+// dependency wave at a time — each wave is a Run-style fan-out whose
+// tasks read state frozen at the wave boundary — and re-allocating the
+// workers' bitsets and label counters per wave would dwarf the work of
+// the small waves. A Frontier allocates the scratch once and threads a
+// running per-worker work tally across every wave, so multi-wave
+// pipelines report one makespan-meaningful tally like a single Run.
+//
+// The determinism contract is Run's, held per wave: a task's output may
+// depend only on its task index and on state immutable for the duration
+// of its wave. Scratch handed to tasks must be reset by the task itself
+// before reuse (cheapest: undo only what the task marked).
+type Frontier[S any] struct {
+	workers int
+	scratch []S
+	tally   []uint64
+}
+
+// NewFrontier builds a pool of `workers` slots, calling scratch(w) once
+// per slot. workers is clamped to at least 1.
+func NewFrontier[S any](workers int, scratch func(w int) S) *Frontier[S] {
+	if workers < 1 {
+		workers = 1
+	}
+	f := &Frontier[S]{
+		workers: workers,
+		scratch: make([]S, workers),
+		tally:   make([]uint64, workers),
+	}
+	for w := range f.scratch {
+		f.scratch[w] = scratch(w)
+	}
+	return f
+}
+
+// Workers returns the pool's worker count.
+func (f *Frontier[S]) Workers() int { return f.workers }
+
+// Wave fans tasks 0..n-1 out across the pool and blocks until every
+// task has finished — the caller's barrier between dependency waves.
+// fn receives the executing worker's scratch and the task index and
+// returns the task's work units, accumulated into the pool tally.
+func (f *Frontier[S]) Wave(n int, fn func(sc S, task int) uint64) {
+	if n <= 0 {
+		return
+	}
+	work := Run(f.workers, n, func(w, t int) uint64 {
+		return fn(f.scratch[w], t)
+	})
+	Accumulate(f.tally, work)
+}
+
+// Tally returns the per-worker work accumulated across all waves so
+// far. The slice is live — callers should copy or Accumulate it.
+func (f *Frontier[S]) Tally() []uint64 { return f.tally }
+
 // MakespanBound returns sum/max over the per-worker tallies: the speedup
 // this work distribution would admit on unconstrained cores (the same
 // metric Result.WorkerNodes feeds for enumeration). It returns 1 for

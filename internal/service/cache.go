@@ -70,12 +70,16 @@ func configHash(cfg core.Config, preWorkers int) uint64 {
 }
 
 // CacheStats is a point-in-time snapshot of the plan cache's accounting.
+// Every successful insert is eventually accounted for exactly once:
+// it is either still resident (Size), was evicted by the LRU
+// (Evictions), or was removed by a hot-swap/unregister purge (Purged).
 type CacheStats struct {
 	Size      int    `json:"size"`
 	Capacity  int    `json:"capacity"`
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
+	Purged    uint64 `json:"purged"`
 }
 
 // planCache is a mutex-guarded LRU over read-only *core.Plan values.
@@ -89,18 +93,28 @@ type planCache struct {
 	cap     int
 	ll      *list.List // front = most recently used
 	entries map[planKey]*list.Element
-	// minGen fences inserts per graph name: add drops any entry whose
-	// generation is below the recorded floor. purgeGraph raises the floor,
-	// closing the race where a request that resolved a graph before a
-	// hot-swap/unregister inserts its (now unreachable) plan after the
-	// purge ran, pinning dead plan memory in an LRU slot.
-	minGen map[string]uint64
-	// hits/misses/evictions are obs counters so the cache's accounting
-	// IS the /metrics families — New swaps in the registry-owned
-	// instances; a standalone cache (tests) gets unregistered ones.
+	// liveGen reports the named graph's current registry generation
+	// (false when the name is not registered). add consults it under
+	// c.mu to fence stale inserts: a request that resolved a graph
+	// before a hot-swap/unregister must not insert its (now
+	// unreachable) plan after the purge ran, pinning dead plan memory
+	// in an LRU slot. The registry is updated before purgeGraph runs
+	// and add/purgeGraph serialize on c.mu, so an insert either
+	// precedes the purge (and is removed by it) or observes the new
+	// generation (and drops itself). Reading the live generation keeps
+	// the fence stateless per graph name — the previous design kept a
+	// per-name floor map that grew without bound under
+	// register/unregister churn with ephemeral names. nil disables the
+	// fence (standalone caches without a registry).
+	liveGen func(name string) (uint64, bool)
+	// hits/misses/evictions/purged are obs counters so the cache's
+	// accounting IS the /metrics families — New swaps in the
+	// registry-owned instances; a standalone cache (tests) gets
+	// unregistered ones.
 	hits      *obs.Counter
 	misses    *obs.Counter
 	evictions *obs.Counter
+	purged    *obs.Counter
 }
 
 type cacheEntry struct {
@@ -115,8 +129,8 @@ func newPlanCache(capacity int) *planCache {
 	return &planCache{
 		cap: capacity, ll: list.New(),
 		entries: make(map[planKey]*list.Element),
-		minGen:  make(map[string]uint64),
-		hits:    &obs.Counter{}, misses: &obs.Counter{}, evictions: &obs.Counter{},
+		hits:    &obs.Counter{}, misses: &obs.Counter{},
+		evictions: &obs.Counter{}, purged: &obs.Counter{},
 	}
 }
 
@@ -138,11 +152,13 @@ func (c *planCache) get(k planKey) (*core.Plan, bool) {
 func (c *planCache) add(k planKey, p *core.Plan) *core.Plan {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if k.gen < c.minGen[k.graph] {
-		// The graph was swapped or unregistered while this plan was being
-		// built; no future request can produce this key, so don't let the
-		// dead plan occupy an LRU slot.
-		return p
+	if c.liveGen != nil {
+		if gen, ok := c.liveGen(k.graph); !ok || k.gen != gen {
+			// The graph was swapped or unregistered while this plan was
+			// being built; no future request can produce this key, so
+			// don't let the dead plan occupy an LRU slot.
+			return p
+		}
 	}
 	if e, ok := c.entries[k]; ok {
 		c.ll.MoveToFront(e)
@@ -159,16 +175,16 @@ func (c *planCache) add(k planKey, p *core.Plan) *core.Plan {
 }
 
 // purgeGraph drops every entry for the named graph built against a
-// generation below `before`, and raises that name's insert floor so a
-// concurrent miss on the old generation cannot re-add its plan after the
-// purge. Hot swap passes the new generation; unregister passes the
-// removed generation + 1 (a later re-register always gets a higher one).
+// generation below `before`, counting each removal into the purged
+// counter (evictions stay LRU-capacity-only, so size + evictions +
+// purged always reconciles against successful inserts). Hot swap
+// passes the new generation; unregister passes the removed generation
+// + 1. A concurrent miss on the old generation cannot re-add its plan
+// after the purge: add re-reads the live registry generation under the
+// same mutex (see planCache.liveGen).
 func (c *planCache) purgeGraph(name string, before uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if before > c.minGen[name] {
-		c.minGen[name] = before
-	}
 	var next *list.Element
 	for e := c.ll.Front(); e != nil; e = next {
 		next = e.Next()
@@ -176,6 +192,7 @@ func (c *planCache) purgeGraph(name string, before uint64) {
 		if ent.key.graph == name && ent.key.gen < before {
 			c.ll.Remove(e)
 			delete(c.entries, ent.key)
+			c.purged.Inc()
 		}
 	}
 }
@@ -185,6 +202,7 @@ func (c *planCache) stats() CacheStats {
 	defer c.mu.Unlock()
 	return CacheStats{
 		Size: c.ll.Len(), Capacity: c.cap,
-		Hits: c.hits.Value(), Misses: c.misses.Value(), Evictions: c.evictions.Value(),
+		Hits: c.hits.Value(), Misses: c.misses.Value(),
+		Evictions: c.evictions.Value(), Purged: c.purged.Value(),
 	}
 }

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"fmt"
 	"testing"
 
 	"subgraphmatching/internal/core"
@@ -82,10 +83,16 @@ func TestPlanCachePurgeGraph(t *testing.T) {
 
 // TestPlanCachePurgeBlocksStaleInserts pins the hot-swap race fix: a
 // request that resolved the old graph generation before the purge must
-// not be able to insert its plan afterwards.
+// not be able to insert its plan afterwards. The fence is the live
+// registry generation (planCache.liveGen), consulted under the cache
+// mutex — here faked by a map standing in for the registry.
 func TestPlanCachePurgeBlocksStaleInserts(t *testing.T) {
 	c := newPlanCache(8)
-	c.purgeGraph("a", 3)
+	live := map[string]uint64{"a": 3, "b": 1}
+	c.liveGen = func(name string) (uint64, bool) {
+		gen, ok := live[name]
+		return gen, ok
+	}
 	p := &core.Plan{}
 	if got := c.add(testKey("a", 2, 1), p); got != p {
 		t.Fatal("a dropped add must still hand back the caller's plan")
@@ -99,13 +106,90 @@ func TestPlanCachePurgeBlocksStaleInserts(t *testing.T) {
 	if st := c.stats(); st.Size != 2 {
 		t.Fatalf("size = %d, want 2", st.Size)
 	}
-	// A later purge at a lower generation must not lower the floor.
-	c.purgeGraph("a", 2)
-	if got := c.add(testKey("a", 2, 9), p); got != p {
+	// After an unregister the name has no live generation: every insert
+	// for it is stale by definition.
+	delete(live, "b")
+	c.purgeGraph("b", 2)
+	if got := c.add(testKey("b", 1, 9), p); got != p {
 		t.Fatal("dropped add must hand back the caller's plan")
 	}
-	if st := c.stats(); st.Size != 2 {
-		t.Fatalf("floor must be monotonic, size = %d", st.Size)
+	st := c.stats()
+	if st.Size != 1 {
+		t.Fatalf("unregistered-graph insert must be dropped, size = %d", st.Size)
+	}
+	if st.Purged != 1 {
+		t.Fatalf("purged = %d, want 1", st.Purged)
+	}
+}
+
+// TestPlanCachePurgeAccounting pins the size/evicted/purged
+// reconciliation: every successful insert is eventually accounted for
+// exactly once — resident, LRU-evicted, or purge-removed.
+func TestPlanCachePurgeAccounting(t *testing.T) {
+	c := newPlanCache(3)
+	inserts := 0
+	add := func(name string, gen, id uint64) {
+		c.add(testKey(name, gen, id), &core.Plan{})
+		inserts++
+	}
+	add("a", 1, 1)
+	add("a", 1, 2)
+	add("b", 1, 3)
+	add("b", 1, 4) // evicts a/1/1
+	add("a", 2, 5) // evicts a/1/2
+	c.purgeGraph("a", 3) // removes a/2/5
+	st := c.stats()
+	if st.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", st.Evictions)
+	}
+	if st.Purged != 1 {
+		t.Fatalf("purged = %d, want 1", st.Purged)
+	}
+	if got := uint64(st.Size) + st.Evictions + st.Purged; got != uint64(inserts) {
+		t.Fatalf("size(%d) + evictions(%d) + purged(%d) = %d, want %d inserts",
+			st.Size, st.Evictions, st.Purged, got, inserts)
+	}
+}
+
+// TestPlanCacheChurnStaysBounded pins the leak fix: under
+// register/unregister churn with ephemeral graph names the cache must
+// not accumulate per-name state. The old design kept a generation
+// floor per name forever; the stateless liveGen fence keeps only the
+// LRU entries themselves.
+func TestPlanCacheChurnStaysBounded(t *testing.T) {
+	c := newPlanCache(4)
+	live := map[string]uint64{}
+	c.liveGen = func(name string) (uint64, bool) {
+		gen, ok := live[name]
+		return gen, ok
+	}
+	var gen uint64
+	for i := 0; i < 1000; i++ {
+		name := fmt.Sprintf("ephemeral-%d", i)
+		gen++
+		live[name] = gen // register
+		c.add(testKey(name, gen, 1), &core.Plan{})
+		c.add(testKey(name, gen, 2), &core.Plan{})
+		removed := live[name]
+		delete(live, name) // unregister
+		c.purgeGraph(name, removed+1)
+		// A straggler insert for the dead name must bounce.
+		c.add(testKey(name, removed, 3), &core.Plan{})
+	}
+	st := c.stats()
+	if st.Size != 0 {
+		t.Fatalf("size after churn = %d, want 0 (every name was purged)", st.Size)
+	}
+	if got := uint64(st.Size) + st.Evictions + st.Purged; got != 2000 {
+		t.Fatalf("size+evictions+purged = %d, want 2000 successful inserts", got)
+	}
+	// The only state the cache may keep is the LRU itself — no per-name
+	// residue survives the churn.
+	c.mu.Lock()
+	entries, llLen := len(c.entries), c.ll.Len()
+	c.mu.Unlock()
+	if entries != 0 || llLen != 0 {
+		t.Fatalf("internal maps not bounded: entries=%d list=%d", entries, llLen)
 	}
 }
 

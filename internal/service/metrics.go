@@ -37,6 +37,7 @@ type serviceMetrics struct {
 	planCacheHits      *obs.Counter
 	planCacheMisses    *obs.Counter
 	planCacheEvictions *obs.Counter
+	planCachePurged    *obs.Counter
 	planBuilds         *obs.Counter
 	planBuildWaits     *obs.Counter
 
@@ -85,6 +86,8 @@ func newServiceMetrics(s *Service) *serviceMetrics {
 			"Plan cache lookups that missed."),
 		planCacheEvictions: r.Counter("smatch_plan_cache_evictions_total",
 			"Plans evicted by the LRU."),
+		planCachePurged: r.Counter("smatch_plan_cache_purged_total",
+			"Plans removed by a graph hot-swap or unregister purge."),
 		planBuilds: r.Counter("smatch_plan_builds_total",
 			"Preprocessing runs that built a plan (cache misses after singleflight collapsing)."),
 		planBuildWaits: r.Counter("smatch_plan_build_waits_total",

@@ -135,6 +135,16 @@ func New(cfg Config) *Service {
 		s.cache.hits = s.metrics.planCacheHits
 		s.cache.misses = s.metrics.planCacheMisses
 		s.cache.evictions = s.metrics.planCacheEvictions
+		s.cache.purged = s.metrics.planCachePurged
+		// Stale-insert fencing reads the live registry generation (no
+		// per-name floor state — see planCache.liveGen).
+		s.cache.liveGen = func(name string) (uint64, bool) {
+			e, err := s.reg.get(name)
+			if err != nil {
+				return 0, false
+			}
+			return e.gen, true
+		}
 	}
 	if cfg.SlowQueryLog != nil {
 		s.slowLog = &slowQueryLogger{w: cfg.SlowQueryLog, threshold: cfg.SlowQueryThreshold}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"math/rand"
 	"runtime"
 	"sort"
@@ -135,6 +136,55 @@ func TestSubmitCacheAccountingAndStats(t *testing.T) {
 	}
 	if st.Admission.Capacity <= 0 || st.Admission.InUse != 0 || st.Admission.Queued != 0 {
 		t.Fatalf("admission = %+v", st.Admission)
+	}
+}
+
+// TestRegisterUnregisterChurnAccounting drives the serving-layer churn
+// the plan-cache leak fix targets: ephemeral graph names registered,
+// queried once (inserting a plan), and unregistered. Every insert must
+// be reconciled as purged, and the cache must end empty — with the
+// stateless liveGen fence there is no per-name residue to leak.
+func TestRegisterUnregisterChurnAccounting(t *testing.T) {
+	s, g := newTestService(t, Config{PlanCacheSize: 8})
+	q := testutil.RandomConnectedQuery(rand.New(rand.NewSource(13)), g, 4)
+	ctx := context.Background()
+	const cycles = 30
+	for i := 0; i < cycles; i++ {
+		name := fmt.Sprintf("ephemeral-%d", i)
+		if _, err := s.RegisterGraph(name, g, false); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Submit(ctx, Request{Graph: name, Query: q, Algorithm: core.GraphQL}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.UnregisterGraph(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Cache.Size != 0 {
+		t.Fatalf("cache size after churn = %d, want 0", st.Cache.Size)
+	}
+	if st.Cache.Purged != cycles {
+		t.Fatalf("purged = %d, want %d", st.Cache.Purged, cycles)
+	}
+	if st.Cache.Evictions != 0 {
+		t.Fatalf("evictions = %d, want 0 (cache never filled)", st.Cache.Evictions)
+	}
+	// Re-registering a previously churned name must serve normally: the
+	// fence is the live generation, not a sticky per-name floor.
+	if _, err := s.RegisterGraph("ephemeral-0", g, false); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.Submit(ctx, Request{Graph: "ephemeral-0", Query: q, Algorithm: core.GraphQL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.CacheHit {
+		t.Fatal("first query after re-register must be a miss")
+	}
+	if got := s.Stats().Cache.Size; got != 1 {
+		t.Fatalf("re-registered name's plan must cache, size = %d", got)
 	}
 }
 
