@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race race-stress fuzz-smoke bench-smoke bench-parallel bench-preprocess bench-serve bench-obs
+.PHONY: ci vet build test race race-stress fuzz-smoke bench-smoke bench-parallel bench-preprocess bench-serve bench-obs bench-kernels
 
 ci: vet build race race-stress fuzz-smoke bench-smoke
 
@@ -31,10 +31,13 @@ race:
 race-stress:
 	$(GO) test -race -run 'Stress' -count 1 ./internal/filter ./internal/candspace ./internal/service ./internal/obs
 
-# Short corpus-plus-mutation run of the filter soundness fuzz target
-# (candidate sets never drop a ground-truth embedding vertex).
+# Short corpus-plus-mutation runs of the fuzz targets: filter soundness
+# (candidate sets never drop a ground-truth embedding vertex) and
+# intersection-kernel equivalence (every kernel — merge, gallop, hybrid,
+# block, flat views, selector policies — produces identical output).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzFilterSoundness -fuzztime 5s ./internal/filter
+	$(GO) test -run '^$$' -fuzz FuzzIntersectKernels -fuzztime 5s ./internal/intersect
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
@@ -59,3 +62,10 @@ bench-serve:
 # skew workload, sequential and parallel.
 bench-obs:
 	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchmem -benchtime 5x .
+
+# The intersection-kernel measurements behind EXPERIMENTS.md's
+# "Adaptive kernels" section: the raw kernel grid over the
+# density/skew fixtures, end-to-end enumeration under each kernel
+# policy, and the boxed-vs-flat block-layout footprint.
+bench-kernels:
+	$(GO) test -run '^$$' -bench 'BenchmarkIntersectKernels|BenchmarkEnumerateKernelPolicy|BenchmarkCandSpaceBlockLayout' -benchmem .

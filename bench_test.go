@@ -130,13 +130,13 @@ func BenchmarkFig9EnumOptimization(b *testing.B) {
 		cfg  core.Config
 	}{
 		{"QSI-direct", core.Config{Filter: filter.LDF, Order: order.QSI, Local: enumerate.Direct}},
-		{"QSI-intersect", core.Config{Filter: filter.LDF, Order: order.QSI, Local: enumerate.Intersect}},
+		{"QSI-intersect", core.Config{Filter: filter.LDF, Order: order.QSI, Local: enumerate.Intersect, Kernel: intersect.PolicyHybrid}},
 		{"GQL-scan", core.Config{Filter: filter.GQL, Order: order.GQL, Local: enumerate.Scan}},
-		{"GQL-intersect", core.Config{Filter: filter.GQL, Order: order.GQL, Local: enumerate.Intersect}},
+		{"GQL-intersect", core.Config{Filter: filter.GQL, Order: order.GQL, Local: enumerate.Intersect, Kernel: intersect.PolicyHybrid}},
 		{"CFL-treeedge", core.Config{Filter: filter.CFL, Order: order.CFL, Local: enumerate.TreeEdge, TreeSpace: true}},
-		{"CFL-intersect", core.Config{Filter: filter.CFL, Order: order.CFL, Local: enumerate.Intersect}},
+		{"CFL-intersect", core.Config{Filter: filter.CFL, Order: order.CFL, Local: enumerate.Intersect, Kernel: intersect.PolicyHybrid}},
 		{"2PP-direct", core.Config{Filter: filter.LDF, Order: order.VF2PP, Local: enumerate.Direct, VF2PPRules: true}},
-		{"2PP-intersect", core.Config{Filter: filter.LDF, Order: order.VF2PP, Local: enumerate.Intersect}},
+		{"2PP-intersect", core.Config{Filter: filter.LDF, Order: order.VF2PP, Local: enumerate.Intersect, Kernel: intersect.PolicyHybrid}},
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) { runSet(b, f.dense16, f.g, c.cfg) })
@@ -148,13 +148,16 @@ func BenchmarkFig9EnumOptimization(b *testing.B) {
 func BenchmarkFig10Intersection(b *testing.B) {
 	f := getFixture(b)
 	for _, c := range []struct {
-		name  string
-		local enumerate.LocalCandidates
+		name   string
+		local  enumerate.LocalCandidates
+		kernel intersect.Policy
 	}{
-		{"Hybrid", enumerate.Intersect},
-		{"QFilter", enumerate.IntersectBlock},
+		// The Hybrid arm pins its kernel so the figure keeps comparing
+		// the paper's two methods even now that adaptive is the default.
+		{"Hybrid", enumerate.Intersect, intersect.PolicyHybrid},
+		{"QFilter", enumerate.IntersectBlock, intersect.PolicyAdaptive},
 	} {
-		cfg := core.Config{Filter: filter.GQL, Order: order.GQL, Local: c.local}
+		cfg := core.Config{Filter: filter.GQL, Order: order.GQL, Local: c.local, Kernel: c.kernel}
 		b.Run(c.name, func(b *testing.B) { runSet(b, f.dense16, f.g, cfg) })
 	}
 }
@@ -705,4 +708,137 @@ func BenchmarkPreprocessBuildFull(b *testing.B) {
 			reportMakespan(b, work)
 		})
 	}
+}
+
+// --- Adaptive intersection kernels ------------------------------------
+
+// kernelBenchSet builds a sorted set of n values with the given block
+// density: stride 1 packs 64 elements per block (dense), stride 97 puts
+// one element per block (sparse). start staggers the two operands so
+// the intersection is nonempty but not total.
+func kernelBenchSet(n, stride, start int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = uint32(start + i*stride)
+	}
+	return out
+}
+
+// BenchmarkIntersectKernels is the kernel-selection design space: size
+// ratio (balanced vs 1:64 skew) × block density (dense vs sparse) ×
+// kernel (merge, gallop, hybrid, block, adaptive). The adaptive row
+// should track the best static kernel in every cell; EXPERIMENTS.md
+// records the measured grid.
+func BenchmarkIntersectKernels(b *testing.B) {
+	shapes := []struct {
+		name string
+		a, c []uint32
+	}{
+		{"dense-balanced", kernelBenchSet(4096, 1, 0), kernelBenchSet(4096, 1, 2048)},
+		{"dense-skewed", kernelBenchSet(1024, 1, 32768), kernelBenchSet(65536, 1, 0)},
+		{"sparse-balanced", kernelBenchSet(4096, 97, 0), kernelBenchSet(4096, 97, 97*2048)},
+		{"sparse-skewed", kernelBenchSet(1024, 97, 97*32768), kernelBenchSet(65536, 97, 0)},
+	}
+	for _, sh := range shapes {
+		counts := []int32{int32(intersect.CountBlocks(sh.a)), int32(intersect.CountBlocks(sh.c))}
+		fl := intersect.NewFlatBlocks(counts)
+		fl.EncodeSet(0, sh.a)
+		fl.EncodeSet(1, sh.c)
+		av, cv := fl.View(0), fl.View(1)
+		dst := make([]uint32, 0, len(sh.a))
+		size := len(intersect.Merge(dst[:0], sh.a, sh.c))
+		kernels := []struct {
+			name string
+			fn   func() int
+		}{
+			{"merge", func() int { dst = intersect.Merge(dst[:0], sh.a, sh.c); return len(dst) }},
+			{"gallop", func() int { dst = intersect.Galloping(dst[:0], sh.a, sh.c); return len(dst) }},
+			{"hybrid", func() int { dst = intersect.Hybrid(dst[:0], sh.a, sh.c); return len(dst) }},
+			{"block", func() int { dst = intersect.IntersectViews(dst[:0], av, cv); return len(dst) }},
+		}
+		var sel intersect.Selector
+		kernels = append(kernels, struct {
+			name string
+			fn   func() int
+		}{"adaptive", func() int { dst = sel.Pair(dst[:0], sh.a, sh.c, av, cv); return len(dst) }})
+		for _, k := range kernels {
+			b.Run(sh.name+"/"+k.name, func(b *testing.B) {
+				got := 0
+				for i := 0; i < b.N; i++ {
+					got = k.fn()
+				}
+				if got != size {
+					b.Fatalf("%s/%s: %d results, want %d", sh.name, k.name, got, size)
+				}
+				b.ReportMetric(float64(size), "results/op")
+			})
+		}
+	}
+}
+
+// BenchmarkEnumerateKernelPolicy runs the full optimized pipeline on the
+// R-MAT fixture under each kernel policy — the end-to-end cost the
+// adaptive default must not regress (EXPERIMENTS.md "Adaptive kernels").
+func BenchmarkEnumerateKernelPolicy(b *testing.B) {
+	f := getFixture(b)
+	for _, p := range []intersect.Policy{
+		intersect.PolicyHybrid, intersect.PolicyMerge, intersect.PolicyGallop,
+		intersect.PolicyBlock, intersect.PolicyAdaptive,
+	} {
+		cfg := core.Config{Filter: filter.GQL, Order: order.GQL, Local: enumerate.Intersect, Kernel: p}
+		b.Run(p.String()+"/dense", func(b *testing.B) { runSet(b, f.dense16, f.g, cfg) })
+		b.Run(p.String()+"/sparse", func(b *testing.B) { runSet(b, f.sparse16, f.g, cfg) })
+	}
+}
+
+// BenchmarkCandSpaceBlockLayout compares materializing the block layout
+// as boxed per-candidate BlockSets against the flat CSR-of-blocks arena
+// (allocations and layout bytes; run with -benchmem). The space build
+// itself is identical in both arms.
+func BenchmarkCandSpaceBlockLayout(b *testing.B) {
+	f := getFixture(b)
+	q := f.dense16[0]
+	cand, err := filter.Run(filter.GQL, q, f.g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("boxed", func(b *testing.B) {
+		b.ReportAllocs()
+		var bytes int64
+		for i := 0; i < b.N; i++ {
+			s := candspace.BuildFull(q, f.g, cand)
+			bytes = 0
+			for u := 0; u < q.NumVertices(); u++ {
+				uu := graph.Vertex(u)
+				for _, up := range q.Neighbors(uu) {
+					if !s.HasPair(uu, up) {
+						continue
+					}
+					for ci := range s.Candidates(uu) {
+						bs := intersect.NewBlockSet(s.Adjacency(uu, up, ci))
+						// keys + words + struct and slice headers per set.
+						bytes += int64(bs.NumBlocks()*12) + 64
+					}
+				}
+			}
+		}
+		b.ReportMetric(float64(bytes), "layout-bytes")
+	})
+	b.Run("flat", func(b *testing.B) {
+		b.ReportAllocs()
+		var bytes int64
+		for i := 0; i < b.N; i++ {
+			s := candspace.BuildFull(q, f.g, cand)
+			s.MaterializeBlocks()
+			bytes = s.BlockMemoryBytes()
+		}
+		b.ReportMetric(float64(bytes), "layout-bytes")
+	})
+	b.Run("flat-parallel-4", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := candspace.BuildFull(q, f.g, cand)
+			s.MaterializeBlocksParallel(4)
+		}
+	})
 }

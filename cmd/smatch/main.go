@@ -8,7 +8,7 @@
 //
 //	smatch -q query.graph -d data.graph [-algo Optimized] [-limit 100000]
 //	       [-timeout 5m] [-print 3] [-profile] [-parallel 4] [-workers 4]
-//	       [-schedule steal] [-trace]
+//	       [-schedule steal] [-kernel adaptive] [-trace]
 //	smatch -q queries/ -d data.graph [-csv out.csv]   # batch mode
 package main
 
@@ -23,6 +23,7 @@ import (
 	"time"
 
 	sm "subgraphmatching"
+	"subgraphmatching/internal/intersect"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func main() {
 		parallel  = flag.Int("parallel", 1, "enumeration worker goroutines")
 		workers   = flag.Int("workers", 0, "preprocessing (filter + candidate-space) worker goroutines (0 = same as -parallel)")
 		schedule  = flag.String("schedule", "steal", "parallel scheduler: steal (work stealing) or strided (static partition)")
+		kernel    = flag.String("kernel", "adaptive", "intersection-kernel policy: adaptive merge gallop hybrid block")
 		profile   = flag.Bool("profile", false, "print a per-depth search profile")
 		trace     = flag.Bool("trace", false, "print the phase-span trace (filter stages, build, order, per-worker enumeration)")
 		hom       = flag.Bool("hom", false, "count homomorphisms instead of isomorphisms")
@@ -56,7 +58,7 @@ func main() {
 		return
 	}
 	if err := run(ctx, *queryPath, *dataPath, *algoName, *limit, *timeout, *printN, *parallel, *workers, *schedule,
-		*profile, *trace, *hom, *sym, *estimate); err != nil {
+		*kernel, *profile, *trace, *hom, *sym, *estimate); err != nil {
 		exitErr(err)
 	}
 }
@@ -71,7 +73,7 @@ func exitErr(err error) {
 }
 
 func run(ctx context.Context, queryPath, dataPath, algoName string, limit uint64, timeout time.Duration, printN, parallel, workers int,
-	scheduleName string, profile, trace, hom, sym, estimate bool) error {
+	scheduleName, kernelName string, profile, trace, hom, sym, estimate bool) error {
 	if queryPath == "" || dataPath == "" {
 		return fmt.Errorf("both -q and -d are required")
 	}
@@ -80,6 +82,10 @@ func run(ctx context.Context, queryPath, dataPath, algoName string, limit uint64
 		return err
 	}
 	sched, err := sm.ParseSchedule(scheduleName)
+	if err != nil {
+		return err
+	}
+	kern, err := sm.ParseKernelPolicy(kernelName)
 	if err != nil {
 		return err
 	}
@@ -104,11 +110,12 @@ func run(ctx context.Context, queryPath, dataPath, algoName string, limit uint64
 	printed := 0
 	opts := sm.Options{Algorithm: algo, MaxEmbeddings: limit, TimeLimit: timeout,
 		Parallel: parallel, Workers: workers, Schedule: sched, Trace: trace}
-	if profile || hom || sym {
+	if profile || hom || sym || kern != sm.KernelAdaptive {
 		cfg := sm.PresetConfig(algo, q, g)
 		cfg.Profile = profile
 		cfg.Homomorphism = hom
 		cfg.SymmetryBreaking = sym
+		cfg.Kernel = kern
 		if hom {
 			// Homomorphism mode needs the pipeline engine, not the
 			// external solvers, and ignores structural filters.
@@ -142,6 +149,15 @@ func run(ctx context.Context, queryPath, dataPath, algoName string, limit uint64
 		res.PreprocessTime(), res.FilterTime, res.BuildTime, res.OrderTime)
 	fmt.Printf("enumeration:   %v\n", res.EnumTime)
 	fmt.Printf("candidates:    %.1f per query vertex\n", res.MeanCandidates)
+	if res.Kernels.Total() != 0 {
+		fmt.Printf("kernel mix:   ")
+		for i, n := range res.Kernels {
+			if n != 0 {
+				fmt.Printf(" %s=%d", intersect.Kernel(i), n)
+			}
+		}
+		fmt.Println()
+	}
 	fmt.Printf("memory:        %d bytes\n", res.MemoryBytes)
 	if res.TimedOut {
 		fmt.Println("status:        UNSOLVED (time limit)")

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"testing"
+
+	"subgraphmatching/internal/service"
+	"subgraphmatching/internal/testutil"
+)
+
+// TestMatchKernelParam covers the kernel= front-door parameter: every
+// valid policy is accepted and returns identical embeddings, an unknown
+// policy maps to 400, and the kernel mix surfaces in the match result,
+// the trace, and /stats.
+func TestMatchKernelParam(t *testing.T) {
+	ts, g := newTestServer(t)
+	// Seed 0 at size 5 yields a cyclic query (6 edges) on the test graph:
+	// some vertex has two backward neighbors, so the Optimized preset's
+	// intersect local actually executes pairwise kernels.
+	q := testutil.RandomConnectedQuery(rand.New(rand.NewSource(0)), g, 5)
+	qText := graphText(t, q)
+
+	var want uint64
+	for i, kern := range []string{"adaptive", "merge", "gallop", "hybrid", "block"} {
+		resp, body := do(t, "POST", ts.URL+"/match?graph=main&kernel="+kern, qText)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("kernel=%s: %d %q", kern, resp.StatusCode, body)
+		}
+		var res matchResult
+		if err := json.Unmarshal([]byte(body), &res); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = res.Embeddings
+		} else if res.Embeddings != want {
+			t.Fatalf("kernel=%s: %d embeddings, want %d", kern, res.Embeddings, want)
+		}
+		if len(res.Kernels) == 0 {
+			t.Errorf("kernel=%s: result carries no kernel mix: %s", kern, body)
+		}
+		for name := range res.Kernels {
+			switch name {
+			case "merge", "gallop", "block":
+			default:
+				t.Errorf("kernel=%s: unknown kernel label %q in mix", kern, name)
+			}
+		}
+	}
+
+	resp, body := do(t, "POST", ts.URL+"/match?graph=main&kernel=simd", qText)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("kernel=simd: %d %q, want 400", resp.StatusCode, body)
+	}
+
+	// The trace span carries per-kernel attributes on the enumerate span.
+	resp, body = do(t, "POST", ts.URL+"/match?graph=main&kernel=adaptive&trace=1", qText)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace run: %d %q", resp.StatusCode, body)
+	}
+	var res matchResult
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("trace=1 returned no trace")
+	}
+
+	resp, body = do(t, "GET", ts.URL+"/stats", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %d", resp.StatusCode)
+	}
+	var st service.Stats
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, n := range st.Kernels {
+		total += n
+	}
+	if total == 0 {
+		t.Errorf("service-wide kernel mix empty after intersect requests: %s", body)
+	}
+
+	// The Prometheus families agree.
+	resp, body = do(t, "GET", ts.URL+"/metrics", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	if total > 0 && !containsKernelFamily(body) {
+		t.Errorf("metrics exposition lacks smatch_intersect_kernel_total:\n%s", body)
+	}
+}
+
+func containsKernelFamily(body string) bool {
+	for i := 0; i+30 <= len(body); i++ {
+		if body[i:i+30] == "smatch_intersect_kernel_total{" {
+			return true
+		}
+	}
+	return false
+}

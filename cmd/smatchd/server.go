@@ -13,6 +13,7 @@ import (
 
 	"subgraphmatching/internal/core"
 	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/intersect"
 	"subgraphmatching/internal/obs"
 	"subgraphmatching/internal/service"
 )
@@ -178,7 +179,10 @@ type matchResult struct {
 	Preprocess time.Duration `json:"preprocess_ns"`
 	Enumerate  time.Duration `json:"enumerate_ns"`
 	QueueWait  time.Duration `json:"queue_wait_ns"`
-	Trace      *obs.Span     `json:"trace,omitempty"`
+	// Kernels is the plan's intersection-kernel mix — pairwise kernel
+	// executions by kernel name — absent for non-intersection locals.
+	Kernels map[string]uint64 `json:"kernels,omitempty"`
+	Trace   *obs.Span         `json:"trace,omitempty"`
 }
 
 func toMatchResult(resp *service.Response, withTrace bool) matchResult {
@@ -191,6 +195,7 @@ func toMatchResult(resp *service.Response, withTrace bool) matchResult {
 		Preprocess: resp.Result.PreprocessTime(),
 		Enumerate:  resp.Result.EnumTime,
 		QueueWait:  resp.QueueWait,
+		Kernels:    resp.Result.Kernels.Map(),
 	}
 	if withTrace {
 		res.Trace = resp.Result.Trace
@@ -235,6 +240,11 @@ func (s *server) parseMatchRequest(w http.ResponseWriter, r *http.Request) (serv
 	if v := params.Get("workers"); v != "" {
 		if req.Workers, err = strconv.Atoi(v); err != nil || req.Workers < 0 || req.Workers > maxWorkersParam {
 			return req, fmt.Errorf("bad workers %q (want 0..%d)", v, maxWorkersParam)
+		}
+	}
+	if v := params.Get("kernel"); v != "" {
+		if req.Kernel, err = intersect.ParsePolicy(v); err != nil {
+			return req, err
 		}
 	}
 	req.Query, err = graph.Parse(http.MaxBytesReader(w, r.Body, maxQueryBody))

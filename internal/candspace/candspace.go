@@ -35,9 +35,10 @@ type Space struct {
 	// not materialized (tree variant).
 	edges [][]*edgeCSR
 
-	// blocks mirrors edges with per-candidate QFilter-style block
-	// layouts; nil until MaterializeBlocks runs.
-	blocks [][][]*intersect.BlockSet
+	// flat mirrors edges with one flat QFilter-style block arena per
+	// directed query edge (per-candidate layouts are offset windows into
+	// it); nil until MaterializeBlocks runs.
+	flat [][]*intersect.FlatBlocks
 }
 
 type edgeCSR struct {

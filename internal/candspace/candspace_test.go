@@ -144,11 +144,11 @@ func TestBlocksMatchPlainAdjacency(t *testing.T) {
 		for _, up := range q.Neighbors(uu) {
 			for ci := range s.Candidates(uu) {
 				plain := s.Adjacency(uu, up, ci)
-				bs := s.AdjacencyBlocks(uu, up, ci)
-				if bs == nil {
+				bv := s.AdjacencyView(uu, up, ci)
+				if !bv.Valid() {
 					t.Fatalf("missing block layout for (u%d,u%d,%d)", u, up, ci)
 				}
-				got := bs.Elements(nil)
+				got := bv.Elements(nil)
 				if len(got) == 0 && len(plain) == 0 {
 					continue
 				}

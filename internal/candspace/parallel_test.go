@@ -127,8 +127,8 @@ func TestDegenerateCandidateSets(t *testing.T) {
 				if adj := s.Adjacency(uu, up, idx); adj != nil {
 					t.Errorf("%s: Adjacency with index -1 = %v, want nil", name, adj)
 				}
-				if bs := s.AdjacencyBlocks(uu, up, idx); bs != nil {
-					t.Errorf("%s: AdjacencyBlocks with index -1 != nil", name)
+				if bv := s.AdjacencyView(uu, up, idx); bv.Valid() {
+					t.Errorf("%s: AdjacencyView with index -1 is valid", name)
 				}
 			}
 		}

@@ -21,6 +21,7 @@ import (
 	"subgraphmatching/internal/filter"
 	"subgraphmatching/internal/glasgow"
 	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/intersect"
 	"subgraphmatching/internal/obs"
 	"subgraphmatching/internal/order"
 	"subgraphmatching/internal/ullmann"
@@ -46,6 +47,13 @@ type Config struct {
 	// Local selects the local-candidate computation (paper Algorithms
 	// 2-5).
 	Local enumerate.LocalCandidates
+	// Kernel selects the pairwise intersection-kernel policy for the
+	// Intersect local method: adaptive per-call selection (the zero
+	// value) or one pinned static kernel (merge/gallop/hybrid/block,
+	// the Figure 10 arms). PolicyAdaptive and PolicyBlock materialize
+	// the flat block layout at build time. IntersectBlock local mode
+	// always runs the block kernel and ignores this field.
+	Kernel intersect.Policy
 	// TreeSpace builds the auxiliary structure only over spanning-tree
 	// edges (CFL's compressed path index) instead of all query edges.
 	TreeSpace bool
@@ -185,6 +193,10 @@ type Result struct {
 	// Profile holds per-depth search statistics when Config.Profile was
 	// set.
 	Profile *enumerate.SearchProfile
+	// Kernels tallies the pairwise intersection-kernel executions by
+	// kernel (the run's kernel mix under Config.Kernel); summed across
+	// workers on parallel runs, all zeros for non-intersection locals.
+	Kernels intersect.KernelStats
 	// WorkerNodes, set on parallel runs, holds the search-tree nodes
 	// each worker expanded. Its spread measures scheduler load balance:
 	// sum/max is the speedup the task partition would admit on
@@ -371,8 +383,20 @@ func Preprocess(q, g *graph.Graph, cfg Config, workers int) (*Plan, error) {
 		} else {
 			plan.Space = candspace.BuildFull(q, g, cand)
 		}
-		if cfg.Local == enumerate.IntersectBlock {
-			plan.Space.MaterializeBlocks()
+		// Materialize the flat block layout whenever the enumeration may
+		// run the word-parallel kernel: always for IntersectBlock, and
+		// for Intersect under the adaptive or pinned-block policy. The
+		// flat build is O(targets) time and O(edges) allocations, so the
+		// adaptive default pays it unconditionally.
+		wantBlocks := cfg.Local == enumerate.IntersectBlock ||
+			(cfg.Local == enumerate.Intersect &&
+				(cfg.Kernel == intersect.PolicyAdaptive || cfg.Kernel == intersect.PolicyBlock))
+		if wantBlocks {
+			if workers > 1 {
+				plan.Space.MaterializeBlocksParallel(workers)
+			} else {
+				plan.Space.MaterializeBlocks()
+			}
 		}
 	}
 	plan.BuildTime = time.Since(t0)
@@ -391,9 +415,20 @@ func Preprocess(q, g *graph.Graph, cfg Config, workers int) (*Plan, error) {
 			structure = "full"
 		}
 	}
-	plan.Span.AddChild(obs.NewSpan("build", t0, plan.BuildTime).
+	bs := obs.NewSpan("build", t0, plan.BuildTime).
 		SetAttr("structure", structure).
-		SetAttr("memory_bytes", plan.MemoryBytes))
+		SetAttr("memory_bytes", plan.MemoryBytes)
+	if plan.Space != nil && plan.Space.HasBlocks() {
+		sets, blocks, elems := plan.Space.BlockStats()
+		density := 0.0
+		if blocks > 0 {
+			density = float64(elems) / float64(blocks)
+		}
+		bs.SetAttr("block_sets", sets).
+			SetAttr("block_density", density).
+			SetAttr("block_memory_bytes", plan.Space.BlockMemoryBytes())
+	}
+	plan.Span.AddChild(bs)
 
 	// Step 2: ordering.
 	t0 = time.Now()
@@ -466,6 +501,7 @@ func MatchPlan(plan *Plan, limits Limits) (*Result, error) {
 	}
 	stats, err := enumerate.Run(q, g, plan.Cand, plan.Space, plan.Order, enumerate.Options{
 		Local:           cfg.Local,
+		Kernel:          cfg.Kernel,
 		FailingSets:     cfg.FailingSets,
 		Adaptive:        cfg.Adaptive,
 		AdaptiveWeights: plan.Weights,
@@ -487,6 +523,7 @@ func MatchPlan(plan *Plan, limits Limits) (*Result, error) {
 	res.LimitHit = stats.LimitHit
 	res.EnumTime = stats.Duration
 	res.Profile = stats.Profile
+	res.Kernels = stats.Kernels
 	if limits.Trace {
 		res.Trace = enumerateSpan(enumStart, res)
 	}
@@ -507,6 +544,11 @@ func enumerateSpan(start time.Time, res *Result) *obs.Span {
 	}
 	if res.LimitHit {
 		es.SetAttr("limit_hit", true)
+	}
+	for i, n := range res.Kernels {
+		if n != 0 {
+			es.SetAttr("kernel_"+intersect.Kernel(i).String(), n)
+		}
 	}
 	for w, ws := range res.Workers {
 		es.AddChild(obs.NewSpan(fmt.Sprintf("worker-%d", w), time.Time{}, 0).

@@ -110,6 +110,7 @@ func matchParallel(q, g *graph.Graph, cand [][]uint32, space *candspace.Space,
 
 	opts := enumerate.Options{
 		Local:           cfg.Local,
+		Kernel:          cfg.Kernel,
 		FailingSets:     cfg.FailingSets,
 		Adaptive:        cfg.Adaptive,
 		AdaptiveWeights: weights,
@@ -134,7 +135,7 @@ func matchParallel(q, g *graph.Graph, cand [][]uint32, space *candspace.Space,
 	var tasks []enumTask
 	if limits.Schedule == ScheduleWorkSteal &&
 		!cfg.Adaptive && q.NumVertices() >= 2 && len(rootCands) < workers*splitFactor {
-		probe, err := enumerate.NewEngine(q, g, cand, space, phi, enumerate.Options{Local: cfg.Local})
+		probe, err := enumerate.NewEngine(q, g, cand, space, phi, enumerate.Options{Local: cfg.Local, Kernel: cfg.Kernel})
 		if err != nil {
 			return err
 		}
@@ -259,6 +260,7 @@ func matchParallel(q, g *graph.Graph, cand [][]uint32, space *candspace.Space,
 		workerNodes[w] = st.Nodes
 		workerStats[w].Nodes = st.Nodes
 		localEmb += st.Embeddings
+		res.Kernels.Add(st.Kernels)
 		if st.TimedOut {
 			timedOut.Store(true)
 		}

@@ -83,12 +83,10 @@ func (e *engine) activate(u graph.Vertex) {
 		if len(bwd) == 1 {
 			lc = append(a.lcOf[w][:0], e.space.Adjacency(bwd[0], w, e.candIdx[bwd[0]])...)
 		} else {
-			sets := e.setsBuf[:0]
-			for _, un := range bwd {
-				sets = append(sets, e.space.Adjacency(un, w, e.candIdx[un]))
-			}
-			e.setsBuf = sets
-			lc = e.ix.IntersectMany(a.lcOf[w][:0], sets...)
+			// Same selector dispatch as the static path (lcIntersect), so
+			// the adaptive engine honors IntersectBlock and the kernel
+			// policy instead of always intersecting plain slices.
+			lc = e.intersectBackward(a.lcOf[w][:0], bwd, w)
 		}
 		a.lcOf[w] = lc
 		a.weightOf[w] = e.activationWeight(w, lc)

@@ -130,6 +130,7 @@ func (E *Engine) Run() *Stats {
 		e.runPlain(0)
 	}
 	e.stats.Duration = time.Since(start)
+	e.stats.Kernels = e.sel.Stats()
 	return &e.stats
 }
 
@@ -146,6 +147,7 @@ func (e *engine) resetRun() {
 	e.aborted = false
 	e.clockTicker = 0
 	e.deadline = time.Time{}
+	e.sel.ResetStats()
 	if e.opts.Adaptive {
 		e.adaptive.pool = e.adaptive.pool[:0]
 	}
@@ -159,7 +161,10 @@ func (E *Engine) SetDeadline(t time.Time) { E.engine.deadline = t }
 // Stats returns the engine's cumulative statistics: a full Run resets
 // them, while the per-task entry points (RunRoot, RunRootPair)
 // accumulate across calls so a worker's tally is read once at the end.
-func (E *Engine) Stats() *Stats { return &E.engine.stats }
+func (E *Engine) Stats() *Stats {
+	E.engine.stats.Kernels = E.engine.sel.Stats()
+	return &E.engine.stats
+}
 
 // ResetStats clears the cumulative statistics and the abort flag without
 // touching the armed deadline. Schedulers call it once per worker before
@@ -279,10 +284,11 @@ type engine struct {
 	symPeers [][]graph.Vertex
 	symPos   []int
 
-	lcBuf   [][]uint32 // per depth local-candidate buffer
-	scratch []uint32
-	ix      intersect.Scratch
-	setsBuf [][]uint32 // transient argument buffer for IntersectMany
+	lcBuf    [][]uint32            // per depth local-candidate buffer
+	sel      intersect.Selector    // kernel dispatcher (owns k-way scratch)
+	setsBuf  [][]uint32            // transient argument buffer for Selector.Many
+	viewsBuf []intersect.BlockView // transient block views paralleling setsBuf
+	useViews bool                  // space has a materialized block layout
 
 	deadline    time.Time
 	clockTicker int
@@ -369,6 +375,17 @@ func (e *engine) prepare() error {
 	if e.opts.Adaptive {
 		e.initAdaptive()
 	}
+	// Kernel dispatch: IntersectBlock pins the block kernel (the Figure
+	// 10 arm — Options.Kernel is ignored there); Intersect follows the
+	// configured policy. Without a materialized block layout the
+	// adaptive policy degrades to exactly the Hybrid merge/gallop
+	// switch.
+	pol := e.opts.Kernel
+	if e.opts.Local == IntersectBlock {
+		pol = intersect.PolicyBlock
+	}
+	e.sel.SetPolicy(pol)
+	e.useViews = e.space != nil && e.space.HasBlocks()
 	return nil
 }
 

@@ -2,7 +2,6 @@ package enumerate
 
 import (
 	"subgraphmatching/internal/graph"
-	"subgraphmatching/internal/intersect"
 )
 
 // computeLC computes the local candidate set LC(u, M) for the query
@@ -17,9 +16,8 @@ func (e *engine) computeLC(depth int, u graph.Vertex) []uint32 {
 		return e.lcScan(depth, u)
 	case TreeEdge:
 		return e.lcTreeEdge(depth, u)
-	case IntersectBlock:
-		return e.lcIntersectBlock(depth, u)
-	default:
+	default: // Intersect and IntersectBlock — kernel choice is the
+		// selector's (IntersectBlock pins the block policy in prepare).
 		return e.lcIntersect(depth, u)
 	}
 }
@@ -91,7 +89,9 @@ func (e *engine) lcTreeEdge(depth int, u graph.Vertex) []uint32 {
 }
 
 // lcIntersect is Algorithm 5 (CECI/DP-iso): intersect the auxiliary
-// adjacency lists of all backward neighbors.
+// adjacency lists of all backward neighbors, with the pairwise kernel
+// (merge/gallop/word-parallel block) chosen per call by the engine's
+// selector under Options.Kernel.
 func (e *engine) lcIntersect(depth int, u graph.Vertex) []uint32 {
 	if depth == 0 {
 		return e.cand[u]
@@ -100,37 +100,32 @@ func (e *engine) lcIntersect(depth int, u graph.Vertex) []uint32 {
 	if len(bwd) == 1 {
 		return e.space.Adjacency(bwd[0], u, e.candIdx[bwd[0]])
 	}
+	e.lcBuf[depth] = e.intersectBackward(e.lcBuf[depth][:0], bwd, u)
+	return e.lcBuf[depth]
+}
+
+// intersectBackward gathers the auxiliary adjacency lists of bwd
+// against u — paired with their block views when the space has a
+// materialized layout — and intersects them through the kernel
+// selector, appending to dst. Shared by the static-order path and the
+// adaptive (DP-iso) activation.
+func (e *engine) intersectBackward(dst []uint32, bwd []graph.Vertex, u graph.Vertex) []uint32 {
 	sets := e.setsBuf[:0]
+	if e.useViews {
+		views := e.viewsBuf[:0]
+		for _, un := range bwd {
+			adj, v := e.space.AdjacencyWithView(un, u, e.candIdx[un])
+			sets = append(sets, adj)
+			views = append(views, v)
+		}
+		e.setsBuf, e.viewsBuf = sets, views
+		return e.sel.Many(dst, sets, views)
+	}
 	for _, un := range bwd {
 		sets = append(sets, e.space.Adjacency(un, u, e.candIdx[un]))
 	}
 	e.setsBuf = sets
-	e.lcBuf[depth] = e.ix.IntersectMany(e.lcBuf[depth][:0], sets...)
-	return e.lcBuf[depth]
-}
-
-// lcIntersectBlock is Algorithm 5 over the QFilter-style block layout.
-func (e *engine) lcIntersectBlock(depth int, u graph.Vertex) []uint32 {
-	if depth == 0 {
-		return e.cand[u]
-	}
-	bwd := e.bwd[depth]
-	if len(bwd) == 1 {
-		return e.space.Adjacency(bwd[0], u, e.candIdx[bwd[0]])
-	}
-	first := e.space.AdjacencyBlocks(bwd[0], u, e.candIdx[bwd[0]])
-	second := e.space.AdjacencyBlocks(bwd[1], u, e.candIdx[bwd[1]])
-	out := intersect.IntersectBlocks(e.lcBuf[depth][:0], first, second)
-	for _, un := range bwd[2:] {
-		if len(out) == 0 {
-			break
-		}
-		bs := e.space.AdjacencyBlocks(un, u, e.candIdx[un])
-		e.scratch = intersect.IntersectBlockWithSorted(e.scratch[:0], bs, out)
-		out = append(out[:0], e.scratch...)
-	}
-	e.lcBuf[depth] = out
-	return out
+	return e.sel.Many(dst, sets, nil)
 }
 
 // backwardEdgesOK verifies e(v, M[u']) for every backward neighbor u' of

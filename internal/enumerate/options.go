@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/intersect"
 )
 
 // LocalCandidates selects how LC(u, M) is computed at each search node
@@ -52,6 +53,13 @@ func (l LocalCandidates) String() string {
 type Options struct {
 	// Local selects the local candidate computation method.
 	Local LocalCandidates
+
+	// Kernel selects how the pairwise intersection kernel is chosen in
+	// the Intersect local-candidate method: adaptively per call (the
+	// zero value) or pinned to one static kernel. IntersectBlock mode
+	// always uses the block kernel (the Figure 10 arm) and ignores this
+	// field.
+	Kernel intersect.Policy
 
 	// FailingSets enables DP-iso's failing-sets pruning. Requires the
 	// query to have at most 64 vertices.
@@ -125,6 +133,11 @@ type Stats struct {
 	LimitHit bool
 	// Duration is the wall-clock enumeration time.
 	Duration time.Duration
+	// Kernels tallies the pairwise intersection-kernel executions by
+	// kernel — the run's kernel mix under the configured Options.Kernel
+	// policy. All zeros for the non-intersection local-candidate
+	// methods.
+	Kernels intersect.KernelStats
 	// Profile holds per-depth search statistics when Options.Profile
 	// was set.
 	Profile *SearchProfile

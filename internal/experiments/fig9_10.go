@@ -7,6 +7,7 @@ import (
 	"subgraphmatching/internal/enumerate"
 	"subgraphmatching/internal/filter"
 	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/intersect"
 	"subgraphmatching/internal/order"
 	"subgraphmatching/internal/workload"
 )
@@ -18,7 +19,9 @@ import (
 
 // fig9Pair is an algorithm's original local-candidate setup and its
 // optimized counterpart. RI is omitted as in the paper (it shares
-// QuickSI's computation).
+// QuickSI's computation). The optimized arms pin the Hybrid kernel:
+// the paper's Figure 9/10 numbers use Hybrid merge/galloping, so the
+// reproduction must not silently pick up the adaptive selector.
 type fig9Pair struct {
 	name string
 	base core.Config
@@ -30,22 +33,22 @@ func fig9Pairs() []fig9Pair {
 		{
 			name: "QSI",
 			base: core.Config{Filter: filter.LDF, Order: order.QSI, Local: enumerate.Direct},
-			opt:  core.Config{Filter: filter.LDF, Order: order.QSI, Local: enumerate.Intersect},
+			opt:  core.Config{Filter: filter.LDF, Order: order.QSI, Local: enumerate.Intersect, Kernel: intersect.PolicyHybrid},
 		},
 		{
 			name: "GQL",
 			base: core.Config{Filter: filter.GQL, Order: order.GQL, Local: enumerate.Scan},
-			opt:  core.Config{Filter: filter.GQL, Order: order.GQL, Local: enumerate.Intersect},
+			opt:  core.Config{Filter: filter.GQL, Order: order.GQL, Local: enumerate.Intersect, Kernel: intersect.PolicyHybrid},
 		},
 		{
 			name: "CFL",
 			base: core.Config{Filter: filter.CFL, Order: order.CFL, Local: enumerate.TreeEdge, TreeSpace: true},
-			opt:  core.Config{Filter: filter.CFL, Order: order.CFL, Local: enumerate.Intersect},
+			opt:  core.Config{Filter: filter.CFL, Order: order.CFL, Local: enumerate.Intersect, Kernel: intersect.PolicyHybrid},
 		},
 		{
 			name: "2PP",
 			base: core.Config{Filter: filter.LDF, Order: order.VF2PP, Local: enumerate.Direct, VF2PPRules: true},
-			opt:  core.Config{Filter: filter.LDF, Order: order.VF2PP, Local: enumerate.Intersect},
+			opt:  core.Config{Filter: filter.LDF, Order: order.VF2PP, Local: enumerate.Intersect, Kernel: intersect.PolicyHybrid},
 		},
 	}
 }
@@ -102,7 +105,7 @@ func Fig9(env Env) error {
 func Fig10(env Env) error {
 	env = env.WithDefaults()
 	section(env.Out, "Figure 10: set intersection methods (enumeration ms)", "Figure 10(a-b)")
-	hybrid := core.Config{Filter: filter.GQL, Order: order.GQL, Local: enumerate.Intersect}
+	hybrid := core.Config{Filter: filter.GQL, Order: order.GQL, Local: enumerate.Intersect, Kernel: intersect.PolicyHybrid}
 	qfilter := core.Config{Filter: filter.GQL, Order: order.GQL, Local: enumerate.IntersectBlock}
 
 	ta := workload.Table{Title: "(a) by dataset (default dense query set)",

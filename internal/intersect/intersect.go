@@ -106,11 +106,36 @@ func Hybrid(dst, a, b []uint32) []uint32 {
 	return Merge(dst, a, b)
 }
 
-// Count returns |a AND b| without materializing the intersection.
+// Count returns |a AND b| without materializing the intersection. Like
+// Hybrid it switches to galloping at a GallopThreshold size ratio, so
+// cardinality-only call sites get the same skew behavior as the
+// materializing kernels.
 func Count(a, b []uint32) int {
+	la, lb := len(a), len(b)
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	if la > lb {
+		a, b = b, a
+		la, lb = lb, la
+	}
+	if lb/la >= GallopThreshold {
+		n, pos := 0, 0
+		for _, x := range a {
+			pos = gallopSearch(b, pos, x)
+			if pos == len(b) {
+				break
+			}
+			if b[pos] == x {
+				n++
+				pos++
+			}
+		}
+		return n
+	}
 	n := 0
 	i, j := 0, 0
-	for i < len(a) && j < len(b) {
+	for i < la && j < lb {
 		switch {
 		case a[i] < b[j]:
 			i++

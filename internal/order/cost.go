@@ -69,10 +69,10 @@ func edgeSelectivity(space *candspace.Space, a, b graph.Vertex) float64 {
 	if len(ca) == 0 || len(cb) == 0 {
 		return 0
 	}
-	edges := 0
-	for ci := range ca {
-		edges += len(space.Adjacency(a, b, ci))
-	}
+	// PairSize reads the total edge count off the CSR in O(1); summing
+	// per-candidate Adjacency lengths here was O(|C(a)|) per cost-model
+	// probe.
+	edges := space.PairSize(a, b)
 	return float64(edges) / (float64(len(ca)) * float64(len(cb)))
 }
 

@@ -48,6 +48,7 @@ func configHash(cfg core.Config, preWorkers int) uint64 {
 	u64(uint64(cfg.Filter))
 	u64(uint64(cfg.Order))
 	u64(uint64(cfg.Local))
+	u64(uint64(cfg.Kernel))
 	flag(cfg.AutoOrder)
 	flag(cfg.TreeSpace)
 	flag(cfg.FailingSets)

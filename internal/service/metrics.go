@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"subgraphmatching/internal/intersect"
 	"subgraphmatching/internal/obs"
 )
 
@@ -31,6 +32,8 @@ type serviceMetrics struct {
 	embeddings *obs.CounterVec
 	latency    *obs.HistogramVec
 	phase      *obs.HistogramVec
+
+	kernels *obs.CounterVec // service-wide intersection-kernel mix
 
 	admissionWait *obs.Histogram
 
@@ -76,6 +79,10 @@ func newServiceMetrics(s *Service) *serviceMetrics {
 		phase: r.HistogramVec("smatch_phase_duration_seconds",
 			"Pipeline phase durations (filter, build, order, enumerate).",
 			obs.DefaultDurationBuckets, "phase"),
+
+		kernels: r.CounterVec("smatch_intersect_kernel_total",
+			"Pairwise intersection-kernel executions by kernel across completed requests.",
+			"kernel"),
 
 		admissionWait: r.Histogram("smatch_admission_wait_seconds",
 			"Time requests spent waiting for admission.", obs.DefaultDurationBuckets),
@@ -181,6 +188,33 @@ func (m *serviceMetrics) recordSuccess(graph, algo string, embeddings uint64,
 		m.limitHits.With(graph, algo).Inc()
 	}
 	m.latency.With(graph, algo).Observe(latency.Seconds())
+}
+
+// recordKernels folds one completed request's intersection-kernel mix
+// into the service-wide families. Zero tallies create no children, so
+// non-intersection workloads leave the families empty.
+func (m *serviceMetrics) recordKernels(ks intersect.KernelStats) {
+	for i, n := range ks {
+		if n != 0 {
+			m.kernels.With(intersect.Kernel(i).String()).Add(n)
+		}
+	}
+}
+
+// kernelSnapshot reads the kernel families back for the JSON /stats
+// view (nil when nothing has been recorded), keeping the snapshot and
+// /metrics in agreement.
+func (m *serviceMetrics) kernelSnapshot() map[string]uint64 {
+	var out map[string]uint64
+	for _, name := range intersect.KernelNames() {
+		if n := m.kernels.Value(name); n != 0 {
+			if out == nil {
+				out = make(map[string]uint64, len(intersect.KernelNames()))
+			}
+			out[name] = n
+		}
+	}
+	return out
 }
 
 // observePhases feeds the phase histogram from a request's span tree:

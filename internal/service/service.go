@@ -10,6 +10,7 @@ import (
 
 	"subgraphmatching/internal/core"
 	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/intersect"
 	"subgraphmatching/internal/obs"
 )
 
@@ -78,6 +79,12 @@ type Request struct {
 	// component configuration.
 	Algorithm core.Algorithm
 	Custom    *core.Config
+	// Kernel, when not PolicyAdaptive, overrides the resolved config's
+	// intersection-kernel policy (preset or Custom) — the request-level
+	// form of the kernel= query parameter. The adaptive default cannot
+	// be forced back onto a Custom config that pinned a static kernel;
+	// set Custom.Kernel directly for that.
+	Kernel intersect.Policy
 	// MaxEmbeddings, TimeLimit, Parallel, Schedule and Workers carry the
 	// meanings of core.Limits. TimeLimit 0 inherits the service default;
 	// Parallel is also the request's admission weight.
@@ -200,6 +207,7 @@ func (s *Service) Stats() Stats {
 		Uptime:    time.Since(s.start),
 		Graphs:    s.reg.list(),
 		Workloads: s.metrics.snapshot(),
+		Kernels:   s.metrics.kernelSnapshot(),
 	}
 	if s.cache != nil {
 		st.Cache = s.cache.stats()
@@ -253,6 +261,9 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Response, error) {
 	cfg := core.PresetConfig(req.Algorithm, req.Query, entry.g)
 	if req.Custom != nil {
 		cfg = *req.Custom
+	}
+	if req.Kernel != intersect.PolicyAdaptive {
+		cfg.Kernel = req.Kernel
 	}
 
 	// Admission: hold the request's worker count before doing any work.
@@ -348,6 +359,7 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Response, error) {
 	latency := time.Since(began)
 	s.metrics.recordSuccess(entry.name, algo, res.Embeddings, cacheHit,
 		res.TimedOut, res.LimitHit, latency)
+	s.metrics.recordKernels(res.Kernels)
 	s.metrics.observePhases(res.FilterTime, res.BuildTime, res.OrderTime,
 		res.EnumTime, !cacheHit)
 

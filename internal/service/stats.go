@@ -84,6 +84,11 @@ type Stats struct {
 	Cache     CacheStats      `json:"cache"`
 	Admission AdmissionStats  `json:"admission"`
 	Workloads []WorkloadStats `json:"workloads"`
+	// Kernels is the service-wide intersection-kernel mix: pairwise
+	// kernel executions by kernel name across all completed requests
+	// (the smatch_intersect_kernel_total families). Nil until an
+	// intersection-based request completes.
+	Kernels map[string]uint64 `json:"kernels,omitempty"`
 }
 
 // AdmissionStats reports the admission controller's occupancy.

@@ -9,6 +9,7 @@ import (
 	"subgraphmatching/internal/core"
 	"subgraphmatching/internal/enumerate"
 	"subgraphmatching/internal/filter"
+	"subgraphmatching/internal/intersect"
 	"subgraphmatching/internal/obs"
 	"subgraphmatching/internal/order"
 )
@@ -99,6 +100,28 @@ const (
 	LocalIntersect      = enumerate.Intersect
 	LocalIntersectBlock = enumerate.IntersectBlock
 )
+
+// KernelPolicy selects how pairwise set intersections inside
+// LocalIntersect enumeration are executed (Config.Kernel). The policy
+// changes speed only — embeddings are identical under every policy.
+type KernelPolicy = intersect.Policy
+
+// Kernel policies. KernelAdaptive (the zero value and the default)
+// picks merge, galloping, or the block-layout word-parallel kernel per
+// call from the operand sizes and block density; the static policies
+// pin one kernel and exist to reproduce the paper's Figure 10 style
+// comparisons.
+const (
+	KernelAdaptive = intersect.PolicyAdaptive
+	KernelMerge    = intersect.PolicyMerge
+	KernelGallop   = intersect.PolicyGallop
+	KernelHybrid   = intersect.PolicyHybrid
+	KernelBlock    = intersect.PolicyBlock
+)
+
+// ParseKernelPolicy maps a policy name (adaptive, merge, gallop,
+// hybrid, block) to its KernelPolicy.
+func ParseKernelPolicy(s string) (KernelPolicy, error) { return intersect.ParsePolicy(s) }
 
 // Result reports one query's execution: embedding count, search-tree
 // size, the preprocessing/enumeration time split, candidate statistics
