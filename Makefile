@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race race-stress fuzz-smoke bench-smoke bench-parallel bench-preprocess bench-serve bench-obs bench-kernels
+.PHONY: ci vet build test race race-stress fuzz-smoke bench-smoke bench-parallel bench-preprocess bench-serve bench-obs bench-kernels bench-batch
 
 ci: vet build race race-stress fuzz-smoke bench-smoke
 
@@ -32,12 +32,16 @@ race-stress:
 	$(GO) test -race -run 'Stress' -count 1 ./internal/filter ./internal/candspace ./internal/service ./internal/obs
 
 # Short corpus-plus-mutation runs of the fuzz targets: filter soundness
-# (candidate sets never drop a ground-truth embedding vertex) and
+# (candidate sets never drop a ground-truth embedding vertex),
 # intersection-kernel equivalence (every kernel — merge, gallop, hybrid,
-# block, flat views, selector policies — produces identical output).
+# block, flat views, selector policies — produces identical output), and
+# batch grouping (SubmitBatch over arbitrary item mixes stays index-
+# aligned, isolates per-item failures, matches sequential embeddings,
+# and builds exactly one plan per group).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzFilterSoundness -fuzztime 5s ./internal/filter
 	$(GO) test -run '^$$' -fuzz FuzzIntersectKernels -fuzztime 5s ./internal/intersect
+	$(GO) test -run '^$$' -fuzz FuzzBatchGrouping -fuzztime 5s ./internal/service
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
@@ -56,6 +60,12 @@ bench-preprocess:
 # "Serving" section: cold (uncached) vs warm (plan-cache hit) Submit.
 bench-serve:
 	$(GO) test -run '^$$' -bench 'BenchmarkServe' -benchmem -benchtime 2s ./internal/service
+
+# The batched-serving measurement behind EXPERIMENTS.md's "Batching"
+# section: per-item cost of SubmitBatch at sizes 1/8/64 against the
+# sequential warm baseline.
+bench-batch:
+	$(GO) test -run '^$$' -bench 'BenchmarkServeWarm|BenchmarkBatchSubmit' -benchmem -benchtime 2s ./internal/service
 
 # The instrumentation-overhead measurement behind EXPERIMENTS.md's
 # "Instrumentation overhead" section: span tracing off vs on over the

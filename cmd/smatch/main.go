@@ -10,6 +10,10 @@
 //	       [-timeout 5m] [-print 3] [-profile] [-parallel 4] [-workers 4]
 //	       [-schedule steal] [-kernel adaptive] [-trace]
 //	smatch -q queries/ -d data.graph [-csv out.csv]   # batch mode
+//	smatch -batch list.txt -d data.graph              # batched service mode:
+//	       list.txt holds query-graph paths, one per line; the queries run
+//	       as ONE service batch (grouped admission, one plan per distinct
+//	       query, duplicates deduplicated) and a grouping summary follows
 package main
 
 import (
@@ -44,6 +48,7 @@ func main() {
 		sym       = flag.Bool("sym", false, "enable symmetry breaking (NEC orbit counting)")
 		estimate  = flag.Bool("estimate", false, "print the spanning-tree cardinality estimate first")
 		csvPath   = flag.String("csv", "", "batch mode: also write per-query results as CSV")
+		batchList = flag.String("batch", "", "run the query files listed in this file (one path per line) as one service batch")
 	)
 	flag.Parse()
 	// Ctrl-C cancels the context; MatchContext stops the search
@@ -51,6 +56,12 @@ func main() {
 	// killed mid-enumeration.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *batchList != "" {
+		if err := runServiceBatch(ctx, *batchList, *dataPath, *algoName, *limit, *timeout, *parallel, *workers); err != nil {
+			exitErr(err)
+		}
+		return
+	}
 	if info, err := os.Stat(*queryPath); err == nil && info.IsDir() {
 		if err := runBatch(ctx, *queryPath, *dataPath, *algoName, *limit, *timeout, *csvPath); err != nil {
 			exitErr(err)

@@ -7,6 +7,8 @@
 //
 //	smatchd [-addr :7733] [-graph name=path]... [-max-inflight 2*P]
 //	        [-max-queue 64] [-max-queue-wait 5s] [-plan-cache 256]
+//	        [-plan-cache-bytes 268435456] [-max-graph-share 0.5]
+//	        [-batch-window 0] [-batch-max 32]
 //	        [-timeout 5m] [-pprof] [-slowlog path] [-slow-threshold 1s]
 //
 // API:
@@ -20,6 +22,14 @@
 //	POST   /match                 run a query (body: query graph text)
 //	       ?graph=name [&algo=Optimized] [&limit=N] [&timeout=5m]
 //	       [&parallel=4] [&workers=4] [&stream=1] [&trace=1]
+//	POST   /match/batch           run many queries as one batch (body:
+//	       JSON array of {graph, query, algo?, limit?, timeout?,
+//	       parallel?, workers?, kernel?, no_cache?}); items sharing a
+//	       (graph, query, config) group pass admission once and resolve
+//	       one plan; duplicates run once. Response: indexed per-item
+//	       results; failed items carry their /match-equivalent status.
+//	       With ?stream=1: NDJSON of indexed embedding lines, then one
+//	       indexed result line per item.
 //	GET    /stats                 serving statistics (JSON)
 //	GET    /metrics               Prometheus text exposition
 //	GET    /debug/pprof/...       runtime profiling (only with -pprof)
@@ -70,6 +80,10 @@ func main() {
 		queue      = flag.Int("max-queue", 0, "max queued requests (0 = 64)")
 		queueWait  = flag.Duration("max-queue-wait", 0, "max admission wait (0 = 5s)")
 		cacheSize  = flag.Int("plan-cache", 0, "plan cache entries (0 = 256, negative disables)")
+		cacheBytes = flag.Int64("plan-cache-bytes", 0, "plan cache byte budget (0 = 256 MiB, negative unbounded)")
+		graphShare = flag.Float64("max-graph-share", 0, "max fraction of the admission queue one graph may hold (0 = 0.5, negative disables)")
+		batchWin   = flag.Duration("batch-window", 0, "coalesce non-streaming /match requests into batches flushed every window (0 disables)")
+		batchMax   = flag.Int("batch-max", 0, "max items per coalesced batch (0 = 32; needs -batch-window)")
 		timeout    = flag.Duration("timeout", 0, "default per-query time limit (0 = 5m)")
 		pprofOn    = flag.Bool("pprof", false, "mount /debug/pprof (exposes runtime internals; keep off unless needed)")
 		slowLog    = flag.String("slowlog", "", "append slow-query NDJSON records to this file")
@@ -84,6 +98,8 @@ func main() {
 		MaxQueue:           *queue,
 		MaxQueueWait:       *queueWait,
 		PlanCacheSize:      *cacheSize,
+		PlanCacheBytes:     *cacheBytes,
+		MaxGraphShare:      *graphShare,
 		DefaultTimeLimit:   *timeout,
 		SlowQueryThreshold: *slowThresh,
 	}
@@ -117,7 +133,11 @@ func main() {
 			info.Name, info.Vertices, info.Edges, info.Labels)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newServer(svc, serverOptions{pprof: *pprofOn})}
+	srv := &http.Server{Addr: *addr, Handler: newServer(svc, serverOptions{
+		pprof:       *pprofOn,
+		batchWindow: *batchWin,
+		batchMax:    *batchMax,
+	})}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)

@@ -36,6 +36,9 @@ const maxWorkersParam = 4096
 // status codes, streaming) live here and nowhere else.
 type server struct {
 	svc *service.Service
+	// batcher, when non-nil, coalesces non-streaming /match requests
+	// into SubmitBatch calls (the -batch-window/-batch-max flags).
+	batcher *service.Batcher
 }
 
 // serverOptions selects the optional diagnostic surfaces.
@@ -44,18 +47,31 @@ type serverOptions struct {
 	// endpoints expose goroutine stacks and allow CPU captures, which
 	// is an operator decision, not a default.
 	pprof bool
+	// batchWindow, when positive, routes non-streaming /match requests
+	// through a coalescing batcher that flushes every batchWindow (or at
+	// batchMax items). Off by default: it adds up to batchWindow of
+	// latency to every singleton request.
+	batchWindow time.Duration
+	batchMax    int
 }
 
 // newServer builds the smatchd handler — exported shape so tests can
 // mount it on httptest.Server.
 func newServer(svc *service.Service, opts serverOptions) http.Handler {
 	s := &server{svc: svc}
+	if opts.batchWindow > 0 {
+		s.batcher = svc.NewBatcher(service.BatcherConfig{
+			MaxWait:  opts.batchWindow,
+			MaxBatch: opts.batchMax,
+		})
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.healthz)
 	mux.HandleFunc("GET /graphs", s.listGraphs)
 	mux.HandleFunc("PUT /graphs/{name}", s.putGraph)
 	mux.HandleFunc("DELETE /graphs/{name}", s.deleteGraph)
 	mux.HandleFunc("POST /match", s.match)
+	mux.HandleFunc("POST /match/batch", s.matchBatch)
 	mux.HandleFunc("GET /stats", s.stats)
 	mux.HandleFunc("GET /metrics", s.metrics)
 	if opts.pprof {
@@ -71,27 +87,37 @@ func newServer(svc *service.Service, opts serverOptions) http.Handler {
 	return mux
 }
 
-// httpError maps the service's typed errors onto status codes.
-func httpError(w http.ResponseWriter, err error) {
-	var status int
+// statusFor maps the service's typed errors onto status codes — shared
+// between whole-request failures (httpError) and per-item statuses in a
+// batch response.
+func statusFor(err error) int {
 	switch {
 	case errors.Is(err, service.ErrUnknownGraph):
-		status = http.StatusNotFound
+		return http.StatusNotFound
 	case errors.Is(err, service.ErrOverloaded), errors.Is(err, service.ErrClosed):
-		w.Header().Set("Retry-After", "1")
-		status = http.StatusServiceUnavailable
+		// Includes ErrQueueFull, ErrQueueTimeout and ErrTenantSaturated:
+		// all retryable overload, all 503 + Retry-After.
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
-		status = http.StatusGatewayTimeout
+		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		// The client went away; the status is moot but 499-style
 		// accounting helps log readers.
-		status = 499
+		return 499
 	case errors.Is(err, service.ErrDuplicateGraph):
-		status = http.StatusConflict
+		return http.StatusConflict
 	default:
 		// Validation errors: nil/empty/disconnected/oversized queries,
 		// unknown labels, bad graph text, bad parameters.
-		status = http.StatusBadRequest
+		return http.StatusBadRequest
+	}
+}
+
+// httpError maps the service's typed errors onto status codes.
+func httpError(w http.ResponseWriter, err error) {
+	status := statusFor(err)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -262,7 +288,17 @@ func (s *server) match(w http.ResponseWriter, r *http.Request) {
 	}
 	withTrace := r.URL.Query().Get("trace") == "1"
 	if r.URL.Query().Get("stream") != "1" {
-		resp, err := s.svc.Submit(r.Context(), req)
+		var (
+			resp *service.Response
+		)
+		if s.batcher != nil {
+			// Coalesce singleton requests: concurrent arrivals of the
+			// same hot query share one admission grant, plan lookup, and
+			// execution.
+			resp, err = s.batcher.Submit(r.Context(), req)
+		} else {
+			resp, err = s.svc.Submit(r.Context(), req)
+		}
 		if err != nil {
 			httpError(w, err)
 			return

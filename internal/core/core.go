@@ -469,6 +469,42 @@ func (p *Plan) PreprocessTime() time.Duration {
 	return p.FilterTime + p.BuildTime + p.OrderTime
 }
 
+// planBaseBytes approximates the fixed per-plan overhead: the Plan
+// struct itself plus the handful of preprocessing spans attached to it.
+const planBaseBytes = 512
+
+// SizeBytes estimates the plan's resident heap footprint: the filtered
+// candidate sets, the candidate-space CSR, the flat block arena, and the
+// order/weight/symmetry slices, plus a fixed struct-and-span overhead.
+// Plans are CSR-dominated and wildly uneven across workloads — a
+// 4-vertex query over a small graph costs kilobytes while a dense
+// candidate space costs tens of megabytes — so the serving layer's plan
+// cache budgets by this number instead of by entry count. The query and
+// data graphs are NOT charged: the data graph is owned by the registry
+// and shared by every plan against it, and the query graph is the
+// caller's.
+func (p *Plan) SizeBytes() int64 {
+	b := int64(planBaseBytes)
+	if p.Space != nil {
+		// Space.MemoryBytes covers the candidate sets too — the Space
+		// aliases the same slices Cand holds, so charging both would
+		// double-count.
+		b += p.Space.MemoryBytes() + p.Space.BlockMemoryBytes()
+	} else {
+		for _, c := range p.Cand {
+			b += int64(len(c))*4 + 24 // elements + slice header
+		}
+	}
+	b += int64(len(p.Order)) * 4
+	for _, w := range p.Weights {
+		b += int64(len(w))*8 + 24
+	}
+	for _, cls := range p.SymClasses {
+		b += int64(len(cls))*4 + 24
+	}
+	return b
+}
+
 // MatchPlan runs the enumeration step (paper Algorithm 1 line 3) over a
 // previously built plan. The plan is read-only: concurrent MatchPlan
 // calls over one shared plan are safe, each allocating its own engines.

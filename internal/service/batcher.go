@@ -1,0 +1,201 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// BatcherConfig sizes a Batcher. Zero values get defaults from
+// NewBatcher.
+type BatcherConfig struct {
+	// MaxBatch flushes a batch as soon as it holds this many items.
+	// Default: 32.
+	MaxBatch int
+	// MaxWait flushes a batch this long after its first item arrived,
+	// whatever its size — the latency bound a singleton pays for the
+	// chance to coalesce. Default: 2ms.
+	MaxWait time.Duration
+	// Queue is the arrival buffer between submitters and the collector;
+	// a full buffer applies backpressure (Submit blocks on its ctx).
+	// Default: 4×MaxBatch.
+	Queue int
+}
+
+func (c BatcherConfig) withDefaults() BatcherConfig {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.Queue <= 0 {
+		c.Queue = 4 * c.MaxBatch
+	}
+	return c
+}
+
+// Batcher coalesces independently submitted requests into SubmitBatch
+// calls: a collector goroutine gathers arrivals and flushes on
+// size-or-deadline, so concurrent singleton submissions of a hot query
+// share one admission grant, one plan lookup, and (for identical
+// no-callback requests) one execution. This is how a front end gets
+// batching's amortization without its clients ever forming batches.
+//
+// The trade is explicit: every request pays up to MaxWait of added
+// latency for the chance to coalesce. Size it well below the service's
+// typical enumeration time.
+type Batcher struct {
+	s   *Service
+	cfg BatcherConfig
+	in  chan *batcherItem
+
+	quit     chan struct{} // Close signals the collector
+	done     chan struct{} // closed when every flush has delivered
+	closeOne sync.Once
+	wg       sync.WaitGroup // in-flight flushes
+}
+
+// batcherItem pairs a request with its reply slot. The reply channel is
+// buffered so a flush never blocks on a submitter that gave up.
+type batcherItem struct {
+	req  Request
+	resp chan BatchResult
+}
+
+// NewBatcher starts a batcher over the service. Callers own it: Close
+// flushes what is pending and stops the collector.
+func (s *Service) NewBatcher(cfg BatcherConfig) *Batcher {
+	cfg = cfg.withDefaults()
+	b := &Batcher{
+		s:    s,
+		cfg:  cfg,
+		in:   make(chan *batcherItem, cfg.Queue),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go b.collect()
+	return b
+}
+
+// Submit enqueues one request and waits for its batch to run. The ctx
+// is honored while the request is queued (and bounds the admission and
+// execution of its batch only through the request's own TimeLimit —
+// once flushed, a batch runs under the service's limits, because its
+// items arrived with unrelated contexts).
+func (b *Batcher) Submit(ctx context.Context, req Request) (*Response, error) {
+	item := &batcherItem{req: req, resp: make(chan BatchResult, 1)}
+	select {
+	case b.in <- item:
+	case <-b.done:
+		return nil, ErrBatcherClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	select {
+	case r := <-item.resp:
+		return r.Resp, r.Err
+	case <-b.done:
+		// The collector exited without flushing this item (it raced the
+		// final drain); nothing will ever reply.
+		select {
+		case r := <-item.resp:
+			return r.Resp, r.Err
+		default:
+			return nil, ErrBatcherClosed
+		}
+	case <-ctx.Done():
+		// The batch may still run the request; the caller has only
+		// stopped waiting.
+		return nil, ctx.Err()
+	}
+}
+
+// Close flushes pending items, stops the collector, and waits for
+// in-flight flushes to deliver. Safe to call more than once.
+func (b *Batcher) Close() {
+	b.closeOne.Do(func() { close(b.quit) })
+	<-b.done
+}
+
+// collect is the batcher's single collector: it gathers arrivals into
+// pending and hands full-or-due batches to flush goroutines, so
+// collection never stalls behind a slow batch.
+func (b *Batcher) collect() {
+	var (
+		pending []*batcherItem
+		timer   *time.Timer
+		due     <-chan time.Time
+	)
+	flush := func() {
+		if timer != nil {
+			timer.Stop()
+			timer, due = nil, nil
+		}
+		if len(pending) == 0 {
+			return
+		}
+		batch := pending
+		pending = nil
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			b.flush(batch)
+		}()
+	}
+	for {
+		select {
+		case item := <-b.in:
+			pending = append(pending, item)
+			if len(pending) == 1 {
+				timer = time.NewTimer(b.cfg.MaxWait)
+				due = timer.C
+			}
+			if len(pending) >= b.cfg.MaxBatch {
+				flush()
+			}
+		case <-due:
+			timer, due = nil, nil
+			flush()
+		case <-b.quit:
+			// Graceful close: everything already enqueued still runs, as
+			// one final batch. done closes only after every flush has
+			// delivered, so a submitter that sees done closed and finds
+			// its reply slot empty KNOWS its item was never flushed
+			// (it raced the final drain) — no lost replies.
+			for {
+				select {
+				case item := <-b.in:
+					pending = append(pending, item)
+					continue
+				default:
+				}
+				break
+			}
+			flush()
+			b.wg.Wait()
+			close(b.done)
+			return
+		}
+	}
+}
+
+// flush runs one collected batch and routes each result back to its
+// submitter. A batch-level error (service closed) fans out to every
+// item.
+func (b *Batcher) flush(batch []*batcherItem) {
+	reqs := make([]Request, len(batch))
+	for i, item := range batch {
+		reqs[i] = item.req
+	}
+	results, err := b.s.SubmitBatch(context.Background(), reqs)
+	if err != nil {
+		for _, item := range batch {
+			item.resp <- BatchResult{Err: err}
+		}
+		return
+	}
+	for i, item := range batch {
+		item.resp <- results[i]
+	}
+}

@@ -1,0 +1,113 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"subgraphmatching/internal/core"
+	"subgraphmatching/internal/testutil"
+)
+
+// TestBatchTraceAndSlowLog pins batch observability: every item's
+// Response carries its own match span, and a slow batch writes ONE
+// slow-query record whose trace is a single "request" span with the
+// per-group admission spans and per-item match children (tagged with
+// their item index) underneath.
+func TestBatchTraceAndSlowLog(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	s := New(Config{SlowQueryLog: writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	}), SlowQueryThreshold: time.Nanosecond})
+	defer s.Close()
+	g := testutil.RandomGraph(rand.New(rand.NewSource(7)), 300, 900, 3)
+	if _, err := s.RegisterGraph("main", g, false); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	qa := testutil.RandomConnectedQuery(rng, g, 4)
+	qb := testutil.RandomConnectedQuery(rng, g, 5)
+
+	items := []Request{
+		{Graph: "main", Query: qa, Algorithm: core.CFL},
+		{Graph: "main", Query: qb, Algorithm: core.CFL},
+		{Graph: "main", Query: qa, Algorithm: core.CFL, OnMatch: func([]uint32) bool { return true }},
+	}
+	results, err := s.SubmitBatch(context.Background(), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, br := range results {
+		if br.Err != nil {
+			t.Fatalf("item %d: %v", i, br.Err)
+		}
+		sp := br.Resp.Result.Trace
+		if sp == nil || sp.Name != "match" {
+			t.Fatalf("item %d trace = %+v, want a match span", i, sp)
+		}
+	}
+
+	mu.Lock()
+	out := buf.Bytes()
+	mu.Unlock()
+	var rec slowQueryRecord
+	if err := json.Unmarshal(bytes.Split(out, []byte("\n"))[0], &rec); err != nil {
+		t.Fatalf("slow-log line not valid JSON: %v", err)
+	}
+	if rec.Algorithm != "batch" || rec.Batch != 3 {
+		t.Fatalf("record = algo %q batch %d, want batch/3", rec.Algorithm, rec.Batch)
+	}
+	if rec.Groups != 2 {
+		t.Fatalf("record groups = %d, want 2 (qa and qb share configs)", rec.Groups)
+	}
+	root := rec.Trace
+	if root == nil || root.Name != "request" {
+		t.Fatalf("trace root = %+v, want one request span", root)
+	}
+	if root.Attr("batch") != true {
+		t.Error("batch request span not marked batch")
+	}
+	// Two group spans, each with an admission child; three match
+	// children total across them, tagged with distinct item indices.
+	// (JSON round-trips numbers as float64 — compare accordingly.)
+	var groups, admissions int
+	seen := map[float64]bool{}
+	for _, gs := range root.Children {
+		if gs.Name != "group" {
+			t.Fatalf("unexpected root child %q", gs.Name)
+		}
+		groups++
+		for _, c := range gs.Children {
+			switch c.Name {
+			case "admission":
+				admissions++
+			case "match":
+				idx, ok := c.Attr("index").(float64)
+				if !ok || seen[idx] {
+					t.Fatalf("match child index attr = %v (seen: %v)", c.Attr("index"), seen)
+				}
+				seen[idx] = true
+			default:
+				t.Fatalf("unexpected group child %q", c.Name)
+			}
+		}
+	}
+	if groups != 2 || admissions != 2 {
+		t.Fatalf("%d group spans with %d admission spans, want 2/2", groups, admissions)
+	}
+	if len(seen) != 3 {
+		t.Fatalf("%d per-item match children, want 3", len(seen))
+	}
+}
+
+// writerFunc adapts a function to io.Writer for the slow-log capture.
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

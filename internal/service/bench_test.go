@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -56,6 +57,43 @@ func BenchmarkServeWarm(b *testing.B) {
 		if !resp.CacheHit {
 			b.Fatal("warm benchmark missed the cache")
 		}
+	}
+}
+
+// BenchmarkBatchSubmit measures the per-item cost of batched serving
+// at growing batch sizes over one hot query: size=1 is the batching
+// overhead floor (a batch of one pays the grouping machinery for
+// nothing), and larger sizes amortize admission + plan lookup + (for
+// identical counts-only items) the execution itself across the batch.
+// ISSUE acceptance: ≥2× per-item reduction at batch 64 vs sequential
+// Submit (BenchmarkServeWarm is the sequential baseline).
+func BenchmarkBatchSubmit(b *testing.B) {
+	for _, size := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			s, req := benchService(b)
+			ctx := context.Background()
+			if _, err := s.Submit(ctx, req); err != nil { // warm the cache
+				b.Fatal(err)
+			}
+			items := make([]Request, size)
+			for i := range items {
+				items[i] = req
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results, err := s.SubmitBatch(ctx, items)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, br := range results {
+					if br.Err != nil {
+						b.Fatal(br.Err)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*size), "ns/item")
+		})
 	}
 }
 

@@ -1,0 +1,179 @@
+package service
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"subgraphmatching/internal/core"
+	"subgraphmatching/internal/testutil"
+)
+
+// sizedPlan fabricates a plan whose SizeBytes is dominated by a
+// candidate slice of n vertices (planBaseBytes + 4n + 24). The byte
+// budget is exercised with exact, synthetic sizes; the service-level
+// test below uses real preprocessed plans.
+func sizedPlan(n int) *core.Plan {
+	return &core.Plan{Cand: [][]uint32{make([]uint32, n)}}
+}
+
+// TestPlanCacheByteBudgetNeverExceeded is the core byte-budget
+// property: under arbitrary insert churn with wildly uneven plan
+// sizes, the resident byte total never exceeds the budget after any
+// insert, and the reconciliation invariant holds throughout —
+// every successful insert is resident, evicted, or purged, exactly
+// once.
+func TestPlanCacheByteBudgetNeverExceeded(t *testing.T) {
+	const budget = 100_000
+	c := newPlanCache(0, budget) // bytes-only bound: entries unbounded
+	rng := rand.New(rand.NewSource(99))
+	inserts := uint64(0)
+	for i := 0; i < 500; i++ {
+		// Sizes from trivial to budget-busting (the *4 makes some plans
+		// alone exceed the whole budget).
+		n := rng.Intn(budget / 4 * 3)
+		c.add(testKey("g", 1, uint64(i)), sizedPlan(n))
+		inserts++
+		st := c.stats()
+		if st.SizeBytes > budget {
+			t.Fatalf("after insert %d: resident %d bytes > budget %d", i, st.SizeBytes, budget)
+		}
+		if st.SizeBytes < 0 {
+			t.Fatalf("after insert %d: negative resident bytes %d", i, st.SizeBytes)
+		}
+		if got := uint64(st.Size) + st.Evictions + st.Purged; got != inserts {
+			t.Fatalf("after insert %d: size %d + evictions %d + purged %d = %d, want %d inserts",
+				i, st.Size, st.Evictions, st.Purged, got, inserts)
+		}
+	}
+	if c.stats().Evictions == 0 {
+		t.Fatal("churn at 500 inserts over a 100KB budget must have evicted")
+	}
+}
+
+// TestPlanCacheOversizedPlanAdmittedThenEvicted: a single plan larger
+// than the whole budget must not wedge the cache — the insert returns
+// the plan to its builder, the eviction loop drains it right back out,
+// and subsequent normal inserts behave.
+func TestPlanCacheOversizedPlanAdmittedThenEvicted(t *testing.T) {
+	c := newPlanCache(0, 1024)
+	huge := sizedPlan(1 << 20)
+	k := testKey("g", 1, 1)
+	if got := c.add(k, huge); got != huge {
+		t.Fatal("the insert must still hand the oversized plan back to its builder")
+	}
+	st := c.stats()
+	if st.Size != 0 || st.SizeBytes != 0 {
+		t.Fatalf("oversized plan retained: size %d, %d bytes", st.Size, st.SizeBytes)
+	}
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1 (the oversized plan's own insert)", st.Evictions)
+	}
+	// The cache is not wedged: a fitting plan inserts and is retained.
+	small := sizedPlan(10)
+	c.add(testKey("g", 1, 2), small)
+	if got, ok := c.get(testKey("g", 1, 2)); !ok || got != small {
+		t.Fatal("cache wedged after the oversized insert")
+	}
+	if st := c.stats(); st.SizeBytes != small.SizeBytes() {
+		t.Fatalf("resident %d bytes, want exactly the small plan's %d", st.SizeBytes, small.SizeBytes())
+	}
+}
+
+// TestPlanCacheByteReconciliationUnderPurgeChurn mixes byte-pressure
+// eviction with generation purges and checks the bytes and the
+// three-way accounting stay exact.
+func TestPlanCacheByteReconciliationUnderPurgeChurn(t *testing.T) {
+	const budget = 50_000
+	c := newPlanCache(0, budget)
+	rng := rand.New(rand.NewSource(7))
+	inserts := uint64(0)
+	gen := uint64(1)
+	for round := 0; round < 40; round++ {
+		for i := 0; i < 10; i++ {
+			c.add(planKey{graph: "g", gen: gen, cfgHash: uint64(round*100 + i)},
+				sizedPlan(rng.Intn(budget/2)))
+			inserts++
+		}
+		if round%5 == 4 {
+			// Hot swap: purge everything below the new generation.
+			gen++
+			c.purgeGraph("g", gen)
+		}
+		st := c.stats()
+		if st.SizeBytes > budget {
+			t.Fatalf("round %d: resident %d > budget %d", round, st.SizeBytes, budget)
+		}
+		if got := uint64(st.Size) + st.Evictions + st.Purged; got != inserts {
+			t.Fatalf("round %d: size %d + evictions %d + purged %d != %d inserts",
+				round, st.Size, st.Evictions, st.Purged, inserts)
+		}
+	}
+	// Final purge drains to zero bytes exactly.
+	c.purgeGraph("g", gen+1)
+	if st := c.stats(); st.Size != 0 || st.SizeBytes != 0 {
+		t.Fatalf("after full purge: size %d, %d bytes", st.Size, st.SizeBytes)
+	}
+}
+
+// TestServiceByteBudgetEvicts drives the budget end to end: a service
+// configured with a small PlanCacheBytes serving many distinct queries
+// must keep CacheStats.SizeBytes within budget, report evictions, and
+// agree with the smatch_plan_cache_bytes gauge.
+func TestServiceByteBudgetEvicts(t *testing.T) {
+	s, g := newTestService(t, Config{PlanCacheBytes: 16 << 10})
+	rng := rand.New(rand.NewSource(13))
+	ctx := context.Background()
+	for i := 0; i < 24; i++ {
+		q := testutil.RandomConnectedQuery(rng, g, 4+i%3)
+		if _, err := s.Submit(ctx, Request{Graph: "main", Query: q, Algorithm: core.GraphQL}); err != nil {
+			t.Fatal(err)
+		}
+		st := s.Stats().Cache
+		if st.SizeBytes > st.BudgetBytes {
+			t.Fatalf("query %d: resident %d > budget %d", i, st.SizeBytes, st.BudgetBytes)
+		}
+	}
+	st := s.Stats().Cache
+	if st.BudgetBytes != 16<<10 {
+		t.Fatalf("budget = %d, want %d", st.BudgetBytes, 16<<10)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("24 distinct GraphQL plans in a 16KB budget must evict (resident %d bytes over %d plans)",
+			st.SizeBytes, st.Size)
+	}
+	if got := s.cache.sizeBytes(); got != st.SizeBytes {
+		t.Fatalf("gauge reads %d, stats say %d", got, st.SizeBytes)
+	}
+	if got := uint64(st.Size) + st.Evictions + st.Purged; got != s.metrics.planBuilds.Value() {
+		t.Fatalf("size %d + evictions %d + purged %d != %d plan builds",
+			st.Size, st.Evictions, st.Purged, s.metrics.planBuilds.Value())
+	}
+}
+
+// TestPlanSizeBytesOrdering sanity-checks the sizing the budget charges
+// by: a real preprocessed plan reports a positive size that grows with
+// the candidate space, and an empty plan costs only the base.
+func TestPlanSizeBytesOrdering(t *testing.T) {
+	g := testutil.RandomGraph(rand.New(rand.NewSource(3)), 500, 2000, 3)
+	small := testutil.RandomConnectedQuery(rand.New(rand.NewSource(4)), g, 3)
+	large := testutil.RandomConnectedQuery(rand.New(rand.NewSource(5)), g, 8)
+	ps, err := core.Preprocess(small, g, core.PresetConfig(core.CFL, small, g), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := core.Preprocess(large, g, core.PresetConfig(core.CFL, large, g), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.SizeBytes() <= 0 || pl.SizeBytes() <= 0 {
+		t.Fatalf("plan sizes must be positive: %d, %d", ps.SizeBytes(), pl.SizeBytes())
+	}
+	if pl.SizeBytes() <= ps.SizeBytes() {
+		t.Fatalf("8-vertex plan (%d bytes) should outweigh 3-vertex plan (%d bytes)",
+			pl.SizeBytes(), ps.SizeBytes())
+	}
+	if got := (&core.Plan{}).SizeBytes(); got <= 0 {
+		t.Fatalf("empty plan size = %d, want the positive base charge", got)
+	}
+}

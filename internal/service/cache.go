@@ -30,7 +30,10 @@ type planKey struct {
 // contents plus the one preprocessing-mode distinction that does
 // (GraphQL's Jacobi rounds under parallel preprocessing keep a superset
 // of the sequential candidate sets, so parallel- and sequential-built
-// GQL plans get distinct keys).
+// GQL plans get distinct keys). The external-engine flags are folded in
+// too: they never reach the cache on the Submit path (external engines
+// have no plan), but SubmitBatch groups requests by this hash and must
+// not co-group a pipeline config with a Glasgow/VF2/Ullmann one.
 func configHash(cfg core.Config, preWorkers int) uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
@@ -58,6 +61,9 @@ func configHash(cfg core.Config, preWorkers int) uint64 {
 	flag(cfg.Homomorphism)
 	flag(cfg.SymmetryBreaking)
 	flag(cfg.Profile)
+	flag(cfg.UseGlasgow)
+	flag(cfg.UseVF2)
+	flag(cfg.UseUllmann)
 	u64(uint64(cfg.GQLRounds))
 	u64(uint64(cfg.GQLRadius))
 	u64(uint64(cfg.DPIsoPasses))
@@ -74,26 +80,39 @@ func configHash(cfg core.Config, preWorkers int) uint64 {
 // Every successful insert is eventually accounted for exactly once:
 // it is either still resident (Size), was evicted by the LRU
 // (Evictions), or was removed by a hot-swap/unregister purge (Purged).
+// SizeBytes is the resident plans' summed Plan.SizeBytes and never
+// exceeds BudgetBytes when a budget is set.
 type CacheStats struct {
-	Size      int    `json:"size"`
-	Capacity  int    `json:"capacity"`
-	Hits      uint64 `json:"hits"`
-	Misses    uint64 `json:"misses"`
-	Evictions uint64 `json:"evictions"`
-	Purged    uint64 `json:"purged"`
+	Size        int    `json:"size"`
+	Capacity    int    `json:"capacity"`
+	SizeBytes   int64  `json:"size_bytes"`
+	BudgetBytes int64  `json:"budget_bytes"`
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Evictions   uint64 `json:"evictions"`
+	Purged      uint64 `json:"purged"`
 }
 
 // planCache is a mutex-guarded LRU over read-only *core.Plan values.
 // Entries are shared: a get returns the same plan pointer to every
-// caller, which is safe because MatchPlan never mutates a plan. The
-// cache bounds entry count, not bytes — plans are dominated by the
-// candidate-space CSR, whose size varies too much per workload for a
-// byte budget to beat a simple count knob here.
+// caller, which is safe because MatchPlan never mutates a plan.
+//
+// Eviction is byte-budgeted: each entry is charged its Plan.SizeBytes
+// (plans are CSR-dominated, so entry counts hide a 1000× spread in
+// actual memory), and inserts evict from the LRU tail until the
+// resident total fits maxBytes again. A single plan larger than the
+// whole budget is admitted and then immediately evicted by the same
+// loop — the insert still returns the plan to its builder, the cache
+// just declines to retain it, and the accounting records a normal
+// eviction rather than wedging. The entry cap is kept as a secondary
+// bound on map/list overhead (0 = entries unbounded, bytes only).
 type planCache struct {
-	mu      sync.Mutex
-	cap     int
-	ll      *list.List // front = most recently used
-	entries map[planKey]*list.Element
+	mu       sync.Mutex
+	cap      int        // max entries (0 = unbounded)
+	maxBytes int64      // byte budget (0 = unbounded)
+	bytes    int64      // resident total, maintained by add/evict/purge
+	ll       *list.List // front = most recently used
+	entries  map[planKey]*list.Element
 	// liveGen reports the named graph's current registry generation
 	// (false when the name is not registered). add consults it under
 	// c.mu to fence stale inserts: a request that resolved a graph
@@ -121,14 +140,21 @@ type planCache struct {
 type cacheEntry struct {
 	key  planKey
 	plan *core.Plan
+	size int64 // Plan.SizeBytes at insert time (plans are immutable)
 }
 
-func newPlanCache(capacity int) *planCache {
-	if capacity <= 0 {
+// newPlanCache builds a cache bounded by maxEntries and maxBytes (0
+// leaves the respective bound off). Both bounds off — or a negative
+// entry cap — disables caching entirely.
+func newPlanCache(maxEntries int, maxBytes int64) *planCache {
+	if maxEntries < 0 || (maxEntries == 0 && maxBytes <= 0) {
 		return nil // caching disabled
 	}
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
 	return &planCache{
-		cap: capacity, ll: list.New(),
+		cap: maxEntries, maxBytes: maxBytes, ll: list.New(),
 		entries: make(map[planKey]*list.Element),
 		hits:    &obs.Counter{}, misses: &obs.Counter{},
 		evictions: &obs.Counter{}, purged: &obs.Counter{},
@@ -165,19 +191,37 @@ func (c *planCache) add(k planKey, p *core.Plan) *core.Plan {
 		c.ll.MoveToFront(e)
 		return e.Value.(*cacheEntry).plan
 	}
-	c.entries[k] = c.ll.PushFront(&cacheEntry{key: k, plan: p})
-	for c.ll.Len() > c.cap {
+	size := p.SizeBytes()
+	c.entries[k] = c.ll.PushFront(&cacheEntry{key: k, plan: p, size: size})
+	c.bytes += size
+	for c.overLimitLocked() {
 		oldest := c.ll.Back()
+		ent := oldest.Value.(*cacheEntry)
 		c.ll.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		delete(c.entries, ent.key)
+		c.bytes -= ent.size
 		c.evictions.Inc()
 	}
 	return p
 }
 
+// overLimitLocked reports whether either bound is exceeded. The list
+// shrinks by one entry per eviction, so the caller's loop terminates at
+// the latest when the cache is empty (the oversized-single-plan case:
+// admitted, then evicted by its own insert).
+func (c *planCache) overLimitLocked() bool {
+	if c.ll.Len() == 0 {
+		return false
+	}
+	if c.cap > 0 && c.ll.Len() > c.cap {
+		return true
+	}
+	return c.maxBytes > 0 && c.bytes > c.maxBytes
+}
+
 // purgeGraph drops every entry for the named graph built against a
 // generation below `before`, counting each removal into the purged
-// counter (evictions stay LRU-capacity-only, so size + evictions +
+// counter (evictions stay budget-pressure-only, so size + evictions +
 // purged always reconciles against successful inserts). Hot swap
 // passes the new generation; unregister passes the removed generation
 // + 1. A concurrent miss on the old generation cannot re-add its plan
@@ -193,9 +237,17 @@ func (c *planCache) purgeGraph(name string, before uint64) {
 		if ent.key.graph == name && ent.key.gen < before {
 			c.ll.Remove(e)
 			delete(c.entries, ent.key)
+			c.bytes -= ent.size
 			c.purged.Inc()
 		}
 	}
+}
+
+// sizeBytes reports the resident byte total (for the gauge).
+func (c *planCache) sizeBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }
 
 func (c *planCache) stats() CacheStats {
@@ -203,6 +255,7 @@ func (c *planCache) stats() CacheStats {
 	defer c.mu.Unlock()
 	return CacheStats{
 		Size: c.ll.Len(), Capacity: c.cap,
+		SizeBytes: c.bytes, BudgetBytes: c.maxBytes,
 		Hits: c.hits.Value(), Misses: c.misses.Value(),
 		Evictions: c.evictions.Value(), Purged: c.purged.Value(),
 	}

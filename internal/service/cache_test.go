@@ -15,16 +15,16 @@ func testKey(graphName string, gen uint64, id uint64) planKey {
 }
 
 func TestPlanCacheDisabled(t *testing.T) {
-	if c := newPlanCache(0); c != nil {
+	if c := newPlanCache(0, 0); c != nil {
 		t.Fatal("capacity 0 must disable the cache")
 	}
-	if c := newPlanCache(-1); c != nil {
+	if c := newPlanCache(-1, 0); c != nil {
 		t.Fatal("negative capacity must disable the cache")
 	}
 }
 
 func TestPlanCacheHitMissEvictionAccounting(t *testing.T) {
-	c := newPlanCache(2)
+	c := newPlanCache(2, 0)
 	k1, k2, k3 := testKey("g", 1, 1), testKey("g", 1, 2), testKey("g", 1, 3)
 	p1, p2, p3 := &core.Plan{}, &core.Plan{}, &core.Plan{}
 
@@ -55,7 +55,7 @@ func TestPlanCacheHitMissEvictionAccounting(t *testing.T) {
 }
 
 func TestPlanCacheDogpileFirstInsertWins(t *testing.T) {
-	c := newPlanCache(4)
+	c := newPlanCache(4, 0)
 	k := testKey("g", 1, 1)
 	first, second := &core.Plan{}, &core.Plan{}
 	if got := c.add(k, first); got != first {
@@ -67,7 +67,7 @@ func TestPlanCacheDogpileFirstInsertWins(t *testing.T) {
 }
 
 func TestPlanCachePurgeGraph(t *testing.T) {
-	c := newPlanCache(8)
+	c := newPlanCache(8, 0)
 	c.add(testKey("a", 1, 1), &core.Plan{})
 	c.add(testKey("a", 2, 2), &core.Plan{})
 	c.add(testKey("b", 1, 3), &core.Plan{})
@@ -87,7 +87,7 @@ func TestPlanCachePurgeGraph(t *testing.T) {
 // registry generation (planCache.liveGen), consulted under the cache
 // mutex — here faked by a map standing in for the registry.
 func TestPlanCachePurgeBlocksStaleInserts(t *testing.T) {
-	c := newPlanCache(8)
+	c := newPlanCache(8, 0)
 	live := map[string]uint64{"a": 3, "b": 1}
 	c.liveGen = func(name string) (uint64, bool) {
 		gen, ok := live[name]
@@ -126,7 +126,7 @@ func TestPlanCachePurgeBlocksStaleInserts(t *testing.T) {
 // reconciliation: every successful insert is eventually accounted for
 // exactly once — resident, LRU-evicted, or purge-removed.
 func TestPlanCachePurgeAccounting(t *testing.T) {
-	c := newPlanCache(3)
+	c := newPlanCache(3, 0)
 	inserts := 0
 	add := func(name string, gen, id uint64) {
 		c.add(testKey(name, gen, id), &core.Plan{})
@@ -135,8 +135,8 @@ func TestPlanCachePurgeAccounting(t *testing.T) {
 	add("a", 1, 1)
 	add("a", 1, 2)
 	add("b", 1, 3)
-	add("b", 1, 4) // evicts a/1/1
-	add("a", 2, 5) // evicts a/1/2
+	add("b", 1, 4)       // evicts a/1/1
+	add("a", 2, 5)       // evicts a/1/2
 	c.purgeGraph("a", 3) // removes a/2/5
 	st := c.stats()
 	if st.Evictions != 2 {
@@ -157,7 +157,7 @@ func TestPlanCachePurgeAccounting(t *testing.T) {
 // floor per name forever; the stateless liveGen fence keeps only the
 // LRU entries themselves.
 func TestPlanCacheChurnStaysBounded(t *testing.T) {
-	c := newPlanCache(4)
+	c := newPlanCache(4, 0)
 	live := map[string]uint64{}
 	c.liveGen = func(name string) (uint64, bool) {
 		gen, ok := live[name]

@@ -43,6 +43,16 @@ var (
 	// ErrQueueTimeout reports that the request waited its full queue-wait
 	// budget without a worker slot freeing up.
 	ErrQueueTimeout = fmt.Errorf("queue wait limit exceeded: %w", ErrOverloaded)
+	// ErrTenantSaturated reports that the request's graph already holds
+	// its maximum share of the admission queue (Config.MaxGraphShare) —
+	// the tenant is flooding, and admitting more of its requests would
+	// starve the other graphs. Wraps ErrOverloaded, so transports map it
+	// to the same retryable 503.
+	ErrTenantSaturated = fmt.Errorf("graph's admission-queue share exhausted: %w", ErrOverloaded)
+	// ErrEmptyBatch reports SubmitBatch with no items.
+	ErrEmptyBatch = errors.New("service: empty batch")
+	// ErrBatcherClosed reports a batcher submit after its Close.
+	ErrBatcherClosed = errors.New("service: batcher closed")
 	// ErrNilCallback reports Stream with a nil sink.
 	ErrNilCallback = errors.New("service: nil embedding sink")
 	// ErrNilQuery reports a request without a query graph.

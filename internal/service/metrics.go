@@ -46,9 +46,24 @@ type serviceMetrics struct {
 
 	slowQueries *obs.Counter
 
+	// Batch serving: one batches increment per SubmitBatch call, items
+	// counts the requests it carried, groups the distinct (graph, query,
+	// config) classes after grouping, and batchDeduped the items served
+	// by fanning out another item's identical execution. items - groups
+	// is the admission grants and plan lookups batching amortized away.
+	batches      *obs.Counter
+	batchItems   *obs.Counter
+	batchGroups  *obs.Counter
+	batchDeduped *obs.Counter
+	batchSize    *obs.Histogram
+
 	latMu sync.Mutex
 	lat   map[statKey]*latencyRing
 }
+
+// batchSizeBuckets cover the useful batch-size range (smatchd caps
+// batches at maxBatchItems = 1024).
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 
 // newServiceMetrics registers the service's metric families. The gauge
 // functions close over the service's live structures, so a scrape always
@@ -102,6 +117,17 @@ func newServiceMetrics(s *Service) *serviceMetrics {
 
 		slowQueries: r.Counter("smatch_slow_queries_total",
 			"Requests at or above the slow-query threshold."),
+
+		batches: r.Counter("smatch_batches_total",
+			"SubmitBatch calls completed."),
+		batchItems: r.Counter("smatch_batch_items_total",
+			"Requests carried by batches."),
+		batchGroups: r.Counter("smatch_batch_groups_total",
+			"Distinct (graph, query, config) groups across batches."),
+		batchDeduped: r.Counter("smatch_batch_dedup_fanout_total",
+			"Batch items served by fanning out an identical item's execution."),
+		batchSize: r.Histogram("smatch_batch_size",
+			"Items per batch.", batchSizeBuckets),
 	}
 
 	r.GaugeFunc("smatch_plan_cache_entries",
@@ -110,6 +136,13 @@ func newServiceMetrics(s *Service) *serviceMetrics {
 				return 0
 			}
 			return float64(s.cache.stats().Size)
+		})
+	r.GaugeFunc("smatch_plan_cache_bytes",
+		"Resident bytes held by cached plans (sum of Plan.SizeBytes).", func() float64 {
+			if s.cache == nil {
+				return 0
+			}
+			return float64(s.cache.sizeBytes())
 		})
 	r.GaugeFunc("smatch_admission_capacity",
 		"Admission controller capacity in worker units.", func() float64 {

@@ -8,33 +8,55 @@ import (
 )
 
 // semaphore is a weighted counting semaphore with strict-FIFO waiters, a
-// bounded wait queue, and a per-acquire wait deadline. It is the
-// admission controller: capacity is the total number of enumeration
-// workers the service lets run at once, and each request acquires its
-// worker count before preprocessing or enumerating anything. Overload
-// therefore surfaces as a typed error at the front door instead of an
-// unbounded goroutine pileup behind it.
+// bounded wait queue, a per-acquire wait deadline, and per-tenant queue
+// fairness. It is the admission controller: capacity is the total number
+// of enumeration workers the service lets run at once, and each request
+// acquires its worker count before preprocessing or enumerating
+// anything. Overload therefore surfaces as a typed error at the front
+// door instead of an unbounded goroutine pileup behind it.
 //
 // Strict FIFO (no small-request bypass) keeps heavy parallel requests
 // from starving: a waiter at the head blocks later light requests until
 // it fits, trading a little throughput for a wait-time bound.
+//
+// Fairness is per tenant (the service keys tenants by graph name): one
+// tenant may occupy at most a maxShare fraction of the wait-queue
+// slots. Without the clamp, a hot tenant flooding requests fills the
+// entire bounded queue, and every other tenant's arrival bounces with
+// ErrQueueFull — the queue *is* the starvation surface, because
+// admission itself is work-conserving FIFO. With the clamp, the flood
+// saturates its own share (typed ErrTenantSaturated, a retryable 503 at
+// the transport), the rest of the queue stays reachable for everyone
+// else, and a cold tenant's wait is bounded by the flooder's share of
+// the queue ahead of it instead of the whole queue.
 type semaphore struct {
 	mu       sync.Mutex
 	capacity int64
 	inUse    int64
 	waiters  list.List // of *semWaiter, front = oldest
+	// maxShare is the largest fraction of the queue one tenant may hold
+	// (0 disables the clamp). queuedBy tracks the live per-tenant queue
+	// occupancy; entries are deleted at zero so churn over ephemeral
+	// graph names leaves no residue.
+	maxShare float64
+	queuedBy map[string]int
 }
 
 type semWaiter struct {
+	tenant string
 	weight int64
 	ready  chan struct{} // closed when the slot is granted
 }
 
-func newSemaphore(capacity int64) *semaphore {
+func newSemaphore(capacity int64, maxShare float64) *semaphore {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &semaphore{capacity: capacity}
+	return &semaphore{
+		capacity: capacity,
+		maxShare: maxShare,
+		queuedBy: make(map[string]int),
+	}
 }
 
 // clampWeight bounds a request's weight to the total capacity so an
@@ -50,11 +72,25 @@ func (s *semaphore) clampWeight(w int64) int64 {
 	return w
 }
 
-// acquire obtains weight units, waiting at most maxWait (0 = no waiting)
-// behind at most maxQueue earlier waiters. It returns nil on success,
-// ErrQueueFull / ErrQueueTimeout on overload, or ctx.Err() if the
-// context ends first.
-func (s *semaphore) acquire(ctx context.Context, weight int64, maxWait time.Duration, maxQueue int) error {
+// tenantQueueCap is the largest number of queue slots one tenant may
+// hold under maxShare. At least 1 — fairness must never make a queue a
+// tenant could otherwise use completely unreachable.
+func (s *semaphore) tenantQueueCap(maxQueue int) int {
+	if s.maxShare <= 0 || s.maxShare >= 1 {
+		return maxQueue
+	}
+	cap := int(s.maxShare * float64(maxQueue))
+	if cap < 1 {
+		cap = 1
+	}
+	return cap
+}
+
+// acquire obtains weight units for the tenant, waiting at most maxWait
+// (0 = no waiting) behind at most maxQueue earlier waiters. It returns
+// nil on success, ErrQueueFull / ErrTenantSaturated / ErrQueueTimeout
+// on overload, or ctx.Err() if the context ends first.
+func (s *semaphore) acquire(ctx context.Context, tenant string, weight int64, maxWait time.Duration, maxQueue int) error {
 	weight = s.clampWeight(weight)
 	s.mu.Lock()
 	if s.inUse+weight <= s.capacity && s.waiters.Len() == 0 {
@@ -66,8 +102,15 @@ func (s *semaphore) acquire(ctx context.Context, weight int64, maxWait time.Dura
 		s.mu.Unlock()
 		return ErrQueueFull
 	}
-	w := &semWaiter{weight: weight, ready: make(chan struct{})}
+	// The fairness clamp: a tenant already holding its share of the
+	// queue is saturated even though the queue as a whole has room.
+	if s.queuedBy[tenant] >= s.tenantQueueCap(maxQueue) {
+		s.mu.Unlock()
+		return ErrTenantSaturated
+	}
+	w := &semWaiter{tenant: tenant, weight: weight, ready: make(chan struct{})}
 	elem := s.waiters.PushBack(w)
+	s.queuedBy[tenant]++
 	s.mu.Unlock()
 
 	timer := time.NewTimer(maxWait)
@@ -94,6 +137,7 @@ func (s *semaphore) acquire(ctx context.Context, weight int64, maxWait time.Dura
 		return nil
 	default:
 		s.waiters.Remove(elem)
+		s.unqueueLocked(tenant)
 		// Removing a waiter can unblock the ones behind it.
 		s.grantLocked()
 		s.mu.Unlock()
@@ -121,7 +165,18 @@ func (s *semaphore) grantLocked() {
 		}
 		s.inUse += w.weight
 		s.waiters.Remove(e)
+		s.unqueueLocked(w.tenant)
 		close(w.ready)
+	}
+}
+
+// unqueueLocked drops one queue-occupancy unit for the tenant, deleting
+// the map entry at zero so per-tenant state stays bounded.
+func (s *semaphore) unqueueLocked(tenant string) {
+	if n := s.queuedBy[tenant] - 1; n > 0 {
+		s.queuedBy[tenant] = n
+	} else {
+		delete(s.queuedBy, tenant)
 	}
 }
 
@@ -130,4 +185,12 @@ func (s *semaphore) load() (capacity, inUse int64, queued int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.capacity, s.inUse, s.waiters.Len()
+}
+
+// tenantQueued reports the tenant's current queue occupancy (tests and
+// stats).
+func (s *semaphore) tenantQueued(tenant string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queuedBy[tenant]
 }

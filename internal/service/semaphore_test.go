@@ -9,11 +9,11 @@ import (
 )
 
 func TestSemaphoreImmediateGrant(t *testing.T) {
-	s := newSemaphore(4)
-	if err := s.acquire(context.Background(), 3, time.Second, 8); err != nil {
+	s := newSemaphore(4, 0)
+	if err := s.acquire(context.Background(), "g", 3, time.Second, 8); err != nil {
 		t.Fatalf("acquire(3): %v", err)
 	}
-	if err := s.acquire(context.Background(), 1, time.Second, 8); err != nil {
+	if err := s.acquire(context.Background(), "g", 1, time.Second, 8); err != nil {
 		t.Fatalf("acquire(1): %v", err)
 	}
 	cap_, inUse, queued := s.load()
@@ -28,10 +28,10 @@ func TestSemaphoreImmediateGrant(t *testing.T) {
 }
 
 func TestSemaphoreClampsOversizedWeight(t *testing.T) {
-	s := newSemaphore(2)
+	s := newSemaphore(2, 0)
 	// Weight 10 exceeds capacity; it must degrade to "the whole
 	// semaphore" rather than deadlock.
-	if err := s.acquire(context.Background(), 10, time.Second, 8); err != nil {
+	if err := s.acquire(context.Background(), "g", 10, time.Second, 8); err != nil {
 		t.Fatalf("oversized acquire: %v", err)
 	}
 	if _, inUse, _ := s.load(); inUse != 2 {
@@ -44,19 +44,19 @@ func TestSemaphoreClampsOversizedWeight(t *testing.T) {
 }
 
 func TestSemaphoreQueueFull(t *testing.T) {
-	s := newSemaphore(1)
-	if err := s.acquire(context.Background(), 1, time.Second, 1); err != nil {
+	s := newSemaphore(1, 0)
+	if err := s.acquire(context.Background(), "g", 1, time.Second, 1); err != nil {
 		t.Fatal(err)
 	}
 	// No waiting allowed → immediate ErrQueueFull.
-	if err := s.acquire(context.Background(), 1, 0, 1); !errors.Is(err, ErrQueueFull) {
+	if err := s.acquire(context.Background(), "g", 1, 0, 1); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("maxWait=0 err = %v, want ErrQueueFull", err)
 	}
 	// Fill the one queue slot with a real waiter, then overflow it.
 	done := make(chan error, 1)
-	go func() { done <- s.acquire(context.Background(), 1, time.Minute, 1) }()
+	go func() { done <- s.acquire(context.Background(), "g", 1, time.Minute, 1) }()
 	waitForQueued(t, s, 1)
-	if err := s.acquire(context.Background(), 1, time.Minute, 1); !errors.Is(err, ErrQueueFull) {
+	if err := s.acquire(context.Background(), "g", 1, time.Minute, 1); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("overflow err = %v, want ErrQueueFull", err)
 	}
 	if !errors.Is(ErrQueueFull, ErrOverloaded) {
@@ -70,12 +70,12 @@ func TestSemaphoreQueueFull(t *testing.T) {
 }
 
 func TestSemaphoreQueueTimeout(t *testing.T) {
-	s := newSemaphore(1)
-	if err := s.acquire(context.Background(), 1, time.Second, 4); err != nil {
+	s := newSemaphore(1, 0)
+	if err := s.acquire(context.Background(), "g", 1, time.Second, 4); err != nil {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	err := s.acquire(context.Background(), 1, 20*time.Millisecond, 4)
+	err := s.acquire(context.Background(), "g", 1, 20*time.Millisecond, 4)
 	if !errors.Is(err, ErrQueueTimeout) || !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("err = %v, want ErrQueueTimeout wrapping ErrOverloaded", err)
 	}
@@ -87,20 +87,20 @@ func TestSemaphoreQueueTimeout(t *testing.T) {
 		t.Fatalf("queued = %d after timeout, want 0", queued)
 	}
 	s.release(1)
-	if err := s.acquire(context.Background(), 1, time.Second, 4); err != nil {
+	if err := s.acquire(context.Background(), "g", 1, time.Second, 4); err != nil {
 		t.Fatalf("acquire after timeout cleanup: %v", err)
 	}
 	s.release(1)
 }
 
 func TestSemaphoreContextCancelWhileQueued(t *testing.T) {
-	s := newSemaphore(1)
-	if err := s.acquire(context.Background(), 1, time.Second, 4); err != nil {
+	s := newSemaphore(1, 0)
+	if err := s.acquire(context.Background(), "g", 1, time.Second, 4); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- s.acquire(ctx, 1, time.Minute, 4) }()
+	go func() { done <- s.acquire(ctx, "g", 1, time.Minute, 4) }()
 	waitForQueued(t, s, 1)
 	cancel()
 	if err := <-done; !errors.Is(err, context.Canceled) {
@@ -113,8 +113,8 @@ func TestSemaphoreContextCancelWhileQueued(t *testing.T) {
 }
 
 func TestSemaphoreFIFOOrder(t *testing.T) {
-	s := newSemaphore(1)
-	if err := s.acquire(context.Background(), 1, time.Second, 8); err != nil {
+	s := newSemaphore(1, 0)
+	if err := s.acquire(context.Background(), "g", 1, time.Second, 8); err != nil {
 		t.Fatal(err)
 	}
 	const n = 5
@@ -126,7 +126,7 @@ func TestSemaphoreFIFOOrder(t *testing.T) {
 		i := i
 		go func() {
 			defer wg.Done()
-			if err := s.acquire(context.Background(), 1, time.Minute, 8); err != nil {
+			if err := s.acquire(context.Background(), "g", 1, time.Minute, 8); err != nil {
 				t.Errorf("waiter %d: %v", i, err)
 				return
 			}
@@ -149,17 +149,17 @@ func TestSemaphoreFIFOOrder(t *testing.T) {
 // TestSemaphoreHeavyWaiterNotStarved checks strict FIFO: a queued heavy
 // request blocks later light requests instead of being bypassed forever.
 func TestSemaphoreHeavyWaiterNotStarved(t *testing.T) {
-	s := newSemaphore(4)
-	if err := s.acquire(context.Background(), 3, time.Second, 8); err != nil {
+	s := newSemaphore(4, 0)
+	if err := s.acquire(context.Background(), "g", 3, time.Second, 8); err != nil {
 		t.Fatal(err)
 	}
 	heavy := make(chan error, 1)
-	go func() { heavy <- s.acquire(context.Background(), 4, time.Minute, 8) }()
+	go func() { heavy <- s.acquire(context.Background(), "g", 4, time.Minute, 8) }()
 	waitForQueued(t, s, 1)
 	// A light request that would fit must still queue behind the heavy
 	// head — strict FIFO is the anti-starvation guarantee.
 	light := make(chan error, 1)
-	go func() { light <- s.acquire(context.Background(), 1, time.Minute, 8) }()
+	go func() { light <- s.acquire(context.Background(), "g", 1, time.Minute, 8) }()
 	waitForQueued(t, s, 2)
 	select {
 	case err := <-light:

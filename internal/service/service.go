@@ -28,9 +28,23 @@ type Config struct {
 	// MaxQueueWait bounds how long one request may wait for admission
 	// before ErrQueueTimeout. Default: 5s.
 	MaxQueueWait time.Duration
-	// PlanCacheSize bounds the plan LRU (entries, not bytes). 0 means
-	// the default of 256; negative disables caching.
+	// PlanCacheSize bounds the plan LRU's entry count — a secondary
+	// bound on map/list overhead; the primary bound is PlanCacheBytes.
+	// 0 means the default of 256; negative disables caching entirely.
 	PlanCacheSize int
+	// PlanCacheBytes bounds the plan LRU by resident plan bytes
+	// (core.Plan.SizeBytes — candidate sets + CSR + flat block arena).
+	// Plans are CSR-dominated and wildly uneven, so the byte budget, not
+	// the entry count, is what actually bounds cache memory. 0 means the
+	// default of 256 MiB; negative leaves the byte bound off (entry
+	// bound only).
+	PlanCacheBytes int64
+	// MaxGraphShare caps one graph's share of the admission wait queue
+	// (per-tenant fairness): a graph already holding
+	// MaxGraphShare*MaxQueue queue slots gets ErrTenantSaturated instead
+	// of crowding out the other graphs' arrivals. 0 means the default of
+	// 0.5; negative (or >= 1) disables the clamp.
+	MaxGraphShare float64
 	// DefaultTimeLimit applies to requests that set no TimeLimit,
 	// mirroring the paper's five-minute per-query budget. Default: 5m.
 	DefaultTimeLimit time.Duration
@@ -58,7 +72,19 @@ func (c Config) withDefaults() Config {
 	case c.PlanCacheSize == 0:
 		c.PlanCacheSize = 256
 	case c.PlanCacheSize < 0:
-		c.PlanCacheSize = 0 // newPlanCache(0) = disabled
+		// Caching disabled entirely: zero both bounds so newPlanCache
+		// returns nil.
+		c.PlanCacheSize = 0
+		c.PlanCacheBytes = -1
+	}
+	switch {
+	case c.PlanCacheBytes == 0:
+		c.PlanCacheBytes = 256 << 20
+	case c.PlanCacheBytes < 0:
+		c.PlanCacheBytes = 0 // entry bound only
+	}
+	if c.MaxGraphShare == 0 {
+		c.MaxGraphShare = 0.5
 	}
 	if c.DefaultTimeLimit <= 0 {
 		c.DefaultTimeLimit = 5 * time.Minute
@@ -132,8 +158,8 @@ func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{
 		cfg:   cfg,
-		cache: newPlanCache(cfg.PlanCacheSize),
-		sem:   newSemaphore(int64(cfg.MaxInFlight)),
+		cache: newPlanCache(cfg.PlanCacheSize, cfg.PlanCacheBytes),
+		sem:   newSemaphore(int64(cfg.MaxInFlight), cfg.MaxGraphShare),
 		start: time.Now(),
 	}
 	s.metrics = newServiceMetrics(s)
@@ -208,6 +234,12 @@ func (s *Service) Stats() Stats {
 		Graphs:    s.reg.list(),
 		Workloads: s.metrics.snapshot(),
 		Kernels:   s.metrics.kernelSnapshot(),
+		Batches: BatchStats{
+			Batches: s.metrics.batches.Value(),
+			Items:   s.metrics.batchItems.Value(),
+			Groups:  s.metrics.batchGroups.Value(),
+			Deduped: s.metrics.batchDeduped.Value(),
+		},
 	}
 	if s.cache != nil {
 		st.Cache = s.cache.stats()
@@ -222,6 +254,20 @@ func (r *Request) algoName() string {
 		return "custom"
 	}
 	return r.Algorithm.String()
+}
+
+// resolveConfig materializes the request's component configuration:
+// the algorithm preset (or the explicit Custom override) with the
+// request-level kernel-policy override applied.
+func (r *Request) resolveConfig(g *graph.Graph) core.Config {
+	cfg := core.PresetConfig(r.Algorithm, r.Query, g)
+	if r.Custom != nil {
+		cfg = *r.Custom
+	}
+	if r.Kernel != intersect.PolicyAdaptive {
+		cfg.Kernel = r.Kernel
+	}
+	return cfg
 }
 
 // preprocessWorkers mirrors core.Limits' resolution so the cache key and
@@ -258,13 +304,7 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Response, error) {
 		s.metrics.recordError(entry.name, algo)
 		return nil, err
 	}
-	cfg := core.PresetConfig(req.Algorithm, req.Query, entry.g)
-	if req.Custom != nil {
-		cfg = *req.Custom
-	}
-	if req.Kernel != intersect.PolicyAdaptive {
-		cfg.Kernel = req.Kernel
-	}
+	cfg := req.resolveConfig(entry.g)
 
 	// Admission: hold the request's worker count before doing any work.
 	began := time.Now()
@@ -284,7 +324,7 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Response, error) {
 	if req.Workers > s.cfg.MaxInFlight {
 		req.Workers = s.cfg.MaxInFlight
 	}
-	if err := s.sem.acquire(ctx, weight, s.cfg.MaxQueueWait, s.cfg.MaxQueue); err != nil {
+	if err := s.sem.acquire(ctx, entry.name, weight, s.cfg.MaxQueueWait, s.cfg.MaxQueue); err != nil {
 		s.metrics.recordRejected(entry.name, algo)
 		return nil, err
 	}
@@ -410,66 +450,89 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Response, error) {
 // the Result's preprocessing times zero for the same reason.
 func (s *Service) matchCached(ctx context.Context, entry *graphEntry, req Request, cfg core.Config, limits core.Limits) (*core.Result, bool, error) {
 	start := time.Now()
-	if s.cache == nil || req.NoCache {
-		s.metrics.planBuilds.Inc()
-		plan, err := core.Preprocess(req.Query, entry.g, cfg, req.preprocessWorkers())
-		if err != nil {
-			return nil, false, fmt.Errorf("preprocess %q: %w", entry.name, err)
-		}
+	plan, src, err := s.planFor(ctx, entry, req.Query, cfg, req.preprocessWorkers(), req.NoCache)
+	if err != nil {
+		return nil, false, err
+	}
+	if src == planBuilt {
 		res, err := s.matchFresh(plan, limits, start)
 		return res, false, err
+	}
+	arrived := time.Since(start)
+	res, err := core.MatchPlan(plan, limits)
+	if err != nil {
+		return nil, false, err
+	}
+	res.Trace = obs.NewSpan("match", start, time.Since(start)).
+		AddChild(planSpan(src, plan, start, arrived)).
+		AddChild(res.Trace)
+	return res, true, nil
+}
+
+// planSource says how a request's plan arrived: built fresh by this
+// request (it paid preprocessing), found in the cache, or shared from
+// another request's in-flight singleflight build.
+type planSource int
+
+const (
+	planBuilt planSource = iota
+	planHit
+	planShared
+)
+
+// planSpan is the "plan" trace child for the two no-preprocessing
+// arrivals, annotated with the cost the reuse saved.
+func planSpan(src planSource, plan *core.Plan, start time.Time, d time.Duration) *obs.Span {
+	sp := obs.NewSpan("plan", start, d).
+		SetAttr("saved_ns", plan.PreprocessTime().Nanoseconds())
+	if src == planShared {
+		return sp.SetAttr("shared", true)
+	}
+	return sp.SetAttr("cached", true)
+}
+
+// planFor obtains the preprocessing plan for (graph entry, query,
+// config): from the cache when enabled, else by building — with
+// concurrent cold-key builds collapsed into one by the singleflight
+// group. The leader inserts into the cache inside the flight, so a
+// request always finds either the flight or the finished plan — one
+// build per key, no matter how many requests dogpile it. This is the
+// single plan-acquisition path shared by Submit and SubmitBatch (which
+// calls it once per batch group).
+func (s *Service) planFor(ctx context.Context, entry *graphEntry, q *graph.Graph, cfg core.Config, preWorkers int, noCache bool) (*core.Plan, planSource, error) {
+	if s.cache == nil || noCache {
+		s.metrics.planBuilds.Inc()
+		plan, err := core.Preprocess(q, entry.g, cfg, preWorkers)
+		if err != nil {
+			return nil, planBuilt, fmt.Errorf("preprocess %q: %w", entry.name, err)
+		}
+		return plan, planBuilt, nil
 	}
 	key := planKey{
 		graph:   entry.name,
 		gen:     entry.gen,
-		queryFP: graph.FingerprintOf(req.Query),
-		cfgHash: configHash(cfg, req.preprocessWorkers()),
+		queryFP: graph.FingerprintOf(q),
+		cfgHash: configHash(cfg, preWorkers),
 	}
 	if plan, ok := s.cache.get(key); ok {
-		lookup := time.Since(start)
-		res, err := core.MatchPlan(plan, limits)
-		if err != nil {
-			return nil, false, err
-		}
-		res.Trace = obs.NewSpan("match", start, time.Since(start)).
-			AddChild(obs.NewSpan("plan", start, lookup).
-				SetAttr("cached", true).
-				SetAttr("saved_ns", plan.PreprocessTime().Nanoseconds())).
-			AddChild(res.Trace)
-		return res, true, nil
+		return plan, planHit, nil
 	}
-	// Cold key: the first request leads the build, concurrent requests
-	// for the same key wait for it instead of building again. The
-	// leader inserts into the cache inside the flight, so a request
-	// always finds either the flight or the finished plan — one build
-	// per key, no matter how many requests dogpile it.
 	plan, leader, err := s.builds.do(ctx, key, func() (*core.Plan, error) {
 		s.metrics.planBuilds.Inc()
-		p, err := core.Preprocess(req.Query, entry.g, cfg, req.preprocessWorkers())
+		p, err := core.Preprocess(q, entry.g, cfg, preWorkers)
 		if err != nil {
 			return nil, fmt.Errorf("preprocess %q: %w", entry.name, err)
 		}
 		return s.cache.add(key, p), nil
 	})
 	if err != nil {
-		return nil, false, err
+		return nil, planBuilt, err
 	}
 	if leader {
-		res, err := s.matchFresh(plan, limits, start)
-		return res, false, err
+		return plan, planBuilt, nil
 	}
 	s.metrics.planBuildWaits.Inc()
-	waited := time.Since(start)
-	res, err := core.MatchPlan(plan, limits)
-	if err != nil {
-		return nil, false, err
-	}
-	res.Trace = obs.NewSpan("match", start, time.Since(start)).
-		AddChild(obs.NewSpan("plan", start, waited).
-			SetAttr("shared", true).
-			SetAttr("saved_ns", plan.PreprocessTime().Nanoseconds())).
-		AddChild(res.Trace)
-	return res, true, nil
+	return plan, planShared, nil
 }
 
 // matchFresh enumerates over a plan this request just built, charging

@@ -24,12 +24,17 @@ type slowQueryLogger struct {
 
 // slowQueryRecord is the wire shape of one slow-query line.
 type slowQueryRecord struct {
-	Time        string    `json:"time"`
-	Graph       string    `json:"graph"`
-	Algorithm   string    `json:"algo"`
-	QueryFP     string    `json:"query_fp"`
-	QueryVerts  int       `json:"query_vertices"`
-	QueryEdges  int       `json:"query_edges"`
+	Time       string `json:"time"`
+	Graph      string `json:"graph"`
+	Algorithm  string `json:"algo"`
+	QueryFP    string `json:"query_fp,omitempty"`
+	QueryVerts int    `json:"query_vertices,omitempty"`
+	QueryEdges int    `json:"query_edges,omitempty"`
+	// Batch records (Algorithm "batch") report the item/group counts and
+	// per-item error tally instead of a single query's shape.
+	Batch       int       `json:"batch,omitempty"`
+	Groups      int       `json:"groups,omitempty"`
+	ItemErrors  int       `json:"item_errors,omitempty"`
 	Parallel    int       `json:"parallel,omitempty"`
 	Workers     int       `json:"workers,omitempty"`
 	MaxEmb      uint64    `json:"max_embeddings,omitempty"`

@@ -89,6 +89,18 @@ type Stats struct {
 	// (the smatch_intersect_kernel_total families). Nil until an
 	// intersection-based request completes.
 	Kernels map[string]uint64 `json:"kernels,omitempty"`
+	// Batches reports the batched-serving counters.
+	Batches BatchStats `json:"batches"`
+}
+
+// BatchStats reports SubmitBatch's amortization: Items - Groups is how
+// many admission grants and plan lookups grouping saved, and Deduped
+// how many items were served by fanning out an identical item's run.
+type BatchStats struct {
+	Batches uint64 `json:"batches"`
+	Items   uint64 `json:"items"`
+	Groups  uint64 `json:"groups"`
+	Deduped uint64 `json:"deduped"`
 }
 
 // AdmissionStats reports the admission controller's occupancy.
