@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race race-stress fuzz-smoke bench-smoke bench-parallel bench-preprocess bench-serve bench-obs bench-kernels bench-batch
+.PHONY: ci vet build test race race-stress fuzz-smoke bench-smoke bench-parallel bench-preprocess bench-serve bench-obs bench-kernels bench-batch bench-store
 
 ci: vet build race race-stress fuzz-smoke bench-smoke
 
@@ -27,9 +27,11 @@ race:
 # 1-worker reference), plus the serving layer's 100-goroutine
 # concurrent-Submit stress over shared cached plans, plus the metrics
 # registry's concurrent counter/gauge/histogram hammering. Any
-# cross-worker state leak trips -race here.
+# cross-worker state leak trips -race here. The store stress churns
+# register/replace/unregister through the durable manager (and the
+# HTTP surface) and verifies a restart reconstructs the exact state.
 race-stress:
-	$(GO) test -race -run 'Stress' -count 1 ./internal/filter ./internal/candspace ./internal/service ./internal/obs
+	$(GO) test -race -run 'Stress' -count 1 ./internal/filter ./internal/candspace ./internal/service ./internal/obs ./internal/store ./cmd/smatchd
 
 # Short corpus-plus-mutation runs of the fuzz targets: filter soundness
 # (candidate sets never drop a ground-truth embedding vertex),
@@ -37,11 +39,14 @@ race-stress:
 # block, flat views, selector policies — produces identical output), and
 # batch grouping (SubmitBatch over arbitrary item mixes stays index-
 # aligned, isolates per-item failures, matches sequential embeddings,
-# and builds exactly one plan per group).
+# and builds exactly one plan per group), and snapshot round-trip
+# (Decode of arbitrary bytes never panics, fails typed, or yields the
+# fingerprint-verified graph; valid snapshots round-trip exactly).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzFilterSoundness -fuzztime 5s ./internal/filter
 	$(GO) test -run '^$$' -fuzz FuzzIntersectKernels -fuzztime 5s ./internal/intersect
 	$(GO) test -run '^$$' -fuzz FuzzBatchGrouping -fuzztime 5s ./internal/service
+	$(GO) test -run '^$$' -fuzz FuzzSnapshotRoundTrip -fuzztime 5s ./internal/store
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
@@ -72,6 +77,13 @@ bench-batch:
 # skew workload, sequential and parallel.
 bench-obs:
 	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchmem -benchtime 5x .
+
+# The durable-store measurements behind EXPERIMENTS.md's "Restart"
+# section: snapshot encode/decode throughput, the full file-open path
+# (copy vs mmap vs the text loader it replaces), and the cost of the
+# optional full-fingerprint verification.
+bench-store:
+	$(GO) test -run '^$$' -bench 'BenchmarkSnapshot|BenchmarkFingerprintVerify' -benchmem -benchtime 2s ./internal/store
 
 # The intersection-kernel measurements behind EXPERIMENTS.md's
 # "Adaptive kernels" section: the raw kernel grid over the

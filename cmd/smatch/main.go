@@ -14,10 +14,18 @@
 //	       list.txt holds query-graph paths, one per line; the queries run
 //	       as ONE service batch (grouped admission, one plan per distinct
 //	       query, duplicates deduplicated) and a grouping summary follows
+//	smatch -d data.graph -save data.snap              # write a checksummed
+//	       binary snapshot; -d and -q accept snapshots everywhere
+//	smatch -load data.snap [-o data.graph]            # verify a snapshot
+//	       (full sha256 fingerprint) and optionally convert back to text
+//	smatch -fsck /var/lib/smatchd                     # verify a smatchd
+//	       data directory: manifest + WAL replay, every live snapshot's
+//	       checksums and fingerprint, orphan detection; read-only
 package main
 
 import (
 	"context"
+	"encoding/hex"
 	"errors"
 	"flag"
 	"fmt"
@@ -28,6 +36,7 @@ import (
 
 	sm "subgraphmatching"
 	"subgraphmatching/internal/intersect"
+	"subgraphmatching/internal/store"
 )
 
 func main() {
@@ -49,8 +58,30 @@ func main() {
 		estimate  = flag.Bool("estimate", false, "print the spanning-tree cardinality estimate first")
 		csvPath   = flag.String("csv", "", "batch mode: also write per-query results as CSV")
 		batchList = flag.String("batch", "", "run the query files listed in this file (one path per line) as one service batch")
+		savePath  = flag.String("save", "", "write the -d graph as a binary snapshot to this path and exit")
+		loadPath  = flag.String("load", "", "verify a snapshot file (full fingerprint check) and print its shape")
+		outPath   = flag.String("o", "", "with -load: also write the graph in the t/v/e text format to this path")
+		fsckDir   = flag.String("fsck", "", "verify a smatchd data directory (read-only) and exit non-zero on corruption")
 	)
 	flag.Parse()
+	if *fsckDir != "" {
+		if err := runFsck(*fsckDir); err != nil {
+			exitErr(err)
+		}
+		return
+	}
+	if *savePath != "" {
+		if err := runSave(*dataPath, *savePath); err != nil {
+			exitErr(err)
+		}
+		return
+	}
+	if *loadPath != "" {
+		if err := runLoad(*loadPath, *outPath); err != nil {
+			exitErr(err)
+		}
+		return
+	}
 	// Ctrl-C cancels the context; MatchContext stops the search
 	// cooperatively and the process exits cleanly instead of being
 	// killed mid-enumeration.
@@ -72,6 +103,56 @@ func main() {
 		*kernel, *profile, *trace, *hom, *sym, *estimate); err != nil {
 		exitErr(err)
 	}
+}
+
+// runSave converts a graph file (text or snapshot) into the checksummed
+// binary snapshot format.
+func runSave(dataPath, savePath string) error {
+	if dataPath == "" {
+		return fmt.Errorf("-save needs -d")
+	}
+	g, err := sm.LoadGraph(dataPath)
+	if err != nil {
+		return err
+	}
+	fp, size, err := store.WriteSnapshotFile(savePath, g)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("saved %v to %s (%d bytes, fp %s)\n", g, savePath, size, hex.EncodeToString(fp[:8]))
+	return nil
+}
+
+// runLoad opens a snapshot with the full fingerprint check and
+// optionally converts it back to the text format — the inverse of
+// -save, closing the round-trip.
+func runLoad(loadPath, outPath string) error {
+	snap, err := store.OpenSnapshot(loadPath, store.LoadOptions{VerifyFingerprint: true})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("snapshot %s: %v (%d bytes, fp %s, verified)\n",
+		loadPath, snap.Graph, snap.Size, hex.EncodeToString(snap.Fingerprint[:8]))
+	if outPath != "" {
+		if err := sm.SaveGraph(outPath, snap.Graph); err != nil {
+			return err
+		}
+		fmt.Printf("text format written to %s\n", outPath)
+	}
+	return nil
+}
+
+// runFsck verifies a smatchd data directory without modifying it.
+func runFsck(dir string) error {
+	rep, err := store.Fsck(dir)
+	if err != nil {
+		return err
+	}
+	rep.WriteReport(os.Stdout)
+	if rep.Errors > 0 {
+		os.Exit(1)
+	}
+	return nil
 }
 
 func exitErr(err error) {

@@ -9,6 +9,7 @@
 //	        [-max-queue 64] [-max-queue-wait 5s] [-plan-cache 256]
 //	        [-plan-cache-bytes 268435456] [-max-graph-share 0.5]
 //	        [-batch-window 0] [-batch-max 32]
+//	        [-data-dir path] [-mmap] [-no-persist] [-verify-snapshots]
 //	        [-timeout 5m] [-pprof] [-slowlog path] [-slow-threshold 1s]
 //
 // API:
@@ -17,7 +18,9 @@
 //	                              admission occupancy (JSON)
 //	GET    /graphs                registered graphs (JSON)
 //	PUT    /graphs/{name}         register graph (body: t/v/e text
-//	                              format; ?replace=1 hot-swaps)
+//	                              format, or a binary snapshot with
+//	                              Content-Type application/x-smatch-
+//	                              snapshot; ?replace=1 hot-swaps)
 //	DELETE /graphs/{name}         unregister
 //	POST   /match                 run a query (body: query graph text)
 //	       ?graph=name [&algo=Optimized] [&limit=N] [&timeout=5m]
@@ -49,6 +52,18 @@
 // overload 503 (with Retry-After), deadline 504. Streamed requests get
 // the same codes for failures that occur before the first embedding is
 // written; afterwards the stream ends with an {"error":...} line.
+//
+// With -data-dir, smatchd runs a durable graph store (internal/store):
+// every registration is snapshotted to a checksummed CSR file and
+// logged to a write-ahead log before being acknowledged, and a restart
+// on the same directory recovers all graphs — same names, same bytes,
+// strictly monotonic generations — without re-uploading anything.
+// -mmap maps recovered snapshots instead of copying them into the heap
+// (near-instant restart, page-cache-resident working set);
+// -verify-snapshots additionally recomputes each snapshot's sha256
+// fingerprint at startup; -no-persist ignores -data-dir entirely.
+// /healthz gains a "store" section with recovery and occupancy state,
+// and /metrics gains smatch_store_* families.
 package main
 
 import (
@@ -63,8 +78,8 @@ import (
 	"syscall"
 	"time"
 
-	"subgraphmatching/internal/graph"
 	"subgraphmatching/internal/service"
+	"subgraphmatching/internal/store"
 )
 
 // graphFlags collects repeated -graph name=path arguments.
@@ -88,6 +103,10 @@ func main() {
 		pprofOn    = flag.Bool("pprof", false, "mount /debug/pprof (exposes runtime internals; keep off unless needed)")
 		slowLog    = flag.String("slowlog", "", "append slow-query NDJSON records to this file")
 		slowThresh = flag.Duration("slow-threshold", 0, "latency at which a request is logged as slow (0 = 1s; needs -slowlog)")
+		dataDir    = flag.String("data-dir", "", "durable store directory: snapshot + WAL every registration, recover on restart")
+		mmapSnaps  = flag.Bool("mmap", false, "serve recovered snapshots from mmap instead of copying into the heap (needs -data-dir)")
+		noPersist  = flag.Bool("no-persist", false, "ignore -data-dir and run purely in memory")
+		verifySnap = flag.Bool("verify-snapshots", false, "recompute each snapshot's sha256 fingerprint during recovery (needs -data-dir)")
 		graphs     graphFlags
 	)
 	flag.Var(&graphs, "graph", "preload a data graph as name=path (repeatable)")
@@ -113,19 +132,51 @@ func main() {
 		cfg.SlowQueryLog = f
 	}
 	svc := service.New(cfg)
+
+	var mgr *store.Manager
+	if *dataDir != "" && !*noPersist {
+		var err error
+		mgr, err = store.Open(svc, store.Options{
+			Dir:               *dataDir,
+			MMap:              *mmapSnaps,
+			VerifyFingerprint: *verifySnap,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "smatchd: store: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smatchd: open store %q: %v\n", *dataDir, err)
+			os.Exit(1)
+		}
+		rec := mgr.RecoveryStats()
+		fmt.Printf("smatchd: recovered %d graphs from %s in %s (%d WAL records, %d skipped)\n",
+			rec.Recovered, *dataDir, rec.Duration.Round(time.Millisecond), rec.WALRecords, rec.Skipped)
+	}
+
 	for _, spec := range graphs {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {
 			fmt.Fprintf(os.Stderr, "smatchd: -graph %q: want name=path\n", spec)
 			os.Exit(1)
 		}
-		g, err := graph.Load(path)
+		g, err := store.LoadGraphFile(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "smatchd: load %q: %v\n", path, err)
 			os.Exit(1)
 		}
-		info, err := svc.RegisterGraph(name, g, false)
+		var info service.GraphInfo
+		if mgr != nil {
+			info, err = mgr.RegisterGraph(name, g, false)
+		} else {
+			info, err = svc.RegisterGraph(name, g, false)
+		}
 		if err != nil {
+			if mgr != nil && errors.Is(err, service.ErrDuplicateGraph) {
+				// Recovery already restored this name; the durable copy
+				// wins over the command-line file.
+				fmt.Printf("smatchd: %s already recovered from %s, skipping preload\n", name, *dataDir)
+				continue
+			}
 			fmt.Fprintf(os.Stderr, "smatchd: register %q: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -137,6 +188,7 @@ func main() {
 		pprof:       *pprofOn,
 		batchWindow: *batchWin,
 		batchMax:    *batchMax,
+		store:       mgr,
 	})}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -157,5 +209,13 @@ func main() {
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "smatchd: shutdown:", err)
 		os.Exit(1)
+	}
+	if mgr != nil {
+		// After the listener and service have drained: compacts the WAL
+		// into the manifest and unmaps any mmap-served snapshots.
+		if err := mgr.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "smatchd: store close:", err)
+			os.Exit(1)
+		}
 	}
 }

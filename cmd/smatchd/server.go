@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -16,6 +17,7 @@ import (
 	"subgraphmatching/internal/intersect"
 	"subgraphmatching/internal/obs"
 	"subgraphmatching/internal/service"
+	"subgraphmatching/internal/store"
 )
 
 // maxQueryBody bounds a /match or /graphs request body. Query graphs
@@ -32,10 +34,45 @@ const (
 // values) with a 400 before any work happens.
 const maxWorkersParam = 4096
 
+// graphAdmin is the registration surface the handlers mutate graphs
+// through. Without persistence it is the service itself (serviceAdmin);
+// with -data-dir it is the store.Manager, which snapshots and logs
+// every operation before acknowledging it.
+type graphAdmin interface {
+	RegisterGraph(name string, g *graph.Graph, replace bool) (service.GraphInfo, error)
+	RegisterSnapshot(name string, data []byte, replace bool) (service.GraphInfo, error)
+	UnregisterGraph(name string) error
+}
+
+// serviceAdmin adapts the bare service to graphAdmin for the
+// non-persistent configuration.
+type serviceAdmin struct{ svc *service.Service }
+
+func (a serviceAdmin) RegisterGraph(name string, g *graph.Graph, replace bool) (service.GraphInfo, error) {
+	return a.svc.RegisterGraph(name, g, replace)
+}
+
+func (a serviceAdmin) RegisterSnapshot(name string, data []byte, replace bool) (service.GraphInfo, error) {
+	g, _, err := store.Decode(data, store.DecodeOptions{ZeroCopy: true})
+	if err != nil {
+		return service.GraphInfo{}, err
+	}
+	return a.svc.RegisterGraph(name, g, replace)
+}
+
+func (a serviceAdmin) UnregisterGraph(name string) error {
+	_, err := a.svc.UnregisterGraph(name)
+	return err
+}
+
 // server adapts a service.Service to HTTP; transport concerns (JSON,
 // status codes, streaming) live here and nowhere else.
 type server struct {
-	svc *service.Service
+	svc   *service.Service
+	admin graphAdmin
+	// store, when non-nil, is the durable graph store behind admin;
+	// /healthz reports its recovery and occupancy state.
+	store *store.Manager
 	// batcher, when non-nil, coalesces non-streaming /match requests
 	// into SubmitBatch calls (the -batch-window/-batch-max flags).
 	batcher *service.Batcher
@@ -53,12 +90,20 @@ type serverOptions struct {
 	// latency to every singleton request.
 	batchWindow time.Duration
 	batchMax    int
+	// store routes graph registration through the durable store
+	// (snapshots + WAL) and surfaces its state on /healthz.
+	store *store.Manager
 }
 
 // newServer builds the smatchd handler — exported shape so tests can
 // mount it on httptest.Server.
 func newServer(svc *service.Service, opts serverOptions) http.Handler {
-	s := &server{svc: svc}
+	s := &server{svc: svc, store: opts.store}
+	if opts.store != nil {
+		s.admin = opts.store
+	} else {
+		s.admin = serviceAdmin{svc: svc}
+	}
 	if opts.batchWindow > 0 {
 		s.batcher = svc.NewBatcher(service.BatcherConfig{
 			MaxWait:  opts.batchWindow,
@@ -142,18 +187,45 @@ type healthResponse struct {
 	Capacity int64         `json:"capacity"`
 	InUse    int64         `json:"in_use"`
 	Queued   int           `json:"queued"`
+	// Store reports the durable store's recovery and occupancy state;
+	// absent when the daemon runs without -data-dir.
+	Store *storeHealth `json:"store,omitempty"`
+}
+
+// storeHealth is the /healthz durability section.
+type storeHealth struct {
+	Dir        string              `json:"dir"`
+	MMap       bool                `json:"mmap"`
+	Snapshots  int                 `json:"snapshots"`
+	SnapBytes  int64               `json:"snapshot_bytes"`
+	WALBytes   int64               `json:"wal_bytes"`
+	WALRecords int                 `json:"wal_records"`
+	Recovery   store.RecoveryStats `json:"recovery"`
 }
 
 func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 	st := s.svc.Stats()
-	writeJSON(w, http.StatusOK, healthResponse{
+	resp := healthResponse{
 		Status:   "ok",
 		Uptime:   st.Uptime,
 		Graphs:   len(st.Graphs),
 		Capacity: st.Admission.Capacity,
 		InUse:    st.Admission.InUse,
 		Queued:   st.Admission.Queued,
-	})
+	}
+	if s.store != nil {
+		sst := s.store.Stats()
+		resp.Store = &storeHealth{
+			Dir:        sst.Dir,
+			MMap:       sst.MMap,
+			Snapshots:  sst.Snapshots,
+			SnapBytes:  sst.SnapBytes,
+			WALBytes:   sst.WALBytes,
+			WALRecords: sst.WALRecords,
+			Recovery:   sst.Recovery,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // metrics serves the registry in the Prometheus text exposition format.
@@ -166,15 +238,32 @@ func (s *server) listGraphs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.svc.Graphs())
 }
 
+// snapshotContentType marks a PUT /graphs body carrying the binary
+// snapshot format instead of the t/v/e text — the upload skips edge-
+// list parsing entirely and, under a durable store, persists the bytes
+// verbatim.
+const snapshotContentType = "application/x-smatch-snapshot"
+
 func (s *server) putGraph(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	g, err := graph.Parse(http.MaxBytesReader(w, r.Body, maxGraphBody))
-	if err != nil {
-		httpError(w, err)
-		return
-	}
 	replace := r.URL.Query().Get("replace") == "1"
-	info, err := s.svc.RegisterGraph(name, g, replace)
+	var (
+		info service.GraphInfo
+		err  error
+	)
+	if r.Header.Get("Content-Type") == snapshotContentType {
+		var data []byte
+		data, err = io.ReadAll(http.MaxBytesReader(w, r.Body, maxGraphBody))
+		if err == nil {
+			info, err = s.admin.RegisterSnapshot(name, data, replace)
+		}
+	} else {
+		var g *graph.Graph
+		g, err = graph.Parse(http.MaxBytesReader(w, r.Body, maxGraphBody))
+		if err == nil {
+			info, err = s.admin.RegisterGraph(name, g, replace)
+		}
+	}
 	if err != nil {
 		httpError(w, err)
 		return
@@ -183,7 +272,7 @@ func (s *server) putGraph(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) deleteGraph(w http.ResponseWriter, r *http.Request) {
-	if err := s.svc.UnregisterGraph(r.PathValue("name")); err != nil {
+	if err := s.admin.UnregisterGraph(r.PathValue("name")); err != nil {
 		httpError(w, err)
 		return
 	}

@@ -1,0 +1,306 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/service"
+	"subgraphmatching/internal/store"
+	"subgraphmatching/internal/testutil"
+)
+
+// canonicalMatch strips the nondeterministic timing fields from a
+// /match JSON response (or each line of a streamed response), leaving
+// exactly the fields that must be byte-identical across a restart:
+// embeddings, every streamed embedding line, node counts and flags.
+func canonicalMatch(t *testing.T, body string) string {
+	t.Helper()
+	var out []string
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			// Non-stream responses are one indented JSON object spanning
+			// many lines; fall through and parse the whole body once.
+			m = map[string]json.RawMessage{}
+			if err := json.Unmarshal([]byte(body), &m); err != nil {
+				t.Fatalf("bad match body: %v\n%s", err, body)
+			}
+			return canonicalFields(m)
+		}
+		if r, ok := m["result"]; ok {
+			var rm map[string]json.RawMessage
+			if err := json.Unmarshal(r, &rm); err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, "result:"+canonicalFields(rm))
+			continue
+		}
+		out = append(out, line)
+	}
+	return strings.Join(out, "\n")
+}
+
+func canonicalFields(m map[string]json.RawMessage) string {
+	keep := []string{"embeddings", "nodes", "timed_out", "limit_hit", "error"}
+	var parts []string
+	for _, k := range keep {
+		if v, ok := m[k]; ok {
+			parts = append(parts, k+"="+string(v))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// durableServer mounts the full smatchd handler over a service backed
+// by a durable store on dir.
+func durableServer(t *testing.T, dir string, mmap bool) (*httptest.Server, *service.Service, *store.Manager) {
+	t.Helper()
+	svc := service.New(service.Config{})
+	mgr, err := store.Open(svc, store.Options{Dir: dir, MMap: mmap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(svc, serverOptions{store: mgr}))
+	t.Cleanup(ts.Close)
+	return ts, svc, mgr
+}
+
+// TestKillRestartRecovery is the acceptance test: register several
+// graphs (including a replace and a binary snapshot upload) over HTTP,
+// run a query against each, kill the process without any shutdown
+// (abandoning the manager un-Closed is exactly what SIGKILL leaves
+// behind — the page cache holds everything fsynced), restart on the
+// same directory, and require /graphs and /match responses to be
+// byte-identical, with generations strictly monotonic across the
+// restart.
+func TestKillRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(23))
+	graphs := map[string]*graph.Graph{
+		"ga": testutil.RandomGraph(rng, 150, 500, 3),
+		"gb": testutil.RandomGraph(rng, 200, 800, 4),
+		"gc": testutil.RandomGraph(rng, 100, 300, 2),
+	}
+	query := testutil.RandomConnectedQuery(rng, graphs["ga"], 4)
+	queryText := graphText(t, query)
+
+	ts1, svc1, _ := durableServer(t, dir, false)
+	for name, g := range graphs {
+		resp, body := do(t, "PUT", ts1.URL+"/graphs/"+name, graphText(t, g))
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("register %s = %d %q", name, resp.StatusCode, body)
+		}
+	}
+	// Hot-swap gb so recovery must surface the replacement generation.
+	graphs["gb"] = testutil.RandomGraph(rng, 220, 900, 4)
+	resp, body := do(t, "PUT", ts1.URL+"/graphs/gb?replace=1", graphText(t, graphs["gb"]))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("replace gb = %d %q", resp.StatusCode, body)
+	}
+	// Register gd through the binary snapshot upload path.
+	graphs["gd"] = testutil.RandomGraph(rng, 120, 400, 3)
+	snapBytes, _, err := store.Encode(graphs["gd"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest("PUT", ts1.URL+"/graphs/gd", bytes.NewReader(snapBytes))
+	req.Header.Set("Content-Type", "application/x-smatch-snapshot")
+	hresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusCreated {
+		t.Fatalf("snapshot upload = %d", hresp.StatusCode)
+	}
+	// And one that must NOT survive: register then delete.
+	resp, _ = do(t, "PUT", ts1.URL+"/graphs/doomed", graphText(t, graphs["gc"]))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register doomed = %d", resp.StatusCode)
+	}
+	if resp, _ = do(t, "DELETE", ts1.URL+"/graphs/doomed", ""); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete doomed = %d", resp.StatusCode)
+	}
+
+	_, graphsBefore := do(t, "GET", ts1.URL+"/graphs", "")
+	matchBefore := make(map[string]string)
+	for name := range graphs {
+		_, body := do(t, "POST", ts1.URL+"/match?graph="+name+"&limit=100&stream=1", queryText)
+		matchBefore[name] = canonicalMatch(t, body)
+	}
+	var before []service.GraphInfo
+	if err := json.Unmarshal([]byte(graphsBefore), &before); err != nil {
+		t.Fatalf("bad /graphs body: %v", err)
+	}
+
+	// Kill: close the listener and the service, abandon the manager.
+	ts1.Close()
+	svc1.Close()
+
+	ts2, _, mgr2 := durableServer(t, dir, false)
+	rec := mgr2.RecoveryStats()
+	if rec.Recovered != len(graphs) || rec.Skipped != 0 {
+		t.Fatalf("recovered %d skipped %d, want %d/0", rec.Recovered, rec.Skipped, len(graphs))
+	}
+
+	_, graphsAfter := do(t, "GET", ts2.URL+"/graphs", "")
+	var after []service.GraphInfo
+	if err := json.Unmarshal([]byte(graphsAfter), &after); err != nil {
+		t.Fatalf("bad /graphs body: %v", err)
+	}
+	// /graphs must carry the same names, shapes and generations.
+	// RegisteredAt legitimately differs (recovery time), so compare the
+	// identity-bearing fields, not raw bytes.
+	if len(after) != len(before) {
+		t.Fatalf("%d graphs after restart, want %d\nbefore: %s\nafter: %s", len(after), len(before), graphsBefore, graphsAfter)
+	}
+	maxGen := uint64(0)
+	for i := range before {
+		b, a := before[i], after[i]
+		if a.Name != b.Name || a.Vertices != b.Vertices || a.Edges != b.Edges ||
+			a.Labels != b.Labels || a.Generation != b.Generation {
+			t.Fatalf("graph %d: %+v, want %+v", i, a, b)
+		}
+		if b.Generation > maxGen {
+			maxGen = b.Generation
+		}
+	}
+
+	// /match responses must be byte-identical for every graph — every
+	// streamed embedding line and the result counts (timing fields are
+	// the only thing canonicalMatch strips; they measure the clock, not
+	// the graph).
+	for name := range graphs {
+		_, body := do(t, "POST", ts2.URL+"/match?graph="+name+"&limit=100&stream=1", queryText)
+		if got := canonicalMatch(t, body); got != matchBefore[name] {
+			t.Fatalf("graph %s: /match differs after restart\nbefore: %s\nafter: %s", name, matchBefore[name], got)
+		}
+	}
+	// The deleted graph stays deleted.
+	if resp, _ := do(t, "POST", ts2.URL+"/match?graph=doomed&limit=1", queryText); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("doomed graph resolved after restart: %d", resp.StatusCode)
+	}
+
+	// A post-restart registration must land strictly above every
+	// generation the old process ever issued.
+	resp, body = do(t, "PUT", ts2.URL+"/graphs/fresh", graphText(t, graphs["gc"]))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("post-restart register = %d %q", resp.StatusCode, body)
+	}
+	var fresh service.GraphInfo
+	if err := json.Unmarshal([]byte(body), &fresh); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Generation <= maxGen {
+		t.Fatalf("post-restart generation %d not above pre-kill max %d", fresh.Generation, maxGen)
+	}
+
+	// /healthz surfaces the store section.
+	_, health := do(t, "GET", ts2.URL+"/healthz", "")
+	var h healthResponse
+	if err := json.Unmarshal([]byte(health), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Store == nil || h.Store.Dir != dir || h.Store.Recovery.Recovered != len(graphs) {
+		t.Fatalf("healthz store section: %+v", h.Store)
+	}
+	// /metrics exposes the store families.
+	_, metrics := do(t, "GET", ts2.URL+"/metrics", "")
+	for _, fam := range []string{"smatch_store_snapshots_total", "smatch_store_wal_records_total",
+		"smatch_store_recovery_seconds", "smatch_store_bytes"} {
+		if !strings.Contains(metrics, fam) {
+			t.Errorf("/metrics missing %s", fam)
+		}
+	}
+}
+
+// TestMMapMatchesHeapEmbeddings runs the same queries over a heap-
+// loaded and an mmap-loaded recovery of the same directory: results
+// must be byte-identical.
+func TestMMapMatchesHeapEmbeddings(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(31))
+	g := testutil.RandomGraph(rng, 300, 1200, 4)
+	queries := make([]string, 3)
+	for i := range queries {
+		queries[i] = graphText(t, testutil.RandomConnectedQuery(rng, g, 4+i))
+	}
+
+	ts0, svc0, _ := durableServer(t, dir, false)
+	if resp, body := do(t, "PUT", ts0.URL+"/graphs/g", graphText(t, g)); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register = %d %q", resp.StatusCode, body)
+	}
+	ts0.Close()
+	svc0.Close()
+
+	run := func(mmap bool) []string {
+		ts, svc, mgr := durableServer(t, dir, mmap)
+		out := make([]string, len(queries))
+		for i, q := range queries {
+			// stream=1 exercises the full enumeration path over the
+			// (possibly mmap'd) adjacency, embedding by embedding.
+			_, body := do(t, "POST", ts.URL+"/match?graph=g&limit=500&stream=1", q)
+			out[i] = canonicalMatch(t, body)
+		}
+		ts.Close()
+		svc.Close()
+		if err := mgr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	heap := run(false)
+	mapped := run(true)
+	for i := range heap {
+		if heap[i] != mapped[i] {
+			t.Fatalf("query %d: mmap and heap runs differ\nheap: %.200s\nmmap: %.200s", i, heap[i], mapped[i])
+		}
+	}
+}
+
+// TestStoreStressHTTP churns registrations through the HTTP surface
+// with a durable store attached — the race-stress entry point for this
+// package's persistence path.
+func TestStoreStressHTTP(t *testing.T) {
+	dir := t.TempDir()
+	ts, svc, mgr := durableServer(t, dir, false)
+	defer func() {
+		svc.Close()
+		mgr.Close()
+	}()
+	rng := rand.New(rand.NewSource(5))
+	pool := make([]string, 3)
+	for i := range pool {
+		pool[i] = graphText(t, testutil.RandomGraph(rng, 50, 150, 3))
+	}
+	iters := 40
+	if testing.Short() {
+		iters = 10
+	}
+	for i := 0; i < iters; i++ {
+		name := fmt.Sprintf("s%d", i%4)
+		resp, _ := do(t, "PUT", ts.URL+"/graphs/"+name+"?replace=1", pool[i%len(pool)])
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("iter %d: register = %d", i, resp.StatusCode)
+		}
+		if i%7 == 3 {
+			if resp, _ := do(t, "DELETE", ts.URL+"/graphs/"+name, ""); resp.StatusCode != http.StatusNoContent {
+				t.Fatalf("iter %d: delete = %d", i, resp.StatusCode)
+			}
+		}
+	}
+	st := mgr.Stats()
+	if st.Graphs == 0 || st.SnapBytes == 0 {
+		t.Fatalf("store stats after churn: %+v", st)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/store"
 )
 
 // Graph is an immutable undirected vertex-labeled graph in compressed
@@ -33,13 +34,24 @@ func FromEdges(labels []Label, edges [][2]Vertex) (*Graph, error) {
 	return graph.FromEdges(labels, edges)
 }
 
-// LoadGraph reads a graph file in the text format used by the paper's
-// released code:
+// LoadGraph reads a graph file: either the text format used by the
+// paper's released code,
 //
 //	t <numVertices> <numEdges>
 //	v <id> <label> <degree>
 //	e <u> <v>
-func LoadGraph(path string) (*Graph, error) { return graph.Load(path) }
+//
+// or a binary snapshot written by SaveSnapshot / smatch -save (detected
+// by its magic bytes and checksum-verified on load).
+func LoadGraph(path string) (*Graph, error) { return store.LoadGraphFile(path) }
+
+// SaveSnapshot writes g to a checksummed binary snapshot — the durable
+// store's format, around two orders of magnitude faster to load than
+// the text format and loadable by LoadGraph, smatch, and smatchd.
+func SaveSnapshot(path string, g *Graph) error {
+	_, _, err := store.WriteSnapshotFile(path, g)
+	return err
+}
 
 // ParseGraph reads a graph in the text format from r.
 func ParseGraph(r io.Reader) (*Graph, error) { return graph.Parse(r) }

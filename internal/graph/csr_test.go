@@ -1,0 +1,177 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// csrTestGraph builds a small labeled graph with a known shape.
+func csrTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := FromEdges(
+		[]Label{0, 1, 1, 2, 0},
+		[][2]Vertex{{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 4}, {3, 4}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCSRRoundTrip(t *testing.T) {
+	g := csrTestGraph(t)
+	offsets, adj, labels := g.CSR()
+	keys, counts := g.LabelPairCounts()
+
+	// Adopt copies, not the originals: FromCSR takes ownership.
+	g2, err := FromCSR(
+		append([]int64(nil), offsets...),
+		append([]Vertex(nil), adj...),
+		append([]Label(nil), labels...),
+		append([]uint64(nil), keys...),
+		append([]int64(nil), counts...),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FingerprintOf(g2) != FingerprintOf(g) {
+		t.Fatal("FromCSR(CSR(g)) fingerprint differs from g")
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() || g2.NumLabels() != g.NumLabels() {
+		t.Fatalf("shape mismatch: %v vs %v", g2, g)
+	}
+	if g2.MaxDegree() != g.MaxDegree() {
+		t.Fatalf("max degree %d, want %d", g2.MaxDegree(), g.MaxDegree())
+	}
+	for l := Label(0); l < 3; l++ {
+		if len(g2.VerticesWithLabel(l)) != len(g.VerticesWithLabel(l)) {
+			t.Fatalf("label %d vertex count differs", l)
+		}
+	}
+}
+
+func TestFromCSRRecomputesPairStats(t *testing.T) {
+	g := csrTestGraph(t)
+	offsets, adj, labels := g.CSR()
+	g2, err := FromCSR(
+		append([]int64(nil), offsets...),
+		append([]Vertex(nil), adj...),
+		append([]Label(nil), labels...),
+		nil, nil, // force the O(E) recount path
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, c1 := g.LabelPairCounts()
+	k2, c2 := g2.LabelPairCounts()
+	if len(k1) != len(k2) {
+		t.Fatalf("pair count %d, want %d", len(k2), len(k1))
+	}
+	for i := range k1 {
+		if k1[i] != k2[i] || c1[i] != c2[i] {
+			t.Fatalf("pair %d: (%d,%d) vs (%d,%d)", i, k2[i], c2[i], k1[i], c1[i])
+		}
+	}
+}
+
+func TestFromCSRRejectsInvalid(t *testing.T) {
+	g := csrTestGraph(t)
+	base := func() (offsets []int64, adj []Vertex, labels []Label) {
+		o, a, l := g.CSR()
+		return append([]int64(nil), o...), append([]Vertex(nil), a...), append([]Label(nil), l...)
+	}
+
+	cases := []struct {
+		name string
+		mut  func(offsets []int64, adj []Vertex, labels []Label) ([]int64, []Vertex, []Label)
+	}{
+		{"short offsets", func(o []int64, a []Vertex, l []Label) ([]int64, []Vertex, []Label) {
+			return o[:len(o)-1], a, l
+		}},
+		{"nonzero first offset", func(o []int64, a []Vertex, l []Label) ([]int64, []Vertex, []Label) {
+			o[0] = 1
+			return o, a, l
+		}},
+		{"final offset mismatch", func(o []int64, a []Vertex, l []Label) ([]int64, []Vertex, []Label) {
+			o[len(o)-1]--
+			return o, a, l
+		}},
+		{"non-monotone offsets", func(o []int64, a []Vertex, l []Label) ([]int64, []Vertex, []Label) {
+			o[1], o[2] = o[2]+2, o[1]
+			return o, a, l
+		}},
+		{"unsorted adjacency", func(o []int64, a []Vertex, l []Label) ([]int64, []Vertex, []Label) {
+			a[0], a[1] = a[1], a[0]
+			return o, a, l
+		}},
+		{"out-of-range neighbor", func(o []int64, a []Vertex, l []Label) ([]int64, []Vertex, []Label) {
+			a[0] = Vertex(len(l))
+			return o, a, l
+		}},
+		{"self loop", func(o []int64, a []Vertex, l []Label) ([]int64, []Vertex, []Label) {
+			a[0] = 0 // vertex 0's first neighbor becomes itself
+			return o, a, l
+		}},
+		{"odd adjacency length", func(o []int64, a []Vertex, l []Label) ([]int64, []Vertex, []Label) {
+			o[len(o)-1]--
+			for i := 1; i < len(o)-1; i++ {
+				if o[i] > o[len(o)-1] {
+					o[i] = o[len(o)-1]
+				}
+			}
+			return o, a[:len(a)-1], l
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o, a, l := base()
+			o, a, l = tc.mut(o, a, l)
+			if _, err := FromCSR(o, a, l, nil, nil); err == nil {
+				t.Fatalf("FromCSR accepted %s", tc.name)
+			}
+		})
+	}
+
+	t.Run("bad pair stats", func(t *testing.T) {
+		o, a, l := base()
+		keys, counts := g.LabelPairCounts()
+		keys = append([]uint64(nil), keys...)
+		counts = append([]int64(nil), counts...)
+		counts[0]++ // sum no longer equals |E|
+		if _, err := FromCSR(o, a, l, keys, counts); err == nil {
+			t.Fatal("FromCSR accepted pair counts that do not sum to |E|")
+		}
+	})
+}
+
+func TestFromCSRRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(60)
+		b := NewBuilder(n, 3*n)
+		for v := 0; v < n; v++ {
+			b.AddVertex(Label(rng.Intn(4)))
+		}
+		for i := 0; i < 3*n; i++ {
+			u, v := Vertex(rng.Intn(n)), Vertex(rng.Intn(n))
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, a, l := g.CSR()
+		k, c := g.LabelPairCounts()
+		g2, err := FromCSR(
+			append([]int64(nil), o...), append([]Vertex(nil), a...), append([]Label(nil), l...),
+			append([]uint64(nil), k...), append([]int64(nil), c...))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if FingerprintOf(g2) != FingerprintOf(g) {
+			t.Fatalf("trial %d: fingerprint mismatch", trial)
+		}
+	}
+}

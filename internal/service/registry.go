@@ -74,6 +74,47 @@ func (r *registry) register(name string, g *graph.Graph, replace bool, now time.
 	return e.info(), nil
 }
 
+// restore installs a recovered graph under an explicit generation and
+// advances the generation counter past it — the durable-store recovery
+// path. Names with a lower-or-equal live generation are overwritten
+// (idempotent WAL replay); a higher live generation wins.
+func (r *registry) restore(name string, g *graph.Graph, gen uint64, at time.Time) (GraphInfo, error) {
+	if name == "" || len(name) > maxGraphNameLen {
+		return GraphInfo{}, fmt.Errorf("%w: %q", ErrInvalidGraphName, name)
+	}
+	if g == nil {
+		return GraphInfo{}, fmt.Errorf("service: %w", core.ErrNilGraph)
+	}
+	if gen == 0 {
+		return GraphInfo{}, fmt.Errorf("service: restore %q: generation must be positive", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.graphs == nil {
+		r.graphs = make(map[string]*graphEntry)
+	}
+	if cur, ok := r.graphs[name]; ok && cur.gen > gen {
+		return GraphInfo{}, fmt.Errorf("service: restore %q: generation %d behind live %d", name, gen, cur.gen)
+	}
+	if gen > r.nextGen {
+		r.nextGen = gen
+	}
+	e := &graphEntry{name: name, g: g, gen: gen, at: at}
+	r.graphs[name] = e
+	return e.info(), nil
+}
+
+// advanceGeneration raises the generation counter to at least gen, so
+// post-recovery registrations are strictly newer than anything the
+// durable log ever issued — including names that were unregistered.
+func (r *registry) advanceGeneration(gen uint64) {
+	r.mu.Lock()
+	if gen > r.nextGen {
+		r.nextGen = gen
+	}
+	r.mu.Unlock()
+}
+
 // unregister removes the named graph, returning the removed entry's
 // generation so the caller can fence late plan-cache inserts against it.
 func (r *registry) unregister(name string) (uint64, error) {

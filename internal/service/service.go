@@ -210,16 +210,34 @@ func (s *Service) RegisterGraph(name string, g *graph.Graph, replace bool) (Grap
 	return info, nil
 }
 
-// UnregisterGraph removes a named graph and purges its cached plans.
-func (s *Service) UnregisterGraph(name string) error {
+// UnregisterGraph removes a named graph and purges its cached plans,
+// returning the removed entry's generation (the durable store records
+// it in its WAL so replay stays idempotent).
+func (s *Service) UnregisterGraph(name string) (uint64, error) {
 	gen, err := s.reg.unregister(name)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if s.cache != nil {
 		s.cache.purgeGraph(name, gen+1)
 	}
-	return nil
+	return gen, nil
+}
+
+// RestoreGraph installs a graph recovered from the durable store under
+// its original generation, advancing the generation counter past it.
+// Plan-cache keys embed the generation, so restored graphs reuse the
+// liveGen fencing unchanged; there is nothing to purge because a fresh
+// service's cache is empty.
+func (s *Service) RestoreGraph(name string, g *graph.Graph, gen uint64, at time.Time) (GraphInfo, error) {
+	return s.reg.restore(name, g, gen, at)
+}
+
+// SetGenerationFloor raises the registry's generation counter to at
+// least gen. Recovery calls it with the durable high-water mark so new
+// registrations are strictly monotonic across restarts.
+func (s *Service) SetGenerationFloor(gen uint64) {
+	s.reg.advanceGeneration(gen)
 }
 
 // Graphs lists the registered graphs, name-sorted.

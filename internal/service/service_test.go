@@ -157,7 +157,7 @@ func TestRegisterUnregisterChurnAccounting(t *testing.T) {
 		if _, err := s.Submit(ctx, Request{Graph: name, Query: q, Algorithm: core.GraphQL}); err != nil {
 			t.Fatal(err)
 		}
-		if err := s.UnregisterGraph(name); err != nil {
+		if _, err := s.UnregisterGraph(name); err != nil {
 			t.Fatal(err)
 		}
 	}

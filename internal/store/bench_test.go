@@ -1,0 +1,124 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/testutil"
+)
+
+// benchGraph sizes roughly match the paper's mid-size datasets: enough
+// adjacency bytes that the copy-vs-mmap difference is visible.
+func benchGraph(b *testing.B, n, m int) *graph.Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(17))
+	return testutil.RandomGraph(rng, n, m, 8)
+}
+
+func benchShapes() [][2]int {
+	return [][2]int{{1_000, 10_000}, {20_000, 200_000}, {100_000, 1_000_000}}
+}
+
+func BenchmarkSnapshotEncode(b *testing.B) {
+	for _, sh := range benchShapes() {
+		g := benchGraph(b, sh[0], sh[1])
+		b.Run(fmt.Sprintf("v%d_e%d", sh[0], sh[1]), func(b *testing.B) {
+			b.SetBytes(EncodedSize(g))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Encode(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSnapshotDecode(b *testing.B) {
+	for _, sh := range benchShapes() {
+		g := benchGraph(b, sh[0], sh[1])
+		data, _, err := Encode(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, zc := range []bool{false, true} {
+			b.Run(fmt.Sprintf("v%d_e%d_zerocopy=%v", sh[0], sh[1], zc), func(b *testing.B) {
+				b.SetBytes(int64(len(data)))
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := Decode(data, DecodeOptions{ZeroCopy: zc}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSnapshotOpen measures the full file-load path — what a
+// smatchd restart pays per graph — copy vs mmap, against the text
+// loader as the baseline it replaces.
+func BenchmarkSnapshotOpen(b *testing.B) {
+	for _, sh := range benchShapes() {
+		g := benchGraph(b, sh[0], sh[1])
+		dir := b.TempDir()
+		snapPath := filepath.Join(dir, "g.snap")
+		if _, _, err := WriteSnapshotFile(snapPath, g); err != nil {
+			b.Fatal(err)
+		}
+		textPath := filepath.Join(dir, "g.graph")
+		if err := graph.Save(textPath, g); err != nil {
+			b.Fatal(err)
+		}
+		st, _ := os.Stat(snapPath)
+
+		b.Run(fmt.Sprintf("v%d_e%d/copy", sh[0], sh[1]), func(b *testing.B) {
+			b.SetBytes(st.Size())
+			for i := 0; i < b.N; i++ {
+				snap, err := OpenSnapshot(snapPath, LoadOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				snap.Close()
+			}
+		})
+		if mmapSupported {
+			b.Run(fmt.Sprintf("v%d_e%d/mmap", sh[0], sh[1]), func(b *testing.B) {
+				b.SetBytes(st.Size())
+				for i := 0; i < b.N; i++ {
+					snap, err := OpenSnapshot(snapPath, LoadOptions{MMap: true})
+					if err != nil {
+						b.Fatal(err)
+					}
+					snap.Close()
+				}
+			})
+		}
+		b.Run(fmt.Sprintf("v%d_e%d/text", sh[0], sh[1]), func(b *testing.B) {
+			b.SetBytes(st.Size())
+			for i := 0; i < b.N; i++ {
+				if _, err := graph.Load(textPath); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFingerprintVerify(b *testing.B) {
+	g := benchGraph(b, 20_000, 200_000)
+	data, _, err := Encode(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(data, DecodeOptions{ZeroCopy: true, VerifyFingerprint: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

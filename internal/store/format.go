@@ -1,0 +1,439 @@
+// Package store is the durable graph store behind smatchd: a versioned
+// on-disk snapshot format for graph.Graph (the canonical CSR arrays
+// with per-section CRC32C and the sha256 fingerprint in the trailer),
+// an append-only CRC-framed WAL of registry operations, and a Manager
+// that wires both under internal/service so a restarted daemon
+// recovers every durably-registered graph — same names, monotonic
+// generations, verified integrity — before accepting traffic.
+//
+// Snapshot layout (all fixed-width fields little-endian):
+//
+//	header   (48 B)  magic, version, flags, |V|, |E|, section count,
+//	                 section-table CRC32C, header CRC32C
+//	table    (32 B per section)  id, offset, length, payload CRC32C
+//	sections (8-byte aligned)    labels, offsets, adjacency, label pairs
+//	trailer  (48 B)  sha256 fingerprint of the canonical CSR
+//	                 serialization (graph.FingerprintOf), file size,
+//	                 trailer magic, trailer CRC32C
+//
+// Every byte outside inter-section padding is covered by a CRC, so a
+// flipped bit anywhere that matters yields ErrCorrupt, never a wrong
+// graph. The sections are the raw CSR arrays, so a loader may either
+// copy them onto the heap or alias them zero-copy out of an mmap'd
+// file; both produce byte-identical graphs.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"unsafe"
+
+	"subgraphmatching/internal/graph"
+)
+
+// Typed failure classes. Every decode failure wraps one of these — a
+// transport or recovery loop branches with errors.Is, never on strings.
+var (
+	// ErrCorrupt reports a snapshot or WAL whose bytes fail validation:
+	// bad magic, CRC mismatch, truncation, or structural CSR violations.
+	ErrCorrupt = errors.New("store: corrupt")
+	// ErrVersion reports a well-formed snapshot written by a future
+	// format version (or carrying feature flags this build does not
+	// understand) — unreadable, but not damaged.
+	ErrVersion = errors.New("store: unsupported version")
+)
+
+const (
+	// snapMagic opens every snapshot file. The \x00 stops text tools
+	// from misreading the file; the final byte is a format generation
+	// that changes only on incompatible layout rewrites (field-level
+	// evolution uses the version word instead).
+	snapMagic = "SMSNAP\x001"
+	// FormatVersion is the current snapshot format version.
+	FormatVersion = 1
+
+	headerSize  = 48
+	sectionSize = 32
+	trailerSize = 48
+
+	trailerMagic = 0x52544d53 // "SMTR"
+
+	// flagLittleEndian marks the payload byte order. It is always set
+	// by this encoder; a loader rejects files without it (no
+	// big-endian writer exists).
+	flagLittleEndian = 1 << 0
+	knownFlags       = flagLittleEndian
+
+	// Section ids. Unknown ids are skipped on load (forward
+	// compatibility for additive sections within a version).
+	secLabels  = 1 // []uint32, len |V|
+	secOffsets = 2 // []int64, len |V|+1
+	secAdj     = 3 // []uint32, len 2|E|
+	secPairs   = 4 // (key uint64, count int64) pairs, sorted by key
+
+	// maxSections bounds the section table so a corrupt count cannot
+	// drive a huge allocation before the CRC check.
+	maxSections = 64
+)
+
+// castagnoli is the CRC32C table (iSCSI polynomial) — hardware
+// accelerated on amd64/arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// hostLittleEndian reports the running machine's byte order; the
+// zero-copy section casts are only valid when it matches the file's.
+var hostLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// corruptf builds an ErrCorrupt with location detail.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// section is one table entry.
+type section struct {
+	id     uint32
+	offset uint64
+	length uint64
+	crc    uint32
+}
+
+// u32bytes views a []uint32 as raw little-endian bytes (host must be
+// little-endian; the encoder falls back to an explicit encode
+// otherwise).
+func u32bytes(s []uint32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*4)
+}
+
+func i64bytes(s []int64) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*8)
+}
+
+// encodeU32s materializes s as little-endian bytes (big-endian host
+// fallback).
+func encodeU32s(s []uint32) []byte {
+	out := make([]byte, len(s)*4)
+	for i, v := range s {
+		binary.LittleEndian.PutUint32(out[i*4:], v)
+	}
+	return out
+}
+
+func encodeI64s(s []int64) []byte {
+	out := make([]byte, len(s)*8)
+	for i, v := range s {
+		binary.LittleEndian.PutUint64(out[i*8:], uint64(v))
+	}
+	return out
+}
+
+// sectionPayloads assembles the four section payloads for g. On a
+// little-endian host the CSR sections alias the graph's own arrays —
+// encoding is zero-copy except for the (small) label-pair section.
+func sectionPayloads(g *graph.Graph) (ids []uint32, payloads [][]byte) {
+	offsets, adj, labels := g.CSR()
+	pairKeys, pairCounts := g.LabelPairCounts()
+	pairs := make([]byte, len(pairKeys)*16)
+	for i := range pairKeys {
+		binary.LittleEndian.PutUint64(pairs[i*16:], pairKeys[i])
+		binary.LittleEndian.PutUint64(pairs[i*16+8:], uint64(pairCounts[i]))
+	}
+	var labelB, offB, adjB []byte
+	if hostLittleEndian {
+		labelB, offB, adjB = u32bytes(labels), i64bytes(offsets), u32bytes(adj)
+	} else {
+		labelB, offB, adjB = encodeU32s(labels), encodeI64s(offsets), encodeU32s(adj)
+	}
+	return []uint32{secLabels, secOffsets, secAdj, secPairs},
+		[][]byte{labelB, offB, adjB, pairs}
+}
+
+// align8 rounds n up to the next multiple of 8. Sections are 8-byte
+// aligned so the int64 offsets array can be cast in place out of an
+// mmap (page-aligned base + aligned file offset).
+func align8(n uint64) uint64 { return (n + 7) &^ 7 }
+
+// EncodedSize returns the exact snapshot size for g in bytes.
+func EncodedSize(g *graph.Graph) int64 {
+	n := uint64(g.NumVertices())
+	m := uint64(g.NumEdges())
+	keys, _ := g.LabelPairCounts()
+	size := uint64(headerSize + 4*sectionSize)
+	for _, l := range []uint64{4 * n, 8 * (n + 1), 8 * m, 16 * uint64(len(keys))} {
+		size = align8(size + l)
+	}
+	return int64(size + trailerSize)
+}
+
+// Encode serializes g into a new snapshot byte slice and returns it
+// with the graph's fingerprint. The result is entirely self-contained:
+// Decode(Encode(g)) reproduces a byte-identical CSR.
+func Encode(g *graph.Graph) ([]byte, graph.Fingerprint, error) {
+	if g == nil {
+		return nil, graph.Fingerprint{}, fmt.Errorf("store: nil graph")
+	}
+	ids, payloads := sectionPayloads(g)
+	tableOff := uint64(headerSize)
+	dataOff := align8(tableOff + uint64(len(ids))*sectionSize)
+
+	sections := make([]section, len(ids))
+	off := dataOff
+	for i, p := range payloads {
+		sections[i] = section{
+			id:     ids[i],
+			offset: off,
+			length: uint64(len(p)),
+			crc:    crc32.Checksum(p, castagnoli),
+		}
+		off = align8(off + uint64(len(p)))
+	}
+	total := off + trailerSize
+
+	buf := make([]byte, total)
+	// Section table (written before the header so the header can carry
+	// the table CRC).
+	for i, s := range sections {
+		ent := buf[tableOff+uint64(i)*sectionSize:]
+		binary.LittleEndian.PutUint32(ent[0:], s.id)
+		binary.LittleEndian.PutUint64(ent[8:], s.offset)
+		binary.LittleEndian.PutUint64(ent[16:], s.length)
+		binary.LittleEndian.PutUint32(ent[24:], s.crc)
+	}
+	tableBytes := buf[tableOff : tableOff+uint64(len(ids))*sectionSize]
+
+	// Header.
+	copy(buf[0:8], snapMagic)
+	binary.LittleEndian.PutUint32(buf[8:], FormatVersion)
+	binary.LittleEndian.PutUint32(buf[12:], flagLittleEndian)
+	binary.LittleEndian.PutUint64(buf[16:], uint64(g.NumVertices()))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(g.NumEdges()))
+	binary.LittleEndian.PutUint32(buf[32:], uint32(len(ids)))
+	binary.LittleEndian.PutUint32(buf[36:], crc32.Checksum(tableBytes, castagnoli))
+	binary.LittleEndian.PutUint32(buf[40:], crc32.Checksum(buf[:40], castagnoli))
+
+	// Payloads.
+	for i, p := range payloads {
+		copy(buf[sections[i].offset:], p)
+	}
+
+	// Trailer.
+	fp := graph.FingerprintOf(g)
+	tr := buf[total-trailerSize:]
+	copy(tr[0:32], fp[:])
+	binary.LittleEndian.PutUint64(tr[32:], total)
+	binary.LittleEndian.PutUint32(tr[40:], trailerMagic)
+	binary.LittleEndian.PutUint32(tr[44:], crc32.Checksum(tr[:44], castagnoli))
+	return buf, fp, nil
+}
+
+// DecodeOptions control how Decode materializes the graph.
+type DecodeOptions struct {
+	// ZeroCopy makes the returned graph's CSR slices alias data
+	// directly (requires a little-endian host and 8-byte aligned
+	// sections — both checked; misalignment falls back to copying).
+	// The caller must keep data immutable and alive for the graph's
+	// lifetime — this is the mmap load path.
+	ZeroCopy bool
+	// VerifyFingerprint additionally recomputes the sha256 fingerprint
+	// of the decoded CSR and compares it against the trailer — the
+	// full end-to-end integrity check fsck and verified startups use.
+	// Per-section CRCs are always checked regardless.
+	VerifyFingerprint bool
+}
+
+// Decode parses a snapshot, verifying the header, section-table,
+// per-section and trailer CRCs, and every structural CSR invariant.
+// Any mismatch yields an error wrapping ErrCorrupt (or ErrVersion for
+// well-formed future-version files) — never a panic, never a silently
+// wrong graph.
+func Decode(data []byte, opts DecodeOptions) (*graph.Graph, graph.Fingerprint, error) {
+	var fp graph.Fingerprint
+	if len(data) < headerSize+trailerSize {
+		return nil, fp, corruptf("file too short: %d bytes", len(data))
+	}
+	if string(data[0:8]) != snapMagic {
+		return nil, fp, corruptf("bad magic %q", data[0:8])
+	}
+	if got := crc32.Checksum(data[:40], castagnoli); got != binary.LittleEndian.Uint32(data[40:]) {
+		return nil, fp, corruptf("header CRC mismatch")
+	}
+	version := binary.LittleEndian.Uint32(data[8:])
+	if version != FormatVersion {
+		return nil, fp, fmt.Errorf("%w: snapshot version %d, this build reads %d", ErrVersion, version, FormatVersion)
+	}
+	flags := binary.LittleEndian.Uint32(data[12:])
+	if flags&^uint32(knownFlags) != 0 {
+		return nil, fp, fmt.Errorf("%w: unknown feature flags %#x", ErrVersion, flags&^uint32(knownFlags))
+	}
+	if flags&flagLittleEndian == 0 {
+		return nil, fp, fmt.Errorf("%w: big-endian payload", ErrVersion)
+	}
+	numVertices := binary.LittleEndian.Uint64(data[16:])
+	numEdges := binary.LittleEndian.Uint64(data[24:])
+	// The counts are CRC-protected, but bound them anyway so the
+	// arithmetic below cannot overflow on a crafted header.
+	if numVertices > 1<<40 || numEdges > 1<<40 {
+		return nil, fp, corruptf("implausible counts |V|=%d |E|=%d", numVertices, numEdges)
+	}
+	sectionCount := binary.LittleEndian.Uint32(data[32:])
+	if sectionCount > maxSections {
+		return nil, fp, corruptf("section count %d exceeds limit %d", sectionCount, maxSections)
+	}
+	tableEnd := uint64(headerSize) + uint64(sectionCount)*sectionSize
+	if tableEnd > uint64(len(data)-trailerSize) {
+		return nil, fp, corruptf("section table overruns file")
+	}
+	tableBytes := data[headerSize:tableEnd]
+	if got := crc32.Checksum(tableBytes, castagnoli); got != binary.LittleEndian.Uint32(data[36:]) {
+		return nil, fp, corruptf("section table CRC mismatch")
+	}
+
+	// Trailer.
+	tr := data[len(data)-trailerSize:]
+	if got := crc32.Checksum(tr[:44], castagnoli); got != binary.LittleEndian.Uint32(tr[44:]) {
+		return nil, fp, corruptf("trailer CRC mismatch")
+	}
+	if binary.LittleEndian.Uint32(tr[40:]) != trailerMagic {
+		return nil, fp, corruptf("bad trailer magic")
+	}
+	if sz := binary.LittleEndian.Uint64(tr[32:]); sz != uint64(len(data)) {
+		return nil, fp, corruptf("trailer records %d bytes, file has %d (truncated or grown)", sz, len(data))
+	}
+	copy(fp[:], tr[0:32])
+
+	// Sections: locate, bounds-check, CRC.
+	var labelSec, offSec, adjSec, pairSec *section
+	sections := make([]section, sectionCount)
+	for i := range sections {
+		ent := tableBytes[i*sectionSize:]
+		s := &sections[i]
+		s.id = binary.LittleEndian.Uint32(ent[0:])
+		s.offset = binary.LittleEndian.Uint64(ent[8:])
+		s.length = binary.LittleEndian.Uint64(ent[16:])
+		s.crc = binary.LittleEndian.Uint32(ent[24:])
+		if s.offset%8 != 0 {
+			return nil, fp, corruptf("section %d misaligned at offset %d", s.id, s.offset)
+		}
+		if s.offset < tableEnd || s.offset+s.length < s.offset ||
+			s.offset+s.length > uint64(len(data)-trailerSize) {
+			return nil, fp, corruptf("section %d [%d,+%d) outside payload region", s.id, s.offset, s.length)
+		}
+		if got := crc32.Checksum(data[s.offset:s.offset+s.length], castagnoli); got != s.crc {
+			return nil, fp, corruptf("section %d CRC mismatch", s.id)
+		}
+		switch s.id {
+		case secLabels:
+			labelSec = s
+		case secOffsets:
+			offSec = s
+		case secAdj:
+			adjSec = s
+		case secPairs:
+			pairSec = s
+			// Unknown section ids are valid additive extensions; their CRC
+			// was still verified above.
+		}
+	}
+	if labelSec == nil || offSec == nil || adjSec == nil {
+		return nil, fp, corruptf("missing required section (labels/offsets/adjacency)")
+	}
+	if labelSec.length != 4*numVertices {
+		return nil, fp, corruptf("labels section %d bytes, want %d for %d vertices", labelSec.length, 4*numVertices, numVertices)
+	}
+	if offSec.length != 8*(numVertices+1) {
+		return nil, fp, corruptf("offsets section %d bytes, want %d", offSec.length, 8*(numVertices+1))
+	}
+	if adjSec.length != 8*numEdges {
+		return nil, fp, corruptf("adjacency section %d bytes, want %d for %d edges", adjSec.length, 8*numEdges, numEdges)
+	}
+
+	labels := decodeU32Section(data, labelSec, opts.ZeroCopy)
+	offsets := decodeI64Section(data, offSec, opts.ZeroCopy)
+	adj := decodeU32Section(data, adjSec, opts.ZeroCopy)
+
+	var pairKeys []uint64
+	var pairCounts []int64
+	if pairSec != nil {
+		if pairSec.length%16 != 0 {
+			return nil, fp, corruptf("label-pair section length %d not a multiple of 16", pairSec.length)
+		}
+		k := int(pairSec.length / 16)
+		pairKeys = make([]uint64, k)
+		pairCounts = make([]int64, k)
+		p := data[pairSec.offset : pairSec.offset+pairSec.length]
+		for i := 0; i < k; i++ {
+			pairKeys[i] = binary.LittleEndian.Uint64(p[i*16:])
+			pairCounts[i] = int64(binary.LittleEndian.Uint64(p[i*16+8:]))
+		}
+	}
+
+	g, err := graph.FromCSR(offsets, adj, labels, pairKeys, pairCounts)
+	if err != nil {
+		return nil, fp, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if opts.VerifyFingerprint {
+		if got := graph.FingerprintOf(g); got != fp {
+			return nil, fp, corruptf("fingerprint mismatch: CSR hashes to %x, trailer says %x", got[:8], fp[:8])
+		}
+	}
+	return g, fp, nil
+}
+
+// decodeU32Section returns the section as []uint32, aliasing data when
+// the zero-copy preconditions hold and copying otherwise.
+func decodeU32Section(data []byte, s *section, zeroCopy bool) []uint32 {
+	b := data[s.offset : s.offset+s.length]
+	n := int(s.length / 4)
+	if n == 0 {
+		return nil
+	}
+	if zeroCopy && hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]uint32, n)
+	if hostLittleEndian {
+		copy(u32bytes(out), b)
+	} else {
+		for i := range out {
+			out[i] = binary.LittleEndian.Uint32(b[i*4:])
+		}
+	}
+	return out
+}
+
+func decodeI64Section(data []byte, s *section, zeroCopy bool) []int64 {
+	b := data[s.offset : s.offset+s.length]
+	n := int(s.length / 8)
+	if n == 0 {
+		return nil
+	}
+	if zeroCopy && hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]int64, n)
+	if hostLittleEndian {
+		copy(i64bytes(out), b)
+	} else {
+		for i := range out {
+			out[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
+		}
+	}
+	return out
+}
+
+// SniffSnapshot reports whether the byte prefix looks like a snapshot
+// file — the loaders use it to accept either text graphs or snapshots
+// on the same flag.
+func SniffSnapshot(prefix []byte) bool {
+	return len(prefix) >= 8 && string(prefix[0:8]) == snapMagic
+}

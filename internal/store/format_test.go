@@ -1,0 +1,189 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math/rand"
+	"testing"
+
+	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/testutil"
+)
+
+// testGraph is a mid-sized random graph shared by the format tests.
+func testGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	return testutil.RandomGraph(rng, 200, 900, 5)
+}
+
+// sameCSR asserts the two graphs have byte-identical CSR arrays.
+func sameCSR(t *testing.T, got, want *graph.Graph) {
+	t.Helper()
+	go1, ga1, gl1 := got.CSR()
+	wo1, wa1, wl1 := want.CSR()
+	if len(go1) != len(wo1) || len(ga1) != len(wa1) || len(gl1) != len(wl1) {
+		t.Fatalf("CSR array lengths differ: (%d,%d,%d) vs (%d,%d,%d)",
+			len(go1), len(ga1), len(gl1), len(wo1), len(wa1), len(wl1))
+	}
+	for i := range go1 {
+		if go1[i] != wo1[i] {
+			t.Fatalf("offsets[%d] = %d, want %d", i, go1[i], wo1[i])
+		}
+	}
+	for i := range ga1 {
+		if ga1[i] != wa1[i] {
+			t.Fatalf("adj[%d] = %d, want %d", i, ga1[i], wa1[i])
+		}
+	}
+	for i := range gl1 {
+		if gl1[i] != wl1[i] {
+			t.Fatalf("labels[%d] = %d, want %d", i, gl1[i], wl1[i])
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, zeroCopy := range []bool{false, true} {
+		g := testGraph(t)
+		data, fp, err := Encode(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp != graph.FingerprintOf(g) {
+			t.Fatal("Encode returned a fingerprint that is not FingerprintOf(g)")
+		}
+		if int64(len(data)) != EncodedSize(g) {
+			t.Fatalf("encoded %d bytes, EncodedSize says %d", len(data), EncodedSize(g))
+		}
+		g2, fp2, err := Decode(data, DecodeOptions{ZeroCopy: zeroCopy, VerifyFingerprint: true})
+		if err != nil {
+			t.Fatalf("zeroCopy=%v: %v", zeroCopy, err)
+		}
+		if fp2 != fp {
+			t.Fatalf("zeroCopy=%v: fingerprint changed across round trip", zeroCopy)
+		}
+		sameCSR(t, g2, g)
+		if g2.MaxDegree() != g.MaxDegree() || g2.NumLabels() != g.NumLabels() {
+			t.Fatalf("zeroCopy=%v: derived state differs", zeroCopy)
+		}
+	}
+}
+
+func TestEncodeDecodeEmptyAndTiny(t *testing.T) {
+	single, err := graph.FromEdges([]graph.Label{3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := graph.FromEdges([]graph.Label{0, 1}, [][2]graph.Vertex{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []*graph.Graph{single, pair} {
+		data, fp, err := Encode(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, fp2, err := Decode(data, DecodeOptions{VerifyFingerprint: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp2 != fp {
+			t.Fatal("fingerprint mismatch")
+		}
+		sameCSR(t, g2, g)
+	}
+}
+
+// TestDecodeCorruption is the robustness satellite: a flipped bit in
+// any meaningful region, a truncation, a bad magic, or a future
+// version must produce the right typed error — never a panic, never a
+// silently wrong graph.
+func TestDecodeCorruption(t *testing.T) {
+	g := testGraph(t)
+	data, _, err := Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("bad magic", func(t *testing.T) {
+		b := append([]byte(nil), data...)
+		b[0] ^= 0xff
+		if _, _, err := Decode(b, DecodeOptions{}); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("got %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("future version", func(t *testing.T) {
+		b := append([]byte(nil), data...)
+		binary.LittleEndian.PutUint32(b[8:], FormatVersion+1)
+		// Rewrite the header CRC so the version check, not the CRC, fires:
+		// a future writer would have produced a valid header.
+		binary.LittleEndian.PutUint32(b[40:], crcOf(b[:40]))
+		if _, _, err := Decode(b, DecodeOptions{}); !errors.Is(err, ErrVersion) {
+			t.Fatalf("got %v, want ErrVersion", err)
+		}
+	})
+	t.Run("unknown flags", func(t *testing.T) {
+		b := append([]byte(nil), data...)
+		binary.LittleEndian.PutUint32(b[12:], flagLittleEndian|1<<7)
+		binary.LittleEndian.PutUint32(b[40:], crcOf(b[:40]))
+		if _, _, err := Decode(b, DecodeOptions{}); !errors.Is(err, ErrVersion) {
+			t.Fatalf("got %v, want ErrVersion", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for _, n := range []int{0, 7, headerSize - 1, headerSize + 10, len(data) / 2, len(data) - 1} {
+			if _, _, err := Decode(data[:n], DecodeOptions{}); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("truncated to %d bytes: got %v, want ErrCorrupt", n, err)
+			}
+		}
+	})
+	t.Run("grown", func(t *testing.T) {
+		b := append(append([]byte(nil), data...), 0, 0, 0, 0)
+		if _, _, err := Decode(b, DecodeOptions{}); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("got %v, want ErrCorrupt", err)
+		}
+	})
+
+	// Flip one bit in every region of the file: header, section table,
+	// each section payload, trailer. Padding bytes between sections are
+	// the only bytes no CRC covers, so a flip there may legitimately
+	// decode — but then it must decode to the identical graph.
+	t.Run("flipped bits", func(t *testing.T) {
+		want, _, err := Decode(data, DecodeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		step := len(data)/97 + 1
+		for off := 0; off < len(data); off += step {
+			b := append([]byte(nil), data...)
+			b[off] ^= 1 << uint(off%8)
+			g2, _, derr := Decode(b, DecodeOptions{VerifyFingerprint: true})
+			if derr == nil {
+				sameCSR(t, g2, want)
+				continue
+			}
+			if !errors.Is(derr, ErrCorrupt) && !errors.Is(derr, ErrVersion) {
+				t.Fatalf("flip at %d: untyped error %v", off, derr)
+			}
+		}
+	})
+
+	// A header that lies about counts in a way that would overflow the
+	// section-length arithmetic must be rejected, not crash.
+	t.Run("implausible counts", func(t *testing.T) {
+		b := append([]byte(nil), data...)
+		binary.LittleEndian.PutUint64(b[16:], 1<<62)
+		binary.LittleEndian.PutUint32(b[40:], crcOf(b[:40]))
+		if _, _, err := Decode(b, DecodeOptions{}); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("got %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+// crcOf is a test helper for rewriting CRCs after intentional header
+// mutations.
+func crcOf(b []byte) uint32 {
+	return crc32.Checksum(b, castagnoli)
+}

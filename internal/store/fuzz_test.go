@@ -1,0 +1,67 @@
+package store
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/testutil"
+)
+
+// FuzzSnapshotRoundTrip feeds mutated snapshot bytes to Decode. The
+// invariant under fuzzing: Decode either fails with a typed error
+// (ErrCorrupt / ErrVersion) or yields a graph whose recomputed
+// fingerprint matches the trailer — it never panics and never returns
+// a silently wrong graph. Valid inputs must round-trip byte-identically.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	rng := rand.New(rand.NewSource(11))
+	for _, shape := range [][3]int{{1, 0, 1}, {4, 4, 2}, {40, 120, 3}, {120, 500, 6}} {
+		g := testutil.RandomGraph(rng, shape[0], shape[1], shape[2])
+		data, _, err := Encode(g)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		// A few mutated seeds steer the fuzzer toward interesting regions.
+		for _, off := range []int{0, 9, 17, 40, headerSize + 5, len(data) / 2, len(data) - 10} {
+			if off < len(data) {
+				mut := append([]byte(nil), data...)
+				mut[off] ^= 0x40
+				f.Add(mut)
+			}
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte(snapMagic))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, fp, err := Decode(data, DecodeOptions{VerifyFingerprint: true})
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		// Decode accepted the bytes: the graph must be internally
+		// consistent and re-encode to a decodable snapshot with the same
+		// fingerprint.
+		if got := graph.FingerprintOf(g); got != fp {
+			t.Fatalf("accepted graph hashes to %x, trailer says %x", got[:8], fp[:8])
+		}
+		re, fp2, err := Encode(g)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if fp2 != fp {
+			t.Fatalf("re-encode changed fingerprint")
+		}
+		g2, _, err := Decode(re, DecodeOptions{VerifyFingerprint: true})
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if graph.FingerprintOf(g2) != fp {
+			t.Fatalf("second round trip changed the graph")
+		}
+	})
+}

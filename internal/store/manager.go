@@ -1,0 +1,529 @@
+package store
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/service"
+)
+
+// ErrNotDurable reports an operation that took effect in the in-memory
+// registry but could not be made durable (snapshot or WAL write
+// failure). The graph serves traffic; a restart may lose it.
+var ErrNotDurable = errors.New("store: operation applied but not durable")
+
+// Options configure a Manager.
+type Options struct {
+	// Dir is the data directory (created if absent): MANIFEST, wal.log
+	// and snapshots/ live under it.
+	Dir string
+	// MMap loads snapshots via mmap instead of heap copies — see
+	// LoadOptions.MMap.
+	MMap bool
+	// VerifyFingerprint makes recovery recompute every snapshot's full
+	// sha256 fingerprint, not just the per-section CRCs (slower start,
+	// end-to-end certainty; fsck always does this).
+	VerifyFingerprint bool
+	// CompactEvery triggers WAL compaction into a manifest checkpoint
+	// after this many appended records. 0 means the default of 64;
+	// negative disables automatic compaction (Compact still works).
+	CompactEvery int
+	// Logf receives recovery warnings (skipped snapshots, torn WAL
+	// tails). Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// walName is the registry operation log inside the data directory.
+const walName = "wal.log"
+
+// entryState is the durable view of one registered name.
+type entryState struct {
+	gen  uint64
+	fp   graph.Fingerprint
+	snap string // snapshot filename, relative to snapshots/
+}
+
+// RecoveryStats summarize a Manager's startup replay — /healthz
+// reports them so an operator can see what a restart recovered.
+type RecoveryStats struct {
+	// Recovered is the number of graphs restored into the registry.
+	Recovered int `json:"recovered"`
+	// Skipped counts durable entries whose snapshot failed verification
+	// and were dropped with a warning instead of failing the restart.
+	Skipped int `json:"skipped"`
+	// WALRecords is how many intact log records replay applied.
+	WALRecords int `json:"wal_records"`
+	// TornTail reports that replay found (and truncated) a torn record
+	// at the log's tail — the signature of a crash mid-append.
+	TornTail bool `json:"torn_tail"`
+	// Duration is the wall-clock recovery time.
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// Stats is the store's operational snapshot for /healthz.
+type Stats struct {
+	Dir        string        `json:"dir"`
+	MMap       bool          `json:"mmap"`
+	Graphs     int           `json:"graphs"`
+	Snapshots  int           `json:"snapshots"`
+	SnapBytes  int64         `json:"snapshot_bytes"`
+	WALBytes   int64         `json:"wal_bytes"`
+	WALRecords int           `json:"wal_records"`
+	Recovery   RecoveryStats `json:"recovery"`
+}
+
+// Manager wires the snapshot format and the WAL under a
+// service.Service: registrations persist a snapshot then append a log
+// record; Open replays the log and repopulates the registry with the
+// same names and monotonic generations, so the plan cache's liveGen
+// fencing and hot-swap invalidation work unchanged across restarts.
+//
+// All mutating operations serialize on one mutex — registrations are
+// operator-rate, and the ordering guarantees (snapshot before WAL
+// record, WAL record before compaction GC) depend on it.
+type Manager struct {
+	opts Options
+	svc  *service.Service
+
+	mu        sync.Mutex
+	wal       *walWriter
+	refs      map[string]entryState
+	snapSizes map[string]int64 // snapshot filename -> bytes, for GC + stats
+	maxGen    uint64
+	sinceComp int // WAL records appended since the last compaction
+	closed    bool
+	recovery  RecoveryStats
+	snaps     []*Snapshot // open mmaps, released at Close
+
+	// metrics (registered on the service's obs registry).
+	mSnapshots  *obsCounter
+	mWALRecords *obsCounter
+
+	// testHook, when set, runs at each durability step boundary
+	// ("snapshot", "registry", "wal") and aborts the operation when it
+	// returns an error — the crash-recovery harness drives it.
+	testHook func(step string) error
+}
+
+// obsCounter decouples the manager from obs when no service registry
+// is attached (fsck, tests on bare dirs).
+type obsCounter struct{ inc func(uint64) }
+
+func (c *obsCounter) add(n uint64) {
+	if c != nil && c.inc != nil {
+		c.inc(n)
+	}
+}
+
+// Open creates (or reopens) the data directory, replays the manifest
+// and WAL, loads every live snapshot, and repopulates svc's registry.
+// A snapshot that fails verification is skipped with a warning — one
+// corrupt file never takes down the whole restart. The returned
+// Manager persists all subsequent registrations made through it.
+func Open(svc *service.Service, opts Options) (*Manager, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("store: empty data directory")
+	}
+	if opts.CompactEvery == 0 {
+		opts.CompactEvery = 64
+	}
+	if err := os.MkdirAll(filepath.Join(opts.Dir, snapshotsDir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	m := &Manager{
+		opts:      opts,
+		svc:       svc,
+		refs:      make(map[string]entryState),
+		snapSizes: make(map[string]int64),
+	}
+	if svc != nil {
+		reg := svc.Metrics()
+		snaps := reg.Counter("smatch_store_snapshots_total",
+			"Snapshot files written by the durable store.")
+		walRecs := reg.Counter("smatch_store_wal_records_total",
+			"Registry WAL records appended.")
+		m.mSnapshots = &obsCounter{inc: snaps.Add}
+		m.mWALRecords = &obsCounter{inc: walRecs.Add}
+		reg.GaugeFunc("smatch_store_recovery_seconds",
+			"Wall-clock duration of the last startup recovery.", func() float64 {
+				return m.RecoveryStats().Duration.Seconds()
+			})
+		reg.GaugeFunc("smatch_store_bytes",
+			"Bytes held by the durable store (snapshots + WAL).", func() float64 {
+				st := m.Stats()
+				return float64(st.SnapBytes + st.WALBytes)
+			})
+		reg.GaugeFunc("smatch_store_wal_records",
+			"Registry WAL records since the last compaction.", func() float64 {
+				return float64(m.Stats().WALRecords)
+			})
+	}
+	if err := m.recover(); err != nil {
+		return nil, err
+	}
+	wal, err := openWAL(filepath.Join(opts.Dir, walName))
+	if err != nil {
+		return nil, err
+	}
+	m.wal = wal
+	return m, nil
+}
+
+func (m *Manager) logf(format string, args ...any) {
+	if m.opts.Logf != nil {
+		m.opts.Logf(format, args...)
+	}
+}
+
+// replayState folds the manifest and WAL into the final durable view.
+func replayState(dir string) (refs map[string]entryState, maxGen uint64, walRecords int, torn bool, err error) {
+	man, err := readManifest(dir)
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	refs = make(map[string]entryState)
+	maxGen = man.NextGen
+	for _, e := range man.Graphs {
+		fp, ferr := e.fingerprint()
+		if ferr != nil {
+			return nil, 0, 0, false, ferr
+		}
+		refs[e.Name] = entryState{gen: e.Generation, fp: fp, snap: e.Snapshot}
+		if e.Generation > maxGen {
+			maxGen = e.Generation
+		}
+	}
+	walRecords, _, torn, err = replayWAL(filepath.Join(dir, walName), func(r walRecord) {
+		if r.gen > maxGen {
+			maxGen = r.gen
+		}
+		cur, ok := refs[r.name]
+		switch r.op {
+		case walOpRegister:
+			// Generation-compared apply keeps replay idempotent: a record
+			// already folded into the manifest (compaction crashed before
+			// the truncate) re-applies as a no-op.
+			if !ok || r.gen > cur.gen {
+				refs[r.name] = entryState{gen: r.gen, fp: r.fp, snap: r.snap}
+			}
+		case walOpUnregister:
+			if ok && cur.gen <= r.gen {
+				delete(refs, r.name)
+			}
+		}
+	})
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	return refs, maxGen, walRecords, torn, nil
+}
+
+// recover rebuilds the in-memory registry from the durable state.
+func (m *Manager) recover() error {
+	start := time.Now()
+	refs, maxGen, walRecords, torn, err := replayState(m.opts.Dir)
+	if err != nil {
+		return err
+	}
+	m.recovery.WALRecords = walRecords
+	m.recovery.TornTail = torn
+	if torn {
+		m.logf("store: truncated torn WAL tail (crash mid-append)")
+	}
+
+	// Deterministic restore order so logs and tests are stable.
+	names := make([]string, 0, len(refs))
+	for name := range refs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	now := time.Now()
+	for _, name := range names {
+		st := refs[name]
+		path := filepath.Join(m.opts.Dir, snapshotsDir, st.snap)
+		snap, oerr := OpenSnapshot(path, LoadOptions{MMap: m.opts.MMap, VerifyFingerprint: m.opts.VerifyFingerprint})
+		if oerr == nil && snap.Fingerprint != st.fp {
+			snap.Close()
+			oerr = corruptf("snapshot %s carries fingerprint %s, registry expects %s",
+				st.snap, hex.EncodeToString(snap.Fingerprint[:8]), hex.EncodeToString(st.fp[:8]))
+		}
+		if oerr != nil {
+			// One bad snapshot never fails the restart: skip the graph,
+			// keep serving the rest. The entry stays out of refs, so the
+			// next compaction drops it from the manifest and GCs the file.
+			m.logf("store: skipping graph %q: %v", name, oerr)
+			m.recovery.Skipped++
+			delete(refs, name)
+			continue
+		}
+		if m.svc != nil {
+			if _, rerr := m.svc.RestoreGraph(name, snap.Graph, st.gen, now); rerr != nil {
+				snap.Close()
+				return fmt.Errorf("store: restore %q: %w", name, rerr)
+			}
+		}
+		m.snaps = append(m.snaps, snap)
+		m.snapSizes[st.snap] = snap.Size
+		m.recovery.Recovered++
+	}
+	if m.svc != nil {
+		m.svc.SetGenerationFloor(maxGen)
+	}
+	m.refs = refs
+	m.maxGen = maxGen
+	m.recovery.Duration = time.Since(start)
+	return nil
+}
+
+// hook runs the crash-harness injection point.
+func (m *Manager) hook(step string) error {
+	if m.testHook != nil {
+		return m.testHook(step)
+	}
+	return nil
+}
+
+// writeSnapshot persists the graph's bytes content-addressed under
+// snapshots/, reusing an existing file for identical content, and
+// returns the relative filename. data is the pre-encoded form when the
+// caller already holds it (snapshot uploads), nil to encode g here.
+func (m *Manager) writeSnapshot(g *graph.Graph, data []byte, fp graph.Fingerprint) (string, error) {
+	if data == nil {
+		var err error
+		data, fp, err = Encode(g)
+		if err != nil {
+			return "", err
+		}
+	}
+	name := snapshotFileName(fp)
+	path := filepath.Join(m.opts.Dir, snapshotsDir, name)
+	if st, serr := os.Stat(path); serr == nil && st.Size() == int64(len(data)) {
+		// Content-addressed hit: the bytes are already durable.
+		m.snapSizes[name] = st.Size()
+		return name, nil
+	}
+	if err := m.hook("snapshot"); err != nil {
+		return "", err
+	}
+	if err := writeFileAtomic(path, data); err != nil {
+		return "", err
+	}
+	m.snapSizes[name] = int64(len(data))
+	m.mSnapshots.add(1)
+	return name, nil
+}
+
+// RegisterGraph persists g (snapshot, then registry, then WAL record)
+// and registers it under name. The write order bounds what a crash can
+// lose: before the WAL append the registration simply never happened;
+// after it, recovery restores the graph exactly. An error wrapping
+// ErrNotDurable means the graph is serving but a restart may drop it.
+func (m *Manager) RegisterGraph(name string, g *graph.Graph, replace bool) (service.GraphInfo, error) {
+	return m.register(name, g, nil, graph.FingerprintOf(g), replace)
+}
+
+// RegisterSnapshot registers pre-encoded snapshot bytes (the
+// application/x-smatch-snapshot upload path): the bytes are verified
+// by Decode, persisted verbatim, and the decoded graph — zero-copy
+// over data — is registered. data must not be modified afterwards.
+func (m *Manager) RegisterSnapshot(name string, data []byte, replace bool) (service.GraphInfo, error) {
+	g, fp, err := Decode(data, DecodeOptions{ZeroCopy: true})
+	if err != nil {
+		return service.GraphInfo{}, err
+	}
+	return m.register(name, g, data, fp, replace)
+}
+
+func (m *Manager) register(name string, g *graph.Graph, encoded []byte, fp graph.Fingerprint, replace bool) (service.GraphInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return service.GraphInfo{}, fmt.Errorf("store: closed")
+	}
+	snapName, err := m.writeSnapshot(g, encoded, fp)
+	if err != nil {
+		return service.GraphInfo{}, err
+	}
+	if err := m.hook("registry"); err != nil {
+		return service.GraphInfo{}, err
+	}
+	info, err := m.svc.RegisterGraph(name, g, replace)
+	if err != nil {
+		// The snapshot file may be orphaned; compaction GCs it.
+		return service.GraphInfo{}, err
+	}
+	if err := m.hook("wal"); err != nil {
+		return info, fmt.Errorf("%w: %v", ErrNotDurable, err)
+	}
+	rec := walRecord{op: walOpRegister, gen: info.Generation, fp: fp, name: name, snap: snapName}
+	if err := m.wal.append(rec); err != nil {
+		return info, fmt.Errorf("%w: %v", ErrNotDurable, err)
+	}
+	m.refs[name] = entryState{gen: info.Generation, fp: fp, snap: snapName}
+	if info.Generation > m.maxGen {
+		m.maxGen = info.Generation
+	}
+	m.mWALRecords.add(1)
+	m.sinceComp++
+	m.maybeCompactLocked()
+	return info, nil
+}
+
+// UnregisterGraph removes the graph from the registry and logs the
+// removal; the snapshot file is garbage-collected at the next
+// compaction (another name may still reference it).
+func (m *Manager) UnregisterGraph(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return fmt.Errorf("store: closed")
+	}
+	gen, err := m.svc.UnregisterGraph(name)
+	if err != nil {
+		return err
+	}
+	if err := m.hook("wal"); err != nil {
+		return fmt.Errorf("%w: %v", ErrNotDurable, err)
+	}
+	if err := m.wal.append(walRecord{op: walOpUnregister, gen: gen, name: name}); err != nil {
+		return fmt.Errorf("%w: %v", ErrNotDurable, err)
+	}
+	delete(m.refs, name)
+	m.mWALRecords.add(1)
+	m.sinceComp++
+	m.maybeCompactLocked()
+	return nil
+}
+
+func (m *Manager) maybeCompactLocked() {
+	if m.opts.CompactEvery > 0 && m.sinceComp >= m.opts.CompactEvery {
+		if err := m.compactLocked(); err != nil {
+			m.logf("store: compaction failed: %v", err)
+		}
+	}
+}
+
+// Compact checkpoints the live state into the manifest, truncates the
+// WAL, and deletes unreferenced snapshot files.
+func (m *Manager) Compact() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return fmt.Errorf("store: closed")
+	}
+	return m.compactLocked()
+}
+
+func (m *Manager) compactLocked() error {
+	man := &manifest{Version: 1, NextGen: m.maxGen}
+	names := make([]string, 0, len(m.refs))
+	for name := range m.refs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	live := make(map[string]bool, len(names))
+	for _, name := range names {
+		st := m.refs[name]
+		man.Graphs = append(man.Graphs, manifestEntry{
+			Name:        name,
+			Generation:  st.gen,
+			Fingerprint: hex.EncodeToString(st.fp[:]),
+			Snapshot:    st.snap,
+		})
+		live[st.snap] = true
+	}
+	if err := writeManifest(m.opts.Dir, man); err != nil {
+		return err
+	}
+	// The manifest now owns the state; the log can restart empty. A
+	// crash before the truncate replays already-checkpointed records,
+	// which the generation-compared apply makes a no-op.
+	if err := m.wal.reset(); err != nil {
+		return err
+	}
+	m.sinceComp = 0
+
+	// GC snapshots nothing references. Registrations serialize on m.mu,
+	// so no snapshot can be written-but-unlogged while we scan.
+	dir := filepath.Join(m.opts.Dir, snapshotsDir)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || live[e.Name()] {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, e.Name())); err == nil {
+			delete(m.snapSizes, e.Name())
+		}
+	}
+	return nil
+}
+
+// RecoveryStats returns the startup replay summary.
+func (m *Manager) RecoveryStats() RecoveryStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.recovery
+}
+
+// Stats snapshots the store's operational state.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := Stats{
+		Dir:      m.opts.Dir,
+		MMap:     m.opts.MMap,
+		Graphs:   len(m.refs),
+		Recovery: m.recovery,
+	}
+	seen := make(map[string]bool)
+	for _, e := range m.refs {
+		if !seen[e.snap] {
+			seen[e.snap] = true
+			st.Snapshots++
+			st.SnapBytes += m.snapSizes[e.snap]
+		}
+	}
+	if m.wal != nil {
+		st.WALBytes = m.wal.size
+		st.WALRecords = m.wal.records
+	}
+	return st
+}
+
+// Close checkpoints (so the next start replays an empty WAL), closes
+// the log, and releases every mmap. The service must have drained —
+// mmap-loaded graphs are invalid after Close.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	var first error
+	if m.wal != nil {
+		if err := m.compactLocked(); err != nil && first == nil {
+			first = err
+		}
+		if err := m.wal.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, s := range m.snaps {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	m.snaps = nil
+	return first
+}

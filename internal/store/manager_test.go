@@ -1,0 +1,398 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/service"
+	"subgraphmatching/internal/testutil"
+)
+
+// newManager opens a fresh service + manager over dir. Callers that
+// simulate a crash simply abandon the pair: for in-process state that
+// is indistinguishable from SIGKILL (the page cache holds everything
+// the manager fsynced).
+func newManager(t *testing.T, dir string, opts Options) (*service.Service, *Manager) {
+	t.Helper()
+	opts.Dir = dir
+	svc := service.New(service.Config{})
+	m, err := Open(svc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, m
+}
+
+func randomGraphs(seed int64, n int) []*graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*graph.Graph, n)
+	for i := range out {
+		out[i] = testutil.RandomGraph(rng, 30+rng.Intn(40), 100+rng.Intn(150), 4)
+	}
+	return out
+}
+
+func TestManagerRestartRecoversGraphs(t *testing.T) {
+	dir := t.TempDir()
+	gs := randomGraphs(1, 3)
+
+	svc1, m1 := newManager(t, dir, Options{})
+	infos := make(map[string]service.GraphInfo)
+	for i, g := range gs {
+		name := fmt.Sprintf("g%d", i)
+		info, err := m1.RegisterGraph(name, g, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		infos[name] = info
+	}
+	// Replace g1 so recovery must restore the *new* generation.
+	info, err := m1.RegisterGraph("g1", gs[2], true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos["g1"] = info
+	if err := m1.UnregisterGraph("g2"); err != nil {
+		t.Fatal(err)
+	}
+	delete(infos, "g2")
+	svc1.Close()
+	// No m1.Close(): the "process" dies here.
+
+	svc2, m2 := newManager(t, dir, Options{})
+	defer m2.Close()
+	defer svc2.Close()
+	rec := m2.RecoveryStats()
+	if rec.Recovered != len(infos) || rec.Skipped != 0 {
+		t.Fatalf("recovered %d skipped %d, want %d/0", rec.Recovered, rec.Skipped, len(infos))
+	}
+	for _, gi := range svc2.Graphs() {
+		want, ok := infos[gi.Name]
+		if !ok {
+			t.Fatalf("recovered unexpected graph %q", gi.Name)
+		}
+		if gi.Generation != want.Generation {
+			t.Fatalf("%s: generation %d, want %d", gi.Name, gi.Generation, want.Generation)
+		}
+		if gi.Vertices != want.Vertices || gi.Edges != want.Edges {
+			t.Fatalf("%s: shape (%d,%d), want (%d,%d)", gi.Name, gi.Vertices, gi.Edges, want.Vertices, want.Edges)
+		}
+	}
+	// Unregistered names must stay gone.
+	if got := len(svc2.Graphs()); got != len(infos) {
+		t.Fatalf("%d graphs after restart, want %d", got, len(infos))
+	}
+	// Post-recovery registrations are strictly newer than anything the
+	// old process issued — including the unregistered g2.
+	ni, err := m2.RegisterGraph("fresh", gs[0], false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, old := range infos {
+		if ni.Generation <= old.Generation {
+			t.Fatalf("new generation %d not above recovered %d", ni.Generation, old.Generation)
+		}
+	}
+}
+
+// TestManagerCrashAtEveryStep drives the write hook to abort a
+// registration at each durability step boundary, then reopens the
+// directory and checks prefix consistency: either the registration
+// never happened, or it is fully there. Nothing in between.
+func TestManagerCrashAtEveryStep(t *testing.T) {
+	gs := randomGraphs(2, 2)
+	for _, step := range []string{"snapshot", "registry", "wal"} {
+		t.Run(step, func(t *testing.T) {
+			dir := t.TempDir()
+			svc1, m1 := newManager(t, dir, Options{})
+			base, err := m1.RegisterGraph("base", gs[0], false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m1.testHook = func(s string) error {
+				if s == step {
+					return fmt.Errorf("injected crash at %s", s)
+				}
+				return nil
+			}
+			_, rerr := m1.RegisterGraph("doomed", gs[1], false)
+			if rerr == nil {
+				t.Fatal("injected crash did not fail the registration")
+			}
+			if step == "wal" && !errors.Is(rerr, ErrNotDurable) {
+				// Registry already applied; the caller must learn the graph
+				// is serving but volatile.
+				t.Fatalf("wal-step failure returned %v, want ErrNotDurable", rerr)
+			}
+			svc1.Close() // abandon m1 un-Closed: simulated kill
+
+			svc2, m2 := newManager(t, dir, Options{})
+			defer m2.Close()
+			defer svc2.Close()
+			graphs := svc2.Graphs()
+			if len(graphs) != 1 || graphs[0].Name != "base" {
+				t.Fatalf("after crash at %s: recovered %+v, want only base", step, graphs)
+			}
+			if graphs[0].Generation != base.Generation {
+				t.Fatalf("base generation %d, want %d", graphs[0].Generation, base.Generation)
+			}
+			// The next registration still works and lands above base.
+			ni, err := m2.RegisterGraph("next", gs[1], false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ni.Generation <= base.Generation {
+				t.Fatalf("generation went backwards: %d after %d", ni.Generation, base.Generation)
+			}
+		})
+	}
+}
+
+// TestManagerTornWALRecord injects a partial frame write — the crash
+// shape the hook cannot produce — and checks recovery truncates it.
+func TestManagerTornWALRecord(t *testing.T) {
+	dir := t.TempDir()
+	gs := randomGraphs(3, 2)
+	svc1, m1 := newManager(t, dir, Options{})
+	if _, err := m1.RegisterGraph("keep", gs[0], false); err != nil {
+		t.Fatal(err)
+	}
+	m1.mu.Lock()
+	m1.wal.failAfter = 7 // tear the next frame mid-write
+	m1.mu.Unlock()
+	if _, err := m1.RegisterGraph("torn", gs[1], false); !errors.Is(err, ErrNotDurable) {
+		t.Fatalf("torn append returned %v, want ErrNotDurable", err)
+	}
+	svc1.Close()
+
+	svc2, m2 := newManager(t, dir, Options{})
+	defer m2.Close()
+	defer svc2.Close()
+	rec := m2.RecoveryStats()
+	if !rec.TornTail {
+		t.Fatal("recovery did not report the torn tail")
+	}
+	graphs := svc2.Graphs()
+	if len(graphs) != 1 || graphs[0].Name != "keep" {
+		t.Fatalf("recovered %+v, want only keep", graphs)
+	}
+}
+
+// TestManagerSkipsCorruptSnapshot flips a byte in a durable snapshot:
+// recovery must skip that graph with a warning and restore the rest.
+func TestManagerSkipsCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	gs := randomGraphs(4, 2)
+	svc1, m1 := newManager(t, dir, Options{})
+	if _, err := m1.RegisterGraph("good", gs[0], false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m1.RegisterGraph("bad", gs[1], false); err != nil {
+		t.Fatal(err)
+	}
+	svc1.Close()
+
+	// Corrupt the snapshot of "bad" (content-addressed by fingerprint).
+	badName := snapshotFileName(graph.FingerprintOf(gs[1]))
+	path := filepath.Join(dir, snapshotsDir, badName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var warnings int
+	svc2, m2 := newManager(t, dir, Options{Logf: func(string, ...any) { warnings++ }})
+	defer m2.Close()
+	defer svc2.Close()
+	rec := m2.RecoveryStats()
+	if rec.Recovered != 1 || rec.Skipped != 1 {
+		t.Fatalf("recovered %d skipped %d, want 1/1", rec.Recovered, rec.Skipped)
+	}
+	if warnings == 0 {
+		t.Fatal("skipped snapshot produced no warning")
+	}
+	graphs := svc2.Graphs()
+	if len(graphs) != 1 || graphs[0].Name != "good" {
+		t.Fatalf("recovered %+v, want only good", graphs)
+	}
+}
+
+// TestManagerCompaction checks the checkpoint cycle: manifest captures
+// state, WAL restarts empty, unreferenced snapshots are collected, and
+// a restart off the manifest alone recovers everything.
+func TestManagerCompaction(t *testing.T) {
+	dir := t.TempDir()
+	gs := randomGraphs(5, 3)
+	svc1, m1 := newManager(t, dir, Options{CompactEvery: -1})
+	for i, g := range gs {
+		if _, err := m1.RegisterGraph(fmt.Sprintf("g%d", i), g, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Replace g0 with gs[1]'s content so gs[0]'s snapshot becomes garbage.
+	if _, err := m1.RegisterGraph("g0", gs[1], true); err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st := m1.Stats()
+	if st.WALBytes != 0 || st.WALRecords != 0 {
+		t.Fatalf("WAL not empty after compaction: %+v", st)
+	}
+	// gs[0]'s snapshot is unreferenced now.
+	orphan := filepath.Join(dir, snapshotsDir, snapshotFileName(graph.FingerprintOf(gs[0])))
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphan snapshot survived compaction: %v", err)
+	}
+	svc1.Close()
+
+	svc2, m2 := newManager(t, dir, Options{})
+	defer m2.Close()
+	defer svc2.Close()
+	if got := len(svc2.Graphs()); got != 3 {
+		t.Fatalf("recovered %d graphs from manifest, want 3", got)
+	}
+	if rec := m2.RecoveryStats(); rec.WALRecords != 0 {
+		t.Fatalf("manifest-only recovery replayed %d WAL records", rec.WALRecords)
+	}
+}
+
+func TestManagerMMapRecovery(t *testing.T) {
+	if !mmapSupported {
+		t.Skip("no mmap on this platform")
+	}
+	dir := t.TempDir()
+	g := randomGraphs(6, 1)[0]
+	svc1, m1 := newManager(t, dir, Options{})
+	if _, err := m1.RegisterGraph("g", g, false); err != nil {
+		t.Fatal(err)
+	}
+	svc1.Close()
+
+	svc2, m2 := newManager(t, dir, Options{MMap: true, VerifyFingerprint: true})
+	rec := m2.RecoveryStats()
+	if rec.Recovered != 1 {
+		t.Fatalf("recovered %d, want 1", rec.Recovered)
+	}
+	// The recovered graph's CSR aliases the mapping; it must hash
+	// identically to the original.
+	var restored *graph.Graph
+	for _, s := range m2.snaps {
+		restored = s.Graph
+	}
+	if restored == nil {
+		t.Fatal("no mmap snapshot held by the manager")
+	}
+	if graph.FingerprintOf(restored) != graph.FingerprintOf(g) {
+		t.Fatal("mmap-recovered graph differs from original")
+	}
+	svc2.Close()
+	if err := m2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFsckReportsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	gs := randomGraphs(7, 2)
+	svc, m := newManager(t, dir, Options{})
+	for i, g := range gs {
+		if _, err := m.RegisterGraph(fmt.Sprintf("g%d", i), g, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc.Close()
+
+	rep, err := Fsck(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || len(rep.Graphs) != 2 || rep.WALRecords != 2 {
+		t.Fatalf("clean dir: %+v", rep)
+	}
+
+	// Corrupt one snapshot; fsck must flag exactly that graph and not
+	// modify anything.
+	name := snapshotFileName(graph.FingerprintOf(gs[0]))
+	path := filepath.Join(dir, snapshotsDir, name)
+	data, _ := os.ReadFile(path)
+	data[headerSize+4*sectionSize+8] ^= 1
+	os.WriteFile(path, data, 0o644)
+	before, _ := os.ReadFile(filepath.Join(dir, walName))
+
+	rep, err = Fsck(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 1 {
+		t.Fatalf("corrupted dir: %d errors, want 1", rep.Errors)
+	}
+	after, _ := os.ReadFile(filepath.Join(dir, walName))
+	if string(before) != string(after) {
+		t.Fatal("fsck modified the WAL")
+	}
+	m.Close()
+}
+
+// TestStoreStress churns register/replace/unregister through the
+// manager under -race (make race-stress) and verifies a final restart
+// reconstructs the surviving state exactly.
+func TestStoreStress(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(99))
+	pool := randomGraphs(8, 4)
+	svc1, m1 := newManager(t, dir, Options{CompactEvery: 8})
+	live := make(map[string]service.GraphInfo)
+	iters := 120
+	if testing.Short() {
+		iters = 30
+	}
+	for i := 0; i < iters; i++ {
+		name := fmt.Sprintf("g%d", rng.Intn(6))
+		g := pool[rng.Intn(len(pool))]
+		switch rng.Intn(3) {
+		case 0, 1:
+			_, exists := live[name]
+			info, err := m1.RegisterGraph(name, g, exists)
+			if err != nil {
+				t.Fatalf("iter %d register %s: %v", i, name, err)
+			}
+			live[name] = info
+		case 2:
+			err := m1.UnregisterGraph(name)
+			if _, exists := live[name]; exists {
+				if err != nil {
+					t.Fatalf("iter %d unregister %s: %v", i, name, err)
+				}
+				delete(live, name)
+			} else if err == nil {
+				t.Fatalf("iter %d: unregistering absent %s succeeded", i, name)
+			}
+		}
+	}
+	svc1.Close()
+
+	svc2, m2 := newManager(t, dir, Options{})
+	defer m2.Close()
+	defer svc2.Close()
+	graphs := svc2.Graphs()
+	if len(graphs) != len(live) {
+		t.Fatalf("recovered %d graphs, want %d", len(graphs), len(live))
+	}
+	for _, gi := range graphs {
+		want := live[gi.Name]
+		if gi.Generation != want.Generation || gi.Vertices != want.Vertices || gi.Edges != want.Edges {
+			t.Fatalf("%s: %+v, want %+v", gi.Name, gi, want)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package store
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"subgraphmatching/internal/graph"
+)
+
+// manifestName is the checkpoint file inside the data directory. WAL
+// compaction folds the live registry state into it atomically and then
+// truncates the log; recovery is manifest + WAL suffix.
+const manifestName = "MANIFEST"
+
+// snapshotsDir holds the content-addressed snapshot files, named by
+// fingerprint prefix — re-registering identical bytes reuses the file,
+// and two names serving the same graph share one snapshot.
+const snapshotsDir = "snapshots"
+
+// manifest is the JSON checkpoint. NextGen persists the generation
+// high-water mark (including unregistered names), so generations stay
+// strictly monotonic across restarts even after churn.
+type manifest struct {
+	Version int             `json:"version"`
+	NextGen uint64          `json:"next_gen"`
+	Graphs  []manifestEntry `json:"graphs"`
+}
+
+type manifestEntry struct {
+	Name        string `json:"name"`
+	Generation  uint64 `json:"generation"`
+	Fingerprint string `json:"fingerprint"`
+	Snapshot    string `json:"snapshot"`
+}
+
+func (e manifestEntry) fingerprint() (graph.Fingerprint, error) {
+	var fp graph.Fingerprint
+	b, err := hex.DecodeString(e.Fingerprint)
+	if err != nil || len(b) != len(fp) {
+		return fp, corruptf("manifest: bad fingerprint %q for %q", e.Fingerprint, e.Name)
+	}
+	copy(fp[:], b)
+	return fp, nil
+}
+
+// readManifest loads the checkpoint; a missing file is an empty state.
+func readManifest(dir string) (*manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return &manifest{Version: 1}, nil
+		}
+		return nil, fmt.Errorf("store: read manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, corruptf("manifest: %v", err)
+	}
+	if m.Version != 1 {
+		return nil, fmt.Errorf("%w: manifest version %d", ErrVersion, m.Version)
+	}
+	return &m, nil
+}
+
+// writeManifest checkpoints atomically (temp + fsync + rename).
+func writeManifest(dir string, m *manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encode manifest: %w", err)
+	}
+	return writeFileAtomic(filepath.Join(dir, manifestName), append(data, '\n'))
+}
+
+// snapshotFileName is the content address: the fingerprint's first 16
+// bytes in hex. Equal graphs collide exactly when their bytes are
+// identical, which is the point.
+func snapshotFileName(fp graph.Fingerprint) string {
+	return hex.EncodeToString(fp[:16]) + ".snap"
+}

@@ -1,0 +1,16 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd)
+
+package store
+
+import "os"
+
+// mmapSupported reports whether zero-copy snapshot loads are available
+// on this platform. Without it, OpenSnapshot silently falls back to the
+// copying load — same graphs, heap-resident.
+const mmapSupported = false
+
+func mmapFile(f *os.File) ([]byte, error) {
+	return nil, errMMapUnsupported
+}
+
+func munmap(b []byte) error { return nil }

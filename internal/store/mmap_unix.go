@@ -1,0 +1,38 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether zero-copy snapshot loads are available
+// on this platform.
+const mmapSupported = true
+
+// mmapFile maps the whole file read-only and shared: the pages are
+// backed by the page cache, shared across processes, and evictable
+// under memory pressure — the cheap first cut at graphs larger than
+// RAM.
+func mmapFile(f *os.File) ([]byte, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, nil
+	}
+	if int64(int(size)) != size {
+		return nil, corruptf("file too large to map: %d bytes", size)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmap(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

@@ -1,0 +1,173 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"subgraphmatching/internal/graph"
+)
+
+// errMMapUnsupported makes the fallback path explicit on platforms
+// without an mmap implementation.
+var errMMapUnsupported = errors.New("store: mmap not supported on this platform")
+
+// Snapshot is an opened snapshot file: the decoded graph, its
+// trailer fingerprint, and — for mmap loads — the mapping keeping the
+// graph's CSR slices valid.
+type Snapshot struct {
+	Graph       *graph.Graph
+	Fingerprint graph.Fingerprint
+	// Size is the snapshot file size in bytes.
+	Size int64
+	// MMapped reports that Graph's CSR slices alias a read-only file
+	// mapping. Close unmaps it; the graph must not be used afterwards.
+	MMapped bool
+	mapped  []byte
+}
+
+// Close releases the file mapping, if any. The snapshot's graph (and
+// any plan built over it) must no longer be in use — in smatchd this
+// runs only at daemon shutdown.
+func (s *Snapshot) Close() error {
+	if s.mapped == nil {
+		return nil
+	}
+	b := s.mapped
+	s.mapped = nil
+	return munmap(b)
+}
+
+// LoadOptions control OpenSnapshot.
+type LoadOptions struct {
+	// MMap maps the file and aliases the CSR sections zero-copy instead
+	// of copying them onto the heap. Integrity is verified either way
+	// (the CRC pass streams the pages once); the mapping keeps the
+	// adjacency out of the Go heap and evictable under memory pressure.
+	// On platforms without mmap support this silently degrades to the
+	// copying load.
+	MMap bool
+	// VerifyFingerprint additionally recomputes the full sha256
+	// fingerprint — see DecodeOptions.
+	VerifyFingerprint bool
+}
+
+// OpenSnapshot opens and verifies a snapshot file.
+func OpenSnapshot(path string, opts LoadOptions) (*Snapshot, error) {
+	if opts.MMap && mmapSupported {
+		return openMapped(path, opts)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	// The freshly-read buffer is exclusively ours: aliasing it is safe
+	// and skips a second copy of the adjacency.
+	g, fp, err := Decode(data, DecodeOptions{ZeroCopy: true, VerifyFingerprint: opts.VerifyFingerprint})
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	return &Snapshot{Graph: g, Fingerprint: fp, Size: int64(len(data))}, nil
+}
+
+func openMapped(path string, opts LoadOptions) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	data, err := mmapFile(f)
+	if err != nil {
+		return nil, fmt.Errorf("store: mmap %s: %w", path, err)
+	}
+	g, fp, err := Decode(data, DecodeOptions{ZeroCopy: true, VerifyFingerprint: opts.VerifyFingerprint})
+	if err != nil {
+		munmap(data)
+		return nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	return &Snapshot{Graph: g, Fingerprint: fp, Size: int64(len(data)), MMapped: true, mapped: data}, nil
+}
+
+// WriteSnapshotFile atomically writes g's snapshot to path: encode,
+// write to a temp file in the same directory, fsync, rename, fsync the
+// directory. A crash at any point leaves either the old file or the
+// complete new one — never a torn snapshot.
+func WriteSnapshotFile(path string, g *graph.Graph) (graph.Fingerprint, int64, error) {
+	data, fp, err := Encode(g)
+	if err != nil {
+		return fp, 0, err
+	}
+	if err := writeFileAtomic(path, data); err != nil {
+		return fp, 0, err
+	}
+	return fp, int64(len(data)), nil
+}
+
+// writeFileAtomic is the temp+fsync+rename sequence shared by snapshot
+// and manifest writes.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return fmt.Errorf("store: write %s: %w", tmpName, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("store: sync %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: close %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: rename: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+// Errors are reported but non-fatal on filesystems that reject
+// directory fsync.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync() // best-effort; some filesystems return EINVAL here
+	return nil
+}
+
+// LoadGraphFile loads a graph from either format: snapshot files are
+// recognized by magic, anything else parses as the t/v/e text format.
+// Both CLIs use it so every -d / -graph flag transparently accepts
+// snapshots.
+func LoadGraphFile(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	var prefix [8]byte
+	n, _ := io.ReadFull(f, prefix[:])
+	f.Close()
+	if SniffSnapshot(prefix[:n]) {
+		snap, err := OpenSnapshot(path, LoadOptions{})
+		if err != nil {
+			return nil, err
+		}
+		return snap.Graph, nil
+	}
+	return graph.Load(path)
+}

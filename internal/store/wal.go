@@ -1,0 +1,234 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"subgraphmatching/internal/graph"
+)
+
+// The WAL is an append-only log of registry operations. Each record is
+// CRC-framed:
+//
+//	length uint32   payload bytes
+//	crc    uint32   CRC32C of the payload
+//	payload:
+//	  op     byte    (1 register, 2 unregister)
+//	  gen    uint64  registry generation of the operation
+//	  fp     [32]byte snapshot fingerprint (zero for unregister)
+//	  name   uint16-framed UTF-8 registry name
+//	  snap   uint16-framed snapshot filename, relative to snapshots/
+//
+// Replay stops at the first frame that does not check out — a torn
+// tail from a crash mid-append — and truncates the file there, so the
+// log converges to the durable prefix. Records are idempotent under
+// re-application (generation-compared), which makes the
+// manifest-then-truncate compaction crash-safe at every interleaving.
+
+const (
+	walOpRegister   = 1
+	walOpUnregister = 2
+
+	walFrameSize = 8
+	// maxWALRecord bounds a frame's declared length so a corrupt length
+	// field cannot drive a huge allocation; real records are tiny
+	// (name + filename + fixed fields).
+	maxWALRecord = 64 * 1024
+)
+
+// walRecord is one registry operation.
+type walRecord struct {
+	op   byte
+	gen  uint64
+	fp   graph.Fingerprint
+	name string
+	snap string
+}
+
+func (r walRecord) encode() []byte {
+	payload := make([]byte, 0, 1+8+32+2+len(r.name)+2+len(r.snap))
+	payload = append(payload, r.op)
+	payload = binary.LittleEndian.AppendUint64(payload, r.gen)
+	payload = append(payload, r.fp[:]...)
+	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(r.name)))
+	payload = append(payload, r.name...)
+	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(r.snap)))
+	payload = append(payload, r.snap...)
+
+	out := make([]byte, walFrameSize+len(payload))
+	binary.LittleEndian.PutUint32(out[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:], crc32.Checksum(payload, castagnoli))
+	copy(out[walFrameSize:], payload)
+	return out
+}
+
+func decodeWALPayload(p []byte) (walRecord, error) {
+	var r walRecord
+	if len(p) < 1+8+32+2 {
+		return r, corruptf("wal payload too short: %d bytes", len(p))
+	}
+	r.op = p[0]
+	if r.op != walOpRegister && r.op != walOpUnregister {
+		return r, corruptf("wal: unknown op %d", r.op)
+	}
+	r.gen = binary.LittleEndian.Uint64(p[1:])
+	copy(r.fp[:], p[9:41])
+	rest := p[41:]
+	var err error
+	if r.name, rest, err = readString16(rest); err != nil {
+		return r, err
+	}
+	if r.snap, rest, err = readString16(rest); err != nil {
+		return r, err
+	}
+	if len(rest) != 0 {
+		return r, corruptf("wal: %d trailing payload bytes", len(rest))
+	}
+	return r, nil
+}
+
+func readString16(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, corruptf("wal: truncated string frame")
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	if len(b) < 2+n {
+		return "", nil, corruptf("wal: string frame overruns payload")
+	}
+	return string(b[2 : 2+n]), b[2+n:], nil
+}
+
+// walWriter appends records to an open log file, fsyncing each append —
+// registrations are operator-rate, so per-record durability is cheap.
+type walWriter struct {
+	f       *os.File
+	size    int64
+	records int
+	// failAfter, when non-negative, makes the next append write at most
+	// that many bytes and then fail — the crash harness's torn-record
+	// injection. In-package tests only.
+	failAfter int
+}
+
+func openWAL(path string) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: stat wal: %w", err)
+	}
+	return &walWriter{f: f, size: st.Size(), failAfter: -1}, nil
+}
+
+func (w *walWriter) append(r walRecord) error {
+	frame := r.encode()
+	if w.failAfter >= 0 {
+		n := w.failAfter
+		if n > len(frame) {
+			n = len(frame)
+		}
+		w.f.Write(frame[:n])
+		w.f.Sync()
+		w.size += int64(n)
+		return fmt.Errorf("store: wal: injected write failure after %d bytes", n)
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("store: wal sync: %w", err)
+	}
+	w.size += int64(len(frame))
+	w.records++
+	return nil
+}
+
+// reset truncates the log after a compaction has captured its state in
+// the manifest.
+func (w *walWriter) reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("store: wal truncate: %w", err)
+	}
+	// O_APPEND writes always land at EOF, so no seek is needed.
+	w.size = 0
+	w.records = 0
+	return nil
+}
+
+func (w *walWriter) close() error { return w.f.Close() }
+
+// scanWAL reads every intact record from path in log order without
+// modifying the file, stopping at the first torn or corrupt frame. A
+// missing file is an empty log.
+func scanWAL(path string, apply func(walRecord)) (records int, torn bool, err error) {
+	records, _, torn, err = scanWALOffset(path, apply)
+	return records, torn, err
+}
+
+func scanWALOffset(path string, apply func(walRecord)) (records int, intactEnd int64, torn bool, err error) {
+	data, rerr := os.ReadFile(path)
+	if rerr != nil {
+		if os.IsNotExist(rerr) {
+			return 0, 0, false, nil
+		}
+		return 0, 0, false, fmt.Errorf("store: read wal: %w", rerr)
+	}
+	off := 0
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < walFrameSize {
+			torn = true
+			break
+		}
+		length := int(binary.LittleEndian.Uint32(rest[0:]))
+		crc := binary.LittleEndian.Uint32(rest[4:])
+		if length > maxWALRecord || len(rest) < walFrameSize+length {
+			torn = true
+			break
+		}
+		payload := rest[walFrameSize : walFrameSize+length]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			torn = true
+			break
+		}
+		rec, derr := decodeWALPayload(payload)
+		if derr != nil {
+			torn = true
+			break
+		}
+		apply(rec)
+		records++
+		off += walFrameSize + length
+	}
+	return records, int64(off), torn, nil
+}
+
+// replayWAL is scanWAL plus recovery's side effect: the torn tail is
+// truncated so subsequent appends extend a clean log.
+func replayWAL(path string, apply func(walRecord)) (records int, truncatedAt int64, torn bool, err error) {
+	records, off, torn, err := scanWALOffset(path, apply)
+	if err != nil {
+		return records, off, torn, err
+	}
+	if torn {
+		if terr := os.Truncate(path, off); terr != nil {
+			return records, off, true, fmt.Errorf("store: truncate torn wal tail: %w", terr)
+		}
+	}
+	return records, off, torn, nil
+}
+
+// walSizeOf reports the log's current size without opening it for
+// append (fsck uses it).
+func walSizeOf(path string) int64 {
+	st, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return st.Size()
+}

@@ -1,0 +1,167 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"subgraphmatching/internal/graph"
+)
+
+func walTestRecords() []walRecord {
+	fp1 := graph.Fingerprint{1, 2, 3}
+	fp2 := graph.Fingerprint{4, 5, 6}
+	return []walRecord{
+		{op: walOpRegister, gen: 1, fp: fp1, name: "alpha", snap: "0102.snap"},
+		{op: walOpRegister, gen: 2, fp: fp2, name: "beta", snap: "0405.snap"},
+		{op: walOpUnregister, gen: 1, name: "alpha"},
+		{op: walOpRegister, gen: 3, fp: fp1, name: "alpha", snap: "0102.snap"},
+	}
+}
+
+func TestWALAppendScanRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := walTestRecords()
+	for _, r := range recs {
+		if err := w.append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []walRecord
+	n, torn, err := scanWAL(path, func(r walRecord) { got = append(got, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn {
+		t.Fatal("clean log reported torn")
+	}
+	if n != len(recs) {
+		t.Fatalf("scanned %d records, want %d", n, len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := walTestRecords()
+	for _, r := range recs[:2] {
+		if err := w.append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tear the third record: write only part of its frame, as a crash
+	// mid-append would.
+	w.failAfter = 5
+	if err := w.append(recs[2]); err == nil {
+		t.Fatal("injected failure did not propagate")
+	}
+	w.close()
+
+	n, off, torn, err := replayWAL(path, func(walRecord) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !torn {
+		t.Fatal("torn tail not detected")
+	}
+	if n != 2 {
+		t.Fatalf("replayed %d records, want 2", n)
+	}
+	st, _ := os.Stat(path)
+	if st.Size() != off {
+		t.Fatalf("file is %d bytes after truncation, want %d", st.Size(), off)
+	}
+
+	// The truncated log must accept appends and replay cleanly.
+	w2, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.append(recs[3]); err != nil {
+		t.Fatal(err)
+	}
+	w2.close()
+	var got []walRecord
+	n, torn, err = scanWAL(path, func(r walRecord) { got = append(got, r) })
+	if err != nil || torn {
+		t.Fatalf("reopened log: n=%d torn=%v err=%v", n, torn, err)
+	}
+	if n != 3 || got[2] != recs[3] {
+		t.Fatalf("after truncate+append: %d records, last %+v", n, got[len(got)-1])
+	}
+}
+
+func TestWALCorruptMidRecordStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := walTestRecords()
+	for _, r := range recs {
+		if err := w.append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.close()
+
+	// Flip a payload byte inside the second record: replay keeps the
+	// first record and treats everything from the damage on as torn.
+	data, _ := os.ReadFile(path)
+	frame0 := len(recs[0].encode())
+	data[frame0+walFrameSize+3] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, torn, err := scanWAL(path, func(walRecord) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || !torn {
+		t.Fatalf("n=%d torn=%v, want 1 record then torn", n, torn)
+	}
+}
+
+func TestWALReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range walTestRecords() {
+		if err := w.append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.reset(); err != nil {
+		t.Fatal(err)
+	}
+	if w.size != 0 || w.records != 0 {
+		t.Fatalf("size=%d records=%d after reset", w.size, w.records)
+	}
+	// O_APPEND means post-reset appends land at the new EOF.
+	if err := w.append(walRecord{op: walOpUnregister, gen: 9, name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	w.close()
+	n, torn, err := scanWAL(path, func(walRecord) {})
+	if err != nil || torn || n != 1 {
+		t.Fatalf("after reset+append: n=%d torn=%v err=%v", n, torn, err)
+	}
+}
