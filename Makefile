@@ -31,7 +31,7 @@ race:
 # register/replace/unregister through the durable manager (and the
 # HTTP surface) and verifies a restart reconstructs the exact state.
 race-stress:
-	$(GO) test -race -run 'Stress' -count 1 ./internal/filter ./internal/candspace ./internal/service ./internal/obs ./internal/store ./cmd/smatchd
+	$(GO) test -race -run 'Stress' -count 1 ./internal/filter ./internal/candspace ./internal/service ./internal/obs ./internal/obs/flight ./internal/store ./cmd/smatchd
 
 # Short corpus-plus-mutation runs of the fuzz targets: filter soundness
 # (candidate sets never drop a ground-truth embedding vertex),
@@ -41,12 +41,15 @@ race-stress:
 # aligned, isolates per-item failures, matches sequential embeddings,
 # and builds exactly one plan per group), and snapshot round-trip
 # (Decode of arbitrary bytes never panics, fails typed, or yields the
-# fingerprint-verified graph; valid snapshots round-trip exactly).
+# fingerprint-verified graph; valid snapshots round-trip exactly), and
+# profile rendering (Render/Chrome export never panic on arbitrary
+# span trees and always emit parseable output).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzFilterSoundness -fuzztime 5s ./internal/filter
 	$(GO) test -run '^$$' -fuzz FuzzIntersectKernels -fuzztime 5s ./internal/intersect
 	$(GO) test -run '^$$' -fuzz FuzzBatchGrouping -fuzztime 5s ./internal/service
 	$(GO) test -run '^$$' -fuzz FuzzSnapshotRoundTrip -fuzztime 5s ./internal/store
+	$(GO) test -run '^$$' -fuzz FuzzProfileRender -fuzztime 5s ./internal/obs/flight
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
@@ -72,11 +75,12 @@ bench-serve:
 bench-batch:
 	$(GO) test -run '^$$' -bench 'BenchmarkServeWarm|BenchmarkBatchSubmit' -benchmem -benchtime 2s ./internal/service
 
-# The instrumentation-overhead measurement behind EXPERIMENTS.md's
-# "Instrumentation overhead" section: span tracing off vs on over the
+# The instrumentation-overhead measurements behind EXPERIMENTS.md's
+# "Instrumentation overhead" and "Profile overhead" sections: span
+# tracing off vs on, and EXPLAIN/ANALYZE profiling off vs on, over the
 # skew workload, sequential and parallel.
 bench-obs:
-	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchmem -benchtime 5x .
+	$(GO) test -run '^$$' -bench 'BenchmarkObsOverhead|BenchmarkProfileOverhead' -benchmem -benchtime 5x .
 
 # The durable-store measurements behind EXPERIMENTS.md's "Restart"
 # section: snapshot encode/decode throughput, the full file-open path

@@ -448,6 +448,38 @@ func BenchmarkObsOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkProfileOverhead measures the cost of EXPLAIN/ANALYZE
+// profiling on the skew workload: the same matches with Limits.Profile
+// off (the default) and on. Profiling increments per-depth counters at
+// every search node, so unlike tracing its cost scales with the search
+// tree — the bar is a delta within a few percent (EXPERIMENTS.md
+// documents the measured numbers).
+func BenchmarkProfileOverhead(b *testing.B) {
+	f := getSkewFixture(b)
+	cfg := core.Config{Filter: filter.GQL, Order: order.GQL, Local: enumerate.Intersect}
+	for _, c := range []struct {
+		name  string
+		limit core.Limits
+	}{
+		{"seq/profile-off", core.Limits{}},
+		{"seq/profile-on", core.Limits{Profile: true}},
+		{"steal-8/profile-off", core.Limits{Parallel: 8, Schedule: core.ScheduleWorkSteal}},
+		{"steal-8/profile-on", core.Limits{Parallel: 8, Schedule: core.ScheduleWorkSteal, Profile: true}},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Match(f.q, f.g, cfg, c.limit)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if c.limit.Profile && res.Explain == nil {
+					b.Fatal("profile requested but absent")
+				}
+			}
+		})
+	}
+}
+
 // --- Historical baselines: Ullmann vs VF2 vs VF2++ ---------------------
 
 // BenchmarkBaselineLineage reproduces the lineage claim of the paper's

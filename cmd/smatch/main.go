@@ -8,7 +8,7 @@
 //
 //	smatch -q query.graph -d data.graph [-algo Optimized] [-limit 100000]
 //	       [-timeout 5m] [-print 3] [-profile] [-parallel 4] [-workers 4]
-//	       [-schedule steal] [-kernel adaptive] [-trace]
+//	       [-schedule steal] [-kernel adaptive] [-trace] [-explain]
 //	smatch -q queries/ -d data.graph [-csv out.csv]   # batch mode
 //	smatch -batch list.txt -d data.graph              # batched service mode:
 //	       list.txt holds query-graph paths, one per line; the queries run
@@ -53,6 +53,7 @@ func main() {
 		kernel    = flag.String("kernel", "adaptive", "intersection-kernel policy: adaptive merge gallop hybrid block")
 		profile   = flag.Bool("profile", false, "print a per-depth search profile")
 		trace     = flag.Bool("trace", false, "print the phase-span trace (filter stages, build, order, per-worker enumeration)")
+		explain   = flag.Bool("explain", false, "print the EXPLAIN/ANALYZE breakdown: filter-stage reduction, matching order, per-depth enumeration heat")
 		hom       = flag.Bool("hom", false, "count homomorphisms instead of isomorphisms")
 		sym       = flag.Bool("sym", false, "enable symmetry breaking (NEC orbit counting)")
 		estimate  = flag.Bool("estimate", false, "print the spanning-tree cardinality estimate first")
@@ -100,7 +101,7 @@ func main() {
 		return
 	}
 	if err := run(ctx, *queryPath, *dataPath, *algoName, *limit, *timeout, *printN, *parallel, *workers, *schedule,
-		*kernel, *profile, *trace, *hom, *sym, *estimate); err != nil {
+		*kernel, *profile, *trace, *explain, *hom, *sym, *estimate); err != nil {
 		exitErr(err)
 	}
 }
@@ -165,7 +166,7 @@ func exitErr(err error) {
 }
 
 func run(ctx context.Context, queryPath, dataPath, algoName string, limit uint64, timeout time.Duration, printN, parallel, workers int,
-	scheduleName, kernelName string, profile, trace, hom, sym, estimate bool) error {
+	scheduleName, kernelName string, profile, trace, explain, hom, sym, estimate bool) error {
 	if queryPath == "" || dataPath == "" {
 		return fmt.Errorf("both -q and -d are required")
 	}
@@ -201,7 +202,7 @@ func run(ctx context.Context, queryPath, dataPath, algoName string, limit uint64
 
 	printed := 0
 	opts := sm.Options{Algorithm: algo, MaxEmbeddings: limit, TimeLimit: timeout,
-		Parallel: parallel, Workers: workers, Schedule: sched, Trace: trace}
+		Parallel: parallel, Workers: workers, Schedule: sched, Trace: trace, Explain: explain}
 	if profile || hom || sym || kern != sm.KernelAdaptive {
 		cfg := sm.PresetConfig(algo, q, g)
 		cfg.Profile = profile
@@ -256,7 +257,11 @@ func run(ctx context.Context, queryPath, dataPath, algoName string, limit uint64
 	} else {
 		fmt.Println("status:        solved")
 	}
-	if res.Profile != nil {
+	if res.Explain != nil {
+		fmt.Println("\nexplain:")
+		res.Explain.Render(os.Stdout)
+	}
+	if profile && res.Profile != nil {
 		fmt.Println("\nsearch profile:")
 		res.Profile.Render(os.Stdout)
 		fmt.Println(res.Profile.BranchingSummary())

@@ -33,6 +33,9 @@ type batchItemRequest struct {
 	Workers  int    `json:"workers,omitempty"`
 	Kernel   string `json:"kernel,omitempty"`
 	NoCache  bool   `json:"no_cache,omitempty"`
+	// Explain attaches the EXPLAIN/ANALYZE profile to this item's
+	// result — the batch form of /match?explain=1.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // batchResultItem is one item's outcome in the /match/batch response.
@@ -56,7 +59,8 @@ type batchResponse struct {
 // toRequest converts one wire item, reporting the first bad field.
 func (bi *batchItemRequest) toRequest() (service.Request, error) {
 	req := service.Request{Graph: bi.Graph, MaxEmbeddings: bi.Limit,
-		Parallel: bi.Parallel, Workers: bi.Workers, NoCache: bi.NoCache}
+		Parallel: bi.Parallel, Workers: bi.Workers, NoCache: bi.NoCache,
+		Profile: bi.Explain}
 	if req.Graph == "" {
 		return req, fmt.Errorf("missing required field graph")
 	}

@@ -11,6 +11,7 @@
 //	        [-batch-window 0] [-batch-max 32]
 //	        [-data-dir path] [-mmap] [-no-persist] [-verify-snapshots]
 //	        [-timeout 5m] [-pprof] [-slowlog path] [-slow-threshold 1s]
+//	        [-slowlog-max-bytes 0]
 //
 // API:
 //
@@ -24,7 +25,7 @@
 //	DELETE /graphs/{name}         unregister
 //	POST   /match                 run a query (body: query graph text)
 //	       ?graph=name [&algo=Optimized] [&limit=N] [&timeout=5m]
-//	       [&parallel=4] [&workers=4] [&stream=1] [&trace=1]
+//	       [&parallel=4] [&workers=4] [&stream=1] [&trace=1] [&explain=1]
 //	POST   /match/batch           run many queries as one batch (body:
 //	       JSON array of {graph, query, algo?, limit?, timeout?,
 //	       parallel?, workers?, kernel?, no_cache?}); items sharing a
@@ -33,15 +34,32 @@
 //	       results; failed items carry their /match-equivalent status.
 //	       With ?stream=1: NDJSON of indexed embedding lines, then one
 //	       indexed result line per item.
+//	POST   /explain               EXPLAIN without ANALYZE: resolve the
+//	       query's plan (cached or fresh) and return the optimizer's
+//	       decisions — filter-stage candidate reduction, matching order,
+//	       per-vertex cardinalities — without enumerating. Same body and
+//	       parameters as /match; ?format=text renders tables.
 //	GET    /stats                 serving statistics (JSON)
 //	GET    /metrics               Prometheus text exposition
+//	GET    /debug/tracez          flight-recorder retention: slowest
+//	       requests per latency band plus recent errors; ?id=N returns
+//	       one record's full span tree (&format=text renders it,
+//	       &format=chrome exports a chrome://tracing trace file)
+//	GET    /debug/requests        live in-flight requests with phase and
+//	       elapsed time (?format=text for a table)
 //	GET    /debug/pprof/...       runtime profiling (only with -pprof)
 //
 // With trace=1 the /match result includes the request's phase-span
 // breakdown (admission wait, plan lookup or preprocessing stages,
-// enumeration with per-worker tallies). With -slowlog, requests at or
-// above -slow-threshold append one NDJSON record with the same
-// breakdown to the given file.
+// enumeration with per-worker tallies). With explain=1 it additionally
+// carries the EXPLAIN/ANALYZE profile: per-filter-stage candidate
+// reduction, the matching order with per-vertex cardinalities, and the
+// per-depth enumeration heat table (nodes, candidates, conflicts,
+// kernel mix). With -slowlog, requests at or above -slow-threshold
+// append one NDJSON record with the span breakdown to the given file;
+// -slowlog-max-bytes bounds the file by rename-and-truncate rotation
+// (path -> path.1, newest records always in the live file; 0 keeps the
+// log unbounded).
 //
 // Without stream, /match returns one JSON result object. With
 // stream=1 it returns NDJSON: one {"embedding":[...]} line per match
@@ -78,6 +96,7 @@ import (
 	"syscall"
 	"time"
 
+	"subgraphmatching/internal/obs"
 	"subgraphmatching/internal/service"
 	"subgraphmatching/internal/store"
 )
@@ -103,6 +122,7 @@ func main() {
 		pprofOn    = flag.Bool("pprof", false, "mount /debug/pprof (exposes runtime internals; keep off unless needed)")
 		slowLog    = flag.String("slowlog", "", "append slow-query NDJSON records to this file")
 		slowThresh = flag.Duration("slow-threshold", 0, "latency at which a request is logged as slow (0 = 1s; needs -slowlog)")
+		slowBytes  = flag.Int64("slowlog-max-bytes", 0, "rotate the slowlog (path -> path.1) when it would exceed this size (0 = unbounded; needs -slowlog)")
 		dataDir    = flag.String("data-dir", "", "durable store directory: snapshot + WAL every registration, recover on restart")
 		mmapSnaps  = flag.Bool("mmap", false, "serve recovered snapshots from mmap instead of copying into the heap (needs -data-dir)")
 		noPersist  = flag.Bool("no-persist", false, "ignore -data-dir and run purely in memory")
@@ -123,7 +143,11 @@ func main() {
 		SlowQueryThreshold: *slowThresh,
 	}
 	if *slowLog != "" {
-		f, err := os.OpenFile(*slowLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		// The rotating writer with a zero cap is a plain append file;
+		// with -slowlog-max-bytes it renames to .1 and truncates before
+		// the write that would exceed the cap, so the newest records are
+		// always in the live file.
+		f, err := obs.NewRotatingWriter(*slowLog, *slowBytes)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "smatchd: open slowlog %q: %v\n", *slowLog, err)
 			os.Exit(1)

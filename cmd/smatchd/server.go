@@ -117,8 +117,11 @@ func newServer(svc *service.Service, opts serverOptions) http.Handler {
 	mux.HandleFunc("DELETE /graphs/{name}", s.deleteGraph)
 	mux.HandleFunc("POST /match", s.match)
 	mux.HandleFunc("POST /match/batch", s.matchBatch)
+	mux.HandleFunc("POST /explain", s.explain)
 	mux.HandleFunc("GET /stats", s.stats)
 	mux.HandleFunc("GET /metrics", s.metrics)
+	mux.HandleFunc("GET /debug/tracez", s.tracez)
+	mux.HandleFunc("GET /debug/requests", s.debugRequests)
 	if opts.pprof {
 		// Explicit registrations: importing net/http/pprof for its
 		// side effect would mount the handlers on the default mux,
@@ -298,6 +301,10 @@ type matchResult struct {
 	// executions by kernel name — absent for non-intersection locals.
 	Kernels map[string]uint64 `json:"kernels,omitempty"`
 	Trace   *obs.Span         `json:"trace,omitempty"`
+	// Profile is the EXPLAIN/ANALYZE breakdown (filter-stage reduction,
+	// matching order, per-depth enumeration heat), present when the
+	// request asked for it with ?explain=1.
+	Profile *core.Profile `json:"profile,omitempty"`
 }
 
 func toMatchResult(resp *service.Response, withTrace bool) matchResult {
@@ -311,6 +318,7 @@ func toMatchResult(resp *service.Response, withTrace bool) matchResult {
 		Enumerate:  resp.Result.EnumTime,
 		QueueWait:  resp.QueueWait,
 		Kernels:    resp.Result.Kernels.Map(),
+		Profile:    resp.Result.Explain,
 	}
 	if withTrace {
 		res.Trace = resp.Result.Trace
@@ -362,6 +370,7 @@ func (s *server) parseMatchRequest(w http.ResponseWriter, r *http.Request) (serv
 			return req, err
 		}
 	}
+	req.Profile = params.Get("explain") == "1"
 	req.Query, err = graph.Parse(http.MaxBytesReader(w, r.Body, maxQueryBody))
 	if err != nil {
 		return req, err

@@ -154,6 +154,15 @@ type Limits struct {
 	// are built only at phase boundaries (a handful of allocations per
 	// query), never inside the enumeration hot path.
 	Trace bool
+	// Profile attaches the EXPLAIN/ANALYZE breakdown to Result.Explain:
+	// per-filter-stage candidate reduction, the matching order with
+	// per-vertex cardinalities, and the per-depth enumeration heat table.
+	// Unlike Config.Profile it is a per-request limit, not part of the
+	// configuration — a cached plan is shared between profiled and
+	// unprofiled requests. Implies per-depth search profiling for the
+	// run. Not supported by the external engines (Glasgow/VF2/Ullmann),
+	// which have no plan to explain.
+	Profile bool
 }
 
 // preprocessWorkers resolves the effective preprocessing worker count.
@@ -190,9 +199,18 @@ type Result struct {
 	// Order is the matching order used (nil for Glasgow and adaptive
 	// runs, where no static order exists).
 	Order []graph.Vertex
-	// Profile holds per-depth search statistics when Config.Profile was
-	// set.
+	// Profile holds per-depth search statistics when Config.Profile or
+	// Limits.Profile was set.
 	Profile *enumerate.SearchProfile
+	// WorkerProfiles, set on profiled parallel runs, holds each worker's
+	// own per-depth profile (Profile is their merge) — the per-worker
+	// heat attribution EXPLAIN reports.
+	WorkerProfiles []*enumerate.SearchProfile
+	// Explain is the EXPLAIN/ANALYZE breakdown, set when Limits.Profile
+	// was on: filter-stage reduction, order cardinalities, and the
+	// per-depth heat table, all reconciling exactly with this Result's
+	// totals.
+	Explain *Profile
 	// Kernels tallies the pairwise intersection-kernel executions by
 	// kernel (the run's kernel mix under Config.Kernel); summed across
 	// workers on parallel runs, all zeros for non-intersection locals.
@@ -277,6 +295,15 @@ type Plan struct {
 	// Empty marks a plan whose filtering produced an empty candidate set:
 	// the result is the empty set and enumeration is skipped entirely.
 	Empty bool
+	// Stages records the filtering method's internal stages with
+	// per-query-vertex candidate counts at each boundary — the raw
+	// material of EXPLAIN's reduction table. Populated even for Empty
+	// plans (the stage that killed the last candidate is exactly what
+	// EXPLAIN must show).
+	Stages []filter.Stage
+	// OrderMethod names how Order was chosen ("gql", "auto:ri", "fixed",
+	// ...); empty for Empty plans, which never reach ordering.
+	OrderMethod string
 
 	// FilterTime, BuildTime and OrderTime record how long each
 	// preprocessing step took when the plan was built — the cost a plan
@@ -334,7 +361,7 @@ func Preprocess(q, g *graph.Graph, cfg Config, workers int) (*Plan, error) {
 	// worker carrying its work tally (candidate vertices examined), the
 	// preprocessing analogue of the enumerate span's worker children.
 	t0 := time.Now()
-	var stages filter.StageTrace
+	stages := filter.StageTrace{PerVertex: true}
 	cand, filterTally, err := runFilter(q, g, cfg, workers, &stages)
 	if err != nil {
 		return nil, err
@@ -358,6 +385,7 @@ func Preprocess(q, g *graph.Graph, cfg Config, workers int) (*Plan, error) {
 			SetAttr("work", work))
 	}
 	plan.Span.AddChild(fs)
+	plan.Stages = stages.Stages
 	if filter.AnyEmpty(cand) {
 		plan.Empty = true
 		plan.Span.SetAttr("empty", true)
@@ -452,6 +480,7 @@ func Preprocess(q, g *graph.Graph, cfg Config, workers int) (*Plan, error) {
 	}
 	plan.OrderTime = time.Since(t0)
 	plan.Order = phi
+	plan.OrderMethod = orderMethod
 	plan.Span.AddChild(obs.NewSpan("order", t0, plan.OrderTime).
 		SetAttr("method", orderMethod))
 
@@ -519,6 +548,9 @@ func MatchPlan(plan *Plan, limits Limits) (*Result, error) {
 		if limits.Trace {
 			res.Trace = obs.NewSpan("enumerate", enumStart, 0).SetAttr("empty", true)
 		}
+		if limits.Profile {
+			res.Explain = explainResult(plan, res)
+		}
 		return res, nil
 	}
 	res.Order = plan.Order
@@ -532,6 +564,9 @@ func MatchPlan(plan *Plan, limits Limits) (*Result, error) {
 		}
 		if limits.Trace {
 			res.Trace = enumerateSpan(enumStart, res)
+		}
+		if limits.Profile {
+			res.Explain = explainResult(plan, res)
 		}
 		return res, nil
 	}
@@ -548,7 +583,7 @@ func MatchPlan(plan *Plan, limits Limits) (*Result, error) {
 		TimeLimit:       limits.TimeLimit,
 		OnMatch:         limits.OnMatch,
 		Cancel:          limits.Cancel,
-		Profile:         cfg.Profile,
+		Profile:         cfg.Profile || limits.Profile,
 	})
 	if err != nil {
 		return nil, err
@@ -562,6 +597,9 @@ func MatchPlan(plan *Plan, limits Limits) (*Result, error) {
 	res.Kernels = stats.Kernels
 	if limits.Trace {
 		res.Trace = enumerateSpan(enumStart, res)
+	}
+	if limits.Profile {
+		res.Explain = explainResult(plan, res)
 	}
 	return res, nil
 }

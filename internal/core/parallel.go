@@ -108,6 +108,7 @@ func matchParallel(q, g *graph.Graph, cand [][]uint32, space *candspace.Space,
 		return true
 	}
 
+	profile := cfg.Profile || limits.Profile
 	opts := enumerate.Options{
 		Local:           cfg.Local,
 		Kernel:          cfg.Kernel,
@@ -115,7 +116,7 @@ func matchParallel(q, g *graph.Graph, cand [][]uint32, space *candspace.Space,
 		Adaptive:        cfg.Adaptive,
 		AdaptiveWeights: weights,
 		VF2PPRules:      cfg.VF2PPRules,
-		Profile:         cfg.Profile,
+		Profile:         profile,
 		Cancel:          stop,
 	}
 	if !countLocally {
@@ -249,8 +250,9 @@ func matchParallel(q, g *graph.Graph, cand [][]uint32, space *candspace.Space,
 	wg.Wait()
 
 	var mergedProf *enumerate.SearchProfile
-	if cfg.Profile {
+	if profile {
 		mergedProf = enumerate.NewSearchProfile(q.NumVertices())
+		res.WorkerProfiles = make([]*enumerate.SearchProfile, len(engines))
 	}
 	var nodes, localEmb uint64
 	workerNodes := make([]uint64, len(engines))
@@ -266,6 +268,7 @@ func matchParallel(q, g *graph.Graph, cand [][]uint32, space *candspace.Space,
 		}
 		if mergedProf != nil {
 			mergedProf.Merge(st.Profile)
+			res.WorkerProfiles[w] = st.Profile
 		}
 	}
 

@@ -3,6 +3,7 @@ package enumerate
 import (
 	"subgraphmatching/internal/bitset"
 	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/intersect"
 )
 
 // DP-iso's adaptive matching order (Section 3.2): the BFS order delta
@@ -150,6 +151,9 @@ func (e *engine) adaptiveRec(depth int) bitset.Mask64 {
 		return e.fullMask
 	}
 	if depth == e.q.NumVertices() {
+		if e.prof != nil {
+			e.prof.Nodes[depth]++
+		}
 		e.emit()
 		return e.fullMask
 	}
@@ -185,11 +189,20 @@ func (e *engine) adaptiveRec(depth int) bitset.Mask64 {
 				e.prof.SymmetrySkips[depth]++
 			}
 		} else {
+			var kpre intersect.KernelStats
 			if e.prof != nil {
 				e.prof.Extended[depth]++
+				kpre = e.sel.Stats()
 			}
 			e.assign(u, v)
 			e.activate(u)
+			if e.prof != nil {
+				// Kernel executions during activation computed the local
+				// candidates of the vertices extendable at depth+1 and
+				// beyond; attributing them to the activating depth keeps
+				// the per-depth sums equal to Stats.Kernels.
+				e.prof.addKernelDelta(depth, kpre, e.sel.Stats())
+			}
 			child = e.adaptiveRec(depth + 1)
 			e.deactivate(u)
 			e.unassign(u, v)

@@ -475,11 +475,22 @@ func (e *engine) runPlain(depth int) bool {
 		return false
 	}
 	if depth == e.q.NumVertices() {
+		if e.prof != nil {
+			// Leaves carry no LC but are search nodes: counting them keeps
+			// sum(Nodes) == Stats.Nodes and Nodes[n] == Stats.Embeddings,
+			// the reconciliation EXPLAIN relies on.
+			e.prof.Nodes[depth]++
+		}
 		return e.emit()
 	}
 	u := e.phi[depth]
+	var kpre intersect.KernelStats
+	if e.prof != nil {
+		kpre = e.sel.Stats()
+	}
 	lc := e.computeLC(depth, u)
 	if e.prof != nil {
+		e.prof.addKernelDelta(depth, kpre, e.sel.Stats())
 		e.prof.Nodes[depth]++
 		e.prof.Candidates[depth] += uint64(len(lc))
 		if len(lc) == 0 {
@@ -520,12 +531,20 @@ func (e *engine) runFS(depth int) bitset.Mask64 {
 		return e.fullMask
 	}
 	if depth == e.q.NumVertices() {
+		if e.prof != nil {
+			e.prof.Nodes[depth]++
+		}
 		e.emit()
 		return e.fullMask
 	}
 	u := e.phi[depth]
+	var kpre intersect.KernelStats
+	if e.prof != nil {
+		kpre = e.sel.Stats()
+	}
 	lc := e.computeLC(depth, u)
 	if e.prof != nil {
+		e.prof.addKernelDelta(depth, kpre, e.sel.Stats())
 		e.prof.Nodes[depth]++
 		e.prof.Candidates[depth] += uint64(len(lc))
 		if len(lc) == 0 {

@@ -170,3 +170,45 @@ func TestEngineSteadyStateAllocationFree(t *testing.T) {
 		}
 	}
 }
+
+// TestProfileOffAllocationFree is the profiling cost budget: with
+// Options.Profile off, every recursion variant — including the adaptive
+// order and the failing-set paths, whose hot loops carry the profile
+// hooks behind a nil check — stays allocation-free once warm. The hooks
+// must cost nothing when nobody asked for a profile.
+func TestProfileOffAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := testutil.RandomGraph(rng, 60, 240, 2)
+	var q *graph.Graph
+	for q == nil {
+		q = testutil.RandomConnectedQuery(rng, g, 5)
+	}
+	f := newFixture(t, q, g, filter.GQL)
+	for _, opts := range reuseOptionSets() {
+		e, err := NewEngine(f.q, f.g, f.cand, f.space, f.phi, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			e.Run()
+		}
+		if allocs := testing.AllocsPerRun(20, func() { e.Run() }); allocs > 0 {
+			t.Errorf("opts %+v: %.1f allocs per warmed run with Profile off, want 0", opts, allocs)
+		}
+	}
+	// Profiled engines reuse their counter slices too: after the
+	// one-time profile allocation, repeated runs reset in place.
+	for _, opts := range reuseOptionSets() {
+		opts.Profile = true
+		e, err := NewEngine(f.q, f.g, f.cand, f.space, f.phi, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			e.Run()
+		}
+		if allocs := testing.AllocsPerRun(20, func() { e.Run() }); allocs > 0 {
+			t.Errorf("opts %+v: %.1f allocs per warmed profiled run, want 0", opts, allocs)
+		}
+	}
+}

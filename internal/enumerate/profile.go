@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"subgraphmatching/internal/intersect"
 )
 
 // SearchProfile records per-depth search-tree statistics, the
@@ -28,6 +30,12 @@ type SearchProfile struct {
 	// FailingSetSkips[d] counts sibling groups pruned by the
 	// failing-set optimization at depth d.
 	FailingSetSkips []uint64
+	// Kernels[d] tallies the pairwise intersection-kernel executions
+	// performed while computing local candidates for depth d (for the
+	// adaptive order: while activating the children of the vertex mapped
+	// at depth d). Summed over depths it equals the run's Stats.Kernels —
+	// the per-depth split of the kernel mix.
+	Kernels []intersect.KernelStats
 }
 
 func newSearchProfile(n int) *SearchProfile {
@@ -39,6 +47,7 @@ func newSearchProfile(n int) *SearchProfile {
 		SymmetrySkips:   make([]uint64, n+1),
 		EmptyLC:         make([]uint64, n+1),
 		FailingSetSkips: make([]uint64, n+1),
+		Kernels:         make([]intersect.KernelStats, n+1),
 	}
 }
 
@@ -51,6 +60,20 @@ func (p *SearchProfile) reset() {
 	} {
 		for i := range s {
 			s[i] = 0
+		}
+	}
+	for i := range p.Kernels {
+		p.Kernels[i] = intersect.KernelStats{}
+	}
+}
+
+// addKernelDelta attributes the selector-stat movement between two
+// snapshots to one depth. Called only on profiled runs, with snapshots
+// taken around the local-candidate computation.
+func (p *SearchProfile) addKernelDelta(depth int, before, after intersect.KernelStats) {
+	for i := range after {
+		if d := after[i] - before[i]; d != 0 {
+			p.Kernels[depth][i] += d
 		}
 	}
 }
@@ -73,6 +96,9 @@ func (p *SearchProfile) Merge(o *SearchProfile) {
 		for i := 0; i < len(dst) && i < len(src); i++ {
 			dst[i] += src[i]
 		}
+	}
+	for i := 0; i < len(p.Kernels) && i < len(o.Kernels); i++ {
+		p.Kernels[i].Add(o.Kernels[i])
 	}
 }
 

@@ -52,7 +52,7 @@ func runCECIFrom(q, g *graph.Graph, root graph.Vertex, tr *StageTrace) [][]uint3
 		}
 	}
 
-	stageStart = tr.add("construct", stageStart, s.total())
+	stageStart = tr.add("construct", stageStart, s.cand)
 
 	// Phase 2: reverse-δ refinement against tree children.
 	children := t.Children()
@@ -62,6 +62,6 @@ func runCECIFrom(q, g *graph.Graph, root graph.Vertex, tr *StageTrace) [][]uint3
 			s.prune(u, c)
 		}
 	}
-	tr.add("refine", stageStart, s.total())
+	tr.add("refine", stageStart, s.cand)
 	return s.result()
 }

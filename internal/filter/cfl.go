@@ -47,7 +47,7 @@ func runCFLFrom(q, g *graph.Graph, root graph.Vertex, tr *StageTrace) [][]uint32
 		}
 		visited[u] = true
 	}
-	stageStart = tr.add("generate", stageStart, s.total())
+	stageStart = tr.add("generate", stageStart, s.cand)
 
 	// Phase 2: bottom-up refinement against deeper neighbors.
 	for i := len(t.Order) - 1; i >= 0; i-- {
@@ -58,6 +58,6 @@ func runCFLFrom(q, g *graph.Graph, root graph.Vertex, tr *StageTrace) [][]uint32
 			}
 		}
 	}
-	tr.add("refine", stageStart, s.total())
+	tr.add("refine", stageStart, s.cand)
 	return s.result()
 }

@@ -27,7 +27,7 @@ func runDPIsoFrom(q, g *graph.Graph, root graph.Vertex, passes int, tr *StageTra
 	for u := 0; u < q.NumVertices(); u++ {
 		s.setCandidates(graph.Vertex(u), s.ldfCandidates(graph.Vertex(u)))
 	}
-	tr.add("init", stageStart, s.total())
+	tr.add("init", stageStart, s.cand)
 	s.dpisoPassesTraced(t, passes, tr)
 	return s.result()
 }
@@ -73,7 +73,7 @@ func (s *state) dpisoPassesTraced(t *graph.BFSTree, passes int, tr *StageTrace) 
 				}
 			}
 		}
-		stageStart = tr.add(fmt.Sprintf("pass-%d", pass+1), stageStart, s.total())
+		stageStart = tr.add(fmt.Sprintf("pass-%d", pass+1), stageStart, s.cand)
 	}
 }
 

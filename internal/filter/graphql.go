@@ -65,7 +65,7 @@ func runGraphQLRadius(q, g *graph.Graph, rounds, radius int, tr *StageTrace) [][
 		}
 	}
 
-	start = tr.add("local", start, s.total())
+	start = tr.add("local", start, s.cand)
 
 	matcher := bipartite.NewMatcher(q.MaxDegree())
 	for round := 0; round < rounds; round++ {
@@ -85,7 +85,7 @@ func runGraphQLRadius(q, g *graph.Graph, rounds, radius int, tr *StageTrace) [][
 			}
 			s.cand[u] = kept
 		}
-		start = tr.add(fmt.Sprintf("refine-%d", round+1), start, s.total())
+		start = tr.add(fmt.Sprintf("refine-%d", round+1), start, s.cand)
 		if !changed {
 			break
 		}

@@ -119,14 +119,14 @@ func RunParallelTraced(m Method, q, g *graph.Graph, workers int, tr *StageTrace)
 		s.generateParallel(workers, tally, nil, func(sc *scratch, u graph.Vertex, v uint32) bool {
 			return s.g.Degree(v) >= s.q.Degree(u)
 		})
-		tr.add("ldf", start, s.total())
+		tr.add("ldf", start, s.cand)
 		return s.result(), tally, nil
 	case NLF:
 		s := newState(q, g)
 		s.generateParallel(workers, tally, nil, func(sc *scratch, u graph.Vertex, v uint32) bool {
 			return s.g.Degree(v) >= s.q.Degree(u) && s.nlfOKWith(sc.counter, u, v)
 		})
-		tr.add("nlf", start, s.total())
+		tr.add("nlf", start, s.cand)
 		return s.result(), tally, nil
 	case GQL:
 		return runGraphQLRadiusParallel(q, g, DefaultGQLRounds, 1, workers, tally, tr), tally, nil
@@ -188,7 +188,7 @@ func runGraphQLRadiusParallel(q, g *graph.Graph, rounds, radius, workers int, ta
 	for u := 0; u < q.NumVertices(); u++ {
 		s.rebuildMember(graph.Vertex(u))
 	}
-	tr.add("local", start, s.total())
+	tr.add("local", start, s.cand)
 	s.refineJacobi(rounds, workers, tally, tr, "refine-%d", func(sc *scratch, u graph.Vertex, qn []graph.Vertex, v uint32) bool {
 		return s.semiPerfect(sc.matcher, qn, v)
 	})
@@ -238,7 +238,7 @@ func runDPIsoParallel(q, g *graph.Graph, passes, workers int, tally []uint64, tr
 	for u := 0; u < q.NumVertices(); u++ {
 		s.rebuildMember(graph.Vertex(u))
 	}
-	tr.add("init", start, s.total())
+	tr.add("init", start, s.cand)
 	s.dpisoPassesTraced(graph.NewBFSTree(q, root), passes, tr)
 	return s.result()
 }
@@ -274,7 +274,7 @@ func runSteadyParallel(q, g *graph.Graph, workers int, tally []uint64, tr *Stage
 	})
 	// The sequential RunSteady records one "fixpoint" stage; the Jacobi
 	// rounds converge to the same fix point, so one stage matches.
-	tr.add("fixpoint", start, s.total())
+	tr.add("fixpoint", start, s.cand)
 	return s.result()
 }
 
@@ -433,7 +433,7 @@ func (s *state) refineJacobi(rounds, workers int, tally []uint64, tr *StageTrace
 			}
 		}
 		if stageFmt != "" {
-			stageStart = tr.add(fmt.Sprintf(stageFmt, round+1), stageStart, s.total())
+			stageStart = tr.add(fmt.Sprintf(stageFmt, round+1), stageStart, s.cand)
 		}
 		if !changed {
 			break

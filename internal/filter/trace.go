@@ -8,30 +8,45 @@ import (
 )
 
 // Stage records one internal stage of a filtering method: its name, how
-// long it took, and the total candidate count across query vertices once
-// it finished — the per-stage attribution the paper's profiling
+// long it took, and the candidate count across query vertices once it
+// finished — the per-stage attribution the paper's profiling
 // methodology calls for (filtering wins are explained by *which* pruning
-// stage removes the candidates, not by the method's total time).
+// stage removes the candidates, not by the method's total time). When
+// the trace was collected with PerVertex set, Counts additionally holds
+// |C(u)| per query vertex after the stage ran — the EXPLAIN view of
+// where each vertex's candidates died.
 type Stage struct {
 	Name       string
 	Duration   time.Duration
 	Candidates uint64
+	Counts     []uint32
 }
 
 // StageTrace collects the stages of one filtering run. A nil trace
 // disables collection; the traced run paths check the pointer once per
 // stage boundary, so the cost of an untraced run is a nil compare.
+// PerVertex retains the per-query-vertex candidate counts at every stage
+// boundary (O(stages x |V(q)|) extra space, negligible next to the
+// candidate sets themselves).
 type StageTrace struct {
-	Stages []Stage
+	Stages    []Stage
+	PerVertex bool
 }
 
 // add closes one stage: named, timed from start, with the candidate
-// total after it ran. Returns time.Now() so call sites chain stages
-// without a second clock read.
-func (t *StageTrace) add(name string, start time.Time, candidates uint64) time.Time {
+// counts taken from the live candidate sets after it ran. Returns
+// time.Now() so call sites chain stages without a second clock read.
+func (t *StageTrace) add(name string, start time.Time, cand [][]uint32) time.Time {
 	now := time.Now()
 	if t != nil {
-		t.Stages = append(t.Stages, Stage{Name: name, Duration: now.Sub(start), Candidates: candidates})
+		st := Stage{Name: name, Duration: now.Sub(start), Candidates: TotalCandidates(cand)}
+		if t.PerVertex {
+			st.Counts = make([]uint32, len(cand))
+			for u, c := range cand {
+				st.Counts[u] = uint32(len(c))
+			}
+		}
+		t.Stages = append(t.Stages, st)
 	}
 	return now
 }
@@ -69,11 +84,11 @@ func RunTraced(m Method, q, g *graph.Graph, tr *StageTrace) ([][]uint32, error) 
 	switch m {
 	case LDF:
 		c := RunLDF(q, g)
-		tr.add("ldf", start, TotalCandidates(c))
+		tr.add("ldf", start, c)
 		return c, nil
 	case NLF:
 		c := RunNLF(q, g)
-		tr.add("nlf", start, TotalCandidates(c))
+		tr.add("nlf", start, c)
 		return c, nil
 	case GQL:
 		return runGraphQLRadius(q, g, DefaultGQLRounds, 1, tr), nil
@@ -85,7 +100,7 @@ func RunTraced(m Method, q, g *graph.Graph, tr *StageTrace) ([][]uint32, error) 
 		return runDPIsoFrom(q, g, DPIsoRoot(q, g), DefaultDPIsoPasses, tr), nil
 	case Steady:
 		c := RunSteady(q, g)
-		tr.add("fixpoint", start, TotalCandidates(c))
+		tr.add("fixpoint", start, c)
 		return c, nil
 	default:
 		return nil, fmt.Errorf("filter: unknown method %v", m)

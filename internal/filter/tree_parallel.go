@@ -298,7 +298,7 @@ func runCFLParallel(q, g *graph.Graph, root graph.Vertex, workers int, tally []u
 		visited[u] = true
 	}
 	s.runTreeOps(ops, fr)
-	stageStart = tr.add("generate", stageStart, s.total())
+	stageStart = tr.add("generate", stageStart, s.cand)
 
 	// Phase 2: bottom-up refinement. Each vertex's prunes against its
 	// deeper neighbors fuse into one op; a level only reads strictly
@@ -317,7 +317,7 @@ func runCFLParallel(q, g *graph.Graph, root graph.Vertex, workers int, tally []u
 		}
 	}
 	s.runTreeOps(ops, fr)
-	tr.add("refine", stageStart, s.total())
+	tr.add("refine", stageStart, s.cand)
 	par.Accumulate(tally, fr.Tally())
 	return s.result()
 }
@@ -355,7 +355,7 @@ func runCECIParallel(q, g *graph.Graph, root graph.Vertex, workers int, tally []
 		}
 	}
 	s.runTreeOps(ops, fr)
-	stageStart = tr.add("construct", stageStart, s.total())
+	stageStart = tr.add("construct", stageStart, s.cand)
 
 	// Phase 2: reverse-δ refinement against tree children only.
 	ops = ops[:0]
@@ -367,7 +367,7 @@ func runCECIParallel(q, g *graph.Graph, root graph.Vertex, workers int, tally []
 		}
 	}
 	s.runTreeOps(ops, fr)
-	tr.add("refine", stageStart, s.total())
+	tr.add("refine", stageStart, s.cand)
 	par.Accumulate(tally, fr.Tally())
 	return s.result()
 }

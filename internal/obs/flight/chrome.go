@@ -1,0 +1,72 @@
+package flight
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"subgraphmatching/internal/obs"
+)
+
+// chromeEvent is one trace event in the Chrome trace-event format
+// (chrome://tracing, Perfetto): "X" complete events with microsecond
+// timestamps.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports a span tree in the Chrome trace-event JSON
+// format, loadable in chrome://tracing or Perfetto. Timestamps are
+// microseconds relative to the root span's start; annotation spans
+// (zero start time, e.g. per-worker tallies) inherit their parent's
+// timestamp so they appear as zero-width markers in the right place.
+func WriteChromeTrace(w io.Writer, root *obs.Span) error {
+	tr := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	if root != nil {
+		appendChromeEvents(&tr.TraceEvents, root, root.Start, root.Start)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tr)
+}
+
+func appendChromeEvents(events *[]chromeEvent, s *obs.Span, base, parentStart time.Time) {
+	start := s.Start
+	if start.IsZero() {
+		start = parentStart
+	}
+	ts := 0.0
+	if !base.IsZero() && !start.IsZero() {
+		ts = float64(start.Sub(base)) / float64(time.Microsecond)
+	}
+	ev := chromeEvent{
+		Name: s.Name,
+		Cat:  "smatch",
+		Ph:   "X",
+		Ts:   ts,
+		Dur:  float64(s.Duration) / float64(time.Microsecond),
+		Pid:  1,
+		Tid:  1,
+	}
+	if len(s.Attrs) > 0 {
+		ev.Args = make(map[string]any, len(s.Attrs))
+		for _, a := range s.Attrs {
+			ev.Args[a.Key] = a.Value
+		}
+	}
+	*events = append(*events, ev)
+	for _, c := range s.Children {
+		appendChromeEvents(events, c, base, start)
+	}
+}

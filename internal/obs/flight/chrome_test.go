@@ -1,0 +1,101 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"testing"
+	"time"
+
+	"subgraphmatching/internal/obs"
+)
+
+func TestWriteChromeTrace(t *testing.T) {
+	base := time.Unix(100, 0)
+	root := obs.NewSpan("match", base, 10*time.Millisecond)
+	pre := obs.NewSpan("preprocess", base, 4*time.Millisecond).SetAttr("filter", "GQL")
+	// Annotation child with zero start: must inherit its parent's ts.
+	pre.AddChild(obs.NewSpan("worker-0", time.Time{}, 0).SetAttr("work", 7))
+	enum := obs.NewSpan("enumerate", base.Add(4*time.Millisecond), 6*time.Millisecond)
+	root.AddChild(pre).AddChild(enum)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, root); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("invalid trace JSON: %v\n%s", err, buf.String())
+	}
+	if len(tr.TraceEvents) != 4 {
+		t.Fatalf("%d events, want 4", len(tr.TraceEvents))
+	}
+	byName := map[string]int{}
+	for i, ev := range tr.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q phase %q, want X", ev.Name, ev.Ph)
+		}
+		byName[ev.Name] = i
+	}
+	if ts := tr.TraceEvents[byName["match"]].Ts; ts != 0 {
+		t.Errorf("root ts = %v, want 0", ts)
+	}
+	if ts := tr.TraceEvents[byName["enumerate"]].Ts; ts != 4000 {
+		t.Errorf("enumerate ts = %v µs, want 4000", ts)
+	}
+	if ts := tr.TraceEvents[byName["worker-0"]].Ts; ts != 0 {
+		t.Errorf("annotation child ts = %v, want parent's 0", ts)
+	}
+	if d := tr.TraceEvents[byName["match"]].Dur; d != 10000 {
+		t.Errorf("root dur = %v µs, want 10000", d)
+	}
+	if v := tr.TraceEvents[byName["preprocess"]].Args["filter"]; v != "GQL" {
+		t.Errorf("args lost: %v", tr.TraceEvents[byName["preprocess"]].Args)
+	}
+}
+
+func TestWriteChromeTraceNilRoot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"traceEvents":[]`)) {
+		t.Fatalf("nil root: %s", buf.String())
+	}
+}
+
+// FuzzProfileRender feeds arbitrary span trees (via the JSON decoder)
+// to every renderer a /debug endpoint exposes: the text render and the
+// Chrome trace export must never panic, whatever the tree looks like.
+func FuzzProfileRender(f *testing.F) {
+	base := time.Unix(1, 0)
+	root := obs.NewSpan("match", base, time.Millisecond)
+	root.AddChild(obs.NewSpan("preprocess", base, time.Microsecond).SetAttr("k", 1))
+	root.AddChild(obs.NewSpan("enumerate", time.Time{}, 0))
+	seed, err := json.Marshal(root)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{"name":"x","duration_ns":-5,"children":[{"name":""}]}`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s obs.Span
+		if err := json.Unmarshal(data, &s); err != nil {
+			t.Skip()
+		}
+		s.Render(io.Discard)
+		if err := WriteChromeTrace(io.Discard, &s); err != nil {
+			t.Fatalf("chrome export errored on valid span: %v", err)
+		}
+	})
+}

@@ -1,0 +1,322 @@
+// Package flight is the serving layer's always-on flight recorder: a
+// live registry of in-flight requests (what phase each is in, for how
+// long) plus a bounded, latency-bucketed ring of recently completed
+// request spans. Retention is biased toward what an operator debugging a
+// latency regression actually needs — within each latency bucket the
+// slowest records are kept, and errored requests are always kept in
+// their own ring — so the interesting traces survive without logging
+// every request. The slow-query log is one subscriber of the recorder,
+// not a separate instrumentation path.
+package flight
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"subgraphmatching/internal/obs"
+)
+
+// BucketBounds are the latency bucket upper bounds; a final unbounded
+// bucket catches everything slower.
+var BucketBounds = []time.Duration{
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+	10 * time.Second,
+}
+
+// Defaults for NewRecorder.
+const (
+	DefaultPerBucket = 8
+	DefaultErrorCap  = 64
+)
+
+// Record is one completed request as retained by the recorder.
+type Record struct {
+	ID      uint64        `json:"id"`
+	Graph   string        `json:"graph,omitempty"`
+	Algo    string        `json:"algo,omitempty"`
+	Start   time.Time     `json:"start"`
+	Latency time.Duration `json:"latency_ns"`
+	Err     string        `json:"error,omitempty"`
+	Span    *obs.Span     `json:"span,omitempty"`
+	// Payload carries consumer-specific context (the slow-query log's
+	// record); opaque to the recorder.
+	Payload any `json:"-"`
+}
+
+// Flight is the handle for one in-flight request. SetPhase is
+// goroutine-safe and costs one atomic store, so the serving path can
+// mark phase transitions freely.
+type Flight struct {
+	r     *Recorder
+	id    uint64
+	graph string
+	algo  string
+	start time.Time
+	phase atomic.Value // string
+	done  atomic.Bool
+}
+
+// ID returns the flight's recorder-unique id.
+func (f *Flight) ID() uint64 { return f.id }
+
+// SetPhase labels what the request is doing right now ("queued",
+// "plan", "enumerate", ...).
+func (f *Flight) SetPhase(p string) { f.phase.Store(p) }
+
+// Phase returns the current phase label.
+func (f *Flight) Phase() string {
+	if p, ok := f.phase.Load().(string); ok {
+		return p
+	}
+	return ""
+}
+
+// Finish completes the flight: it leaves the in-flight registry, its
+// latency is measured, and the resulting Record — carrying the given
+// span tree, error and consumer payload — is offered to the retention
+// buckets and the subscribers. Finish is idempotent; calls after the
+// first are ignored.
+func (f *Flight) Finish(span *obs.Span, err error, payload any) *Record {
+	return f.finish(time.Since(f.start), span, err, payload)
+}
+
+func (f *Flight) finish(latency time.Duration, span *obs.Span, err error, payload any) *Record {
+	if f.done.Swap(true) {
+		return nil
+	}
+	rec := &Record{
+		ID:      f.id,
+		Graph:   f.graph,
+		Algo:    f.algo,
+		Start:   f.start,
+		Latency: latency,
+		Span:    span,
+		Payload: payload,
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	f.r.complete(rec)
+	return rec
+}
+
+// InflightInfo is the live view of one in-flight request.
+type InflightInfo struct {
+	ID      uint64        `json:"id"`
+	Graph   string        `json:"graph,omitempty"`
+	Algo    string        `json:"algo,omitempty"`
+	Phase   string        `json:"phase"`
+	Start   time.Time     `json:"start"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// bucket retains the slowest records of one latency band.
+type bucket struct {
+	count   uint64    // total completions that landed here
+	records []*Record // sorted slowest-first, len <= perBucket
+}
+
+// BucketSnapshot is the exported view of one latency bucket.
+type BucketSnapshot struct {
+	// Label names the band, e.g. "<10ms" or ">=10s".
+	Label string `json:"label"`
+	// Count is the total number of requests that completed in the band
+	// (not just the retained ones).
+	Count uint64 `json:"count"`
+	// Records are the retained slowest requests of the band,
+	// slowest-first.
+	Records []*Record `json:"records,omitempty"`
+}
+
+// Recorder is the flight recorder. The zero value is not ready; use
+// NewRecorder.
+type Recorder struct {
+	mu        sync.Mutex
+	nextID    uint64
+	inflight  map[uint64]*Flight
+	buckets   []bucket
+	errs      []*Record // ring, newest overwrite oldest
+	errNext   int
+	errCap    int
+	perBucket int
+	subs      []func(*Record)
+}
+
+// NewRecorder builds a recorder keeping the slowest perBucket records
+// per latency band and the last errCap errored requests (<=0 selects
+// the defaults).
+func NewRecorder(perBucket, errCap int) *Recorder {
+	if perBucket <= 0 {
+		perBucket = DefaultPerBucket
+	}
+	if errCap <= 0 {
+		errCap = DefaultErrorCap
+	}
+	return &Recorder{
+		inflight:  make(map[uint64]*Flight),
+		buckets:   make([]bucket, len(BucketBounds)+1),
+		errCap:    errCap,
+		perBucket: perBucket,
+	}
+}
+
+// Start registers a new in-flight request and returns its handle.
+func (r *Recorder) Start(graph, algo string) *Flight {
+	r.mu.Lock()
+	r.nextID++
+	f := &Flight{r: r, id: r.nextID, graph: graph, algo: algo, start: time.Now()}
+	r.inflight[f.id] = f
+	r.mu.Unlock()
+	f.phase.Store("start")
+	return f
+}
+
+// bucketIndex maps a latency to its band.
+func bucketIndex(d time.Duration) int {
+	for i, b := range BucketBounds {
+		if d < b {
+			return i
+		}
+	}
+	return len(BucketBounds)
+}
+
+// BucketLabel names band i as rendered in snapshots.
+func BucketLabel(i int) string {
+	if i < len(BucketBounds) {
+		return "<" + BucketBounds[i].String()
+	}
+	return ">=" + BucketBounds[len(BucketBounds)-1].String()
+}
+
+// complete moves a finished flight into retention and fans it out to
+// the subscribers (outside the lock: a slow subscriber must not stall
+// the serving path's recorder).
+func (r *Recorder) complete(rec *Record) {
+	r.mu.Lock()
+	delete(r.inflight, rec.ID)
+	b := &r.buckets[bucketIndex(rec.Latency)]
+	b.count++
+	// Insert keeping slowest-first order, then clip to the cap. The
+	// slice is tiny (perBucket ~ 8), so a linear insert is cheaper than
+	// anything clever.
+	pos := len(b.records)
+	for i, old := range b.records {
+		if rec.Latency > old.Latency {
+			pos = i
+			break
+		}
+	}
+	if pos < r.perBucket {
+		b.records = append(b.records, nil)
+		copy(b.records[pos+1:], b.records[pos:])
+		b.records[pos] = rec
+		if len(b.records) > r.perBucket {
+			b.records = b.records[:r.perBucket]
+		}
+	}
+	if rec.Err != "" {
+		if len(r.errs) < r.errCap {
+			r.errs = append(r.errs, rec)
+		} else {
+			r.errs[r.errNext] = rec
+		}
+		r.errNext = (r.errNext + 1) % r.errCap
+	}
+	subs := r.subs
+	r.mu.Unlock()
+	for _, fn := range subs {
+		fn(rec)
+	}
+}
+
+// Subscribe registers fn to receive every completed record, called
+// synchronously on the finishing request's goroutine. Subscribers must
+// be registered before serving starts; registration is not synchronized
+// against in-flight completions.
+func (r *Recorder) Subscribe(fn func(*Record)) {
+	r.mu.Lock()
+	r.subs = append(r.subs, fn)
+	r.mu.Unlock()
+}
+
+// InflightCount returns the number of requests currently in flight.
+func (r *Recorder) InflightCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.inflight)
+}
+
+// Inflight lists the in-flight requests, oldest first.
+func (r *Recorder) Inflight() []InflightInfo {
+	now := time.Now()
+	r.mu.Lock()
+	out := make([]InflightInfo, 0, len(r.inflight))
+	for _, f := range r.inflight {
+		out = append(out, InflightInfo{
+			ID:      f.id,
+			Graph:   f.graph,
+			Algo:    f.algo,
+			Phase:   f.Phase(),
+			Start:   f.start,
+			Elapsed: now.Sub(f.start),
+		})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// Snapshot returns the retention buckets, fastest band first.
+func (r *Recorder) Snapshot() []BucketSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]BucketSnapshot, len(r.buckets))
+	for i := range r.buckets {
+		out[i] = BucketSnapshot{
+			Label:   BucketLabel(i),
+			Count:   r.buckets[i].count,
+			Records: append([]*Record(nil), r.buckets[i].records...),
+		}
+	}
+	return out
+}
+
+// Errors returns the retained errored requests, newest first.
+func (r *Recorder) Errors() []*Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Record, 0, len(r.errs))
+	for i := 0; i < len(r.errs); i++ {
+		idx := (r.errNext - 1 - i + r.errCap) % r.errCap
+		if idx < len(r.errs) && r.errs[idx] != nil {
+			out = append(out, r.errs[idx])
+		}
+	}
+	return out
+}
+
+// Lookup finds a retained record by id (buckets first, then the error
+// ring), nil if it aged out.
+func (r *Recorder) Lookup(id uint64) *Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.buckets {
+		for _, rec := range r.buckets[i].records {
+			if rec.ID == id {
+				return rec
+			}
+		}
+	}
+	for _, rec := range r.errs {
+		if rec != nil && rec.ID == id {
+			return rec
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// RotatingWriter is a size-capped append-only file writer: when a write
+// would push the file past maxBytes, the current file is renamed to
+// path+".1" (replacing any previous rotation) and a fresh file is
+// started. At most 2x maxBytes live on disk, and the newest records are
+// always in the live file — the retention a long-running daemon's
+// slow-query log needs. Writes are serialized internally; records
+// larger than maxBytes are written whole (one oversized record per
+// file, never a partial one).
+type RotatingWriter struct {
+	mu       sync.Mutex
+	path     string
+	maxBytes int64
+	f        *os.File
+	size     int64
+}
+
+// NewRotatingWriter opens (or creates, appending) path with the given
+// size cap. A cap of 0 or less disables rotation.
+func NewRotatingWriter(path string, maxBytes int64) (*RotatingWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &RotatingWriter{path: path, maxBytes: maxBytes, f: f, size: st.Size()}, nil
+}
+
+// Write appends p, rotating first if the file would exceed the cap.
+func (w *RotatingWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.maxBytes > 0 && w.size > 0 && w.size+int64(len(p)) > w.maxBytes {
+		if err := w.rotate(); err != nil {
+			return 0, err
+		}
+	}
+	n, err := w.f.Write(p)
+	w.size += int64(n)
+	return n, err
+}
+
+// rotate closes the live file, renames it aside and starts a new one.
+// Called with the lock held.
+func (w *RotatingWriter) rotate() error {
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("obs: rotate close: %w", err)
+	}
+	if err := os.Rename(w.path, w.path+".1"); err != nil {
+		return fmt.Errorf("obs: rotate rename: %w", err)
+	}
+	f, err := os.OpenFile(w.path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("obs: rotate reopen: %w", err)
+	}
+	w.f = f
+	w.size = 0
+	return nil
+}
+
+// Close closes the live file.
+func (w *RotatingWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRotatingWriterPreservesNewest writes numbered NDJSON-style records
+// through a small cap and checks the invariant rotation exists for: the
+// newest records are always on disk (live file), the oldest may only age
+// out of the ".1" file, and no record is ever torn across files.
+func TestRotatingWriterPreservesNewest(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "slow.ndjson")
+	w, err := NewRotatingWriter(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const records = 50
+	var last string
+	for i := 0; i < records; i++ {
+		last = fmt.Sprintf(`{"seq":%d,"pad":"xxxxxxxxxxxxxxxx"}`+"\n", i)
+		if _, err := w.Write([]byte(last)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	live, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(live)) > 256 {
+		t.Fatalf("live file %d bytes exceeds cap", len(live))
+	}
+	if !strings.Contains(string(live), fmt.Sprintf(`"seq":%d`, records-1)) {
+		t.Fatalf("newest record missing from live file:\n%s", live)
+	}
+	old, err := os.ReadFile(path + ".1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Live + rotated together must hold a contiguous suffix of the
+	// stream: every line intact, sequence numbers strictly increasing by
+	// one up to the last record.
+	all := string(old) + string(live)
+	lines := strings.Split(strings.TrimSuffix(all, "\n"), "\n")
+	prev := -2
+	for _, ln := range lines {
+		var seq int
+		var pad string
+		if _, err := fmt.Sscanf(ln, `{"seq":%d,"pad":%q}`, &seq, &pad); err != nil {
+			t.Fatalf("torn record %q: %v", ln, err)
+		}
+		if prev != -2 && seq != prev+1 {
+			t.Fatalf("gap in retained records: %d after %d", seq, prev)
+		}
+		prev = seq
+	}
+	if prev != records-1 {
+		t.Fatalf("last retained seq = %d, want %d", prev, records-1)
+	}
+}
+
+// TestRotatingWriterNoCap: a cap of 0 never rotates.
+func TestRotatingWriterNoCap(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log")
+	w, err := NewRotatingWriter(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := w.Write([]byte(strings.Repeat("x", 100) + "\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	if _, err := os.Stat(path + ".1"); !os.IsNotExist(err) {
+		t.Fatalf("uncapped writer rotated: %v", err)
+	}
+	st, err := os.Stat(path)
+	if err != nil || st.Size() != 101*100 {
+		t.Fatalf("size = %v, err %v", st.Size(), err)
+	}
+}
+
+// TestRotatingWriterAppendsAcrossReopen: reopening an existing file
+// keeps its contents and counts its size toward the cap.
+func TestRotatingWriterAppendsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log")
+	w, _ := NewRotatingWriter(path, 64)
+	w.Write([]byte(strings.Repeat("a", 40) + "\n"))
+	w.Close()
+	w2, err := NewRotatingWriter(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 41 existing + 41 new > 64: must rotate, not overwrite.
+	w2.Write([]byte(strings.Repeat("b", 40) + "\n"))
+	w2.Close()
+	old, _ := os.ReadFile(path + ".1")
+	live, _ := os.ReadFile(path)
+	if !strings.HasPrefix(string(old), "aaa") || !strings.HasPrefix(string(live), "bbb") {
+		t.Fatalf("reopen lost data: old=%q live=%q", old, live)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -18,8 +19,14 @@ import (
 //
 // A span is mutable while its phase runs and must be treated as
 // immutable once attached to a Result: cached plans share their
-// preprocessing span across every request that hits them.
+// preprocessing span across every request that hits them. The accessor
+// methods additionally lock per span, so concurrent builders (parallel
+// batch groups attaching children, the flight recorder reading a live
+// span) stay race-free; the direct field reads tests and renderers of
+// *finished* spans perform need no lock. Spans must not be copied by
+// value.
 type Span struct {
+	mu       sync.Mutex
 	Name     string
 	Start    time.Time
 	Duration time.Duration
@@ -47,10 +54,16 @@ func StartSpan(name string) *Span {
 }
 
 // End fixes the span's duration to the time elapsed since Start.
-func (s *Span) End() { s.Duration = time.Since(s.Start) }
+func (s *Span) End() {
+	s.mu.Lock()
+	s.Duration = time.Since(s.Start)
+	s.mu.Unlock()
+}
 
 // SetAttr appends (or replaces) an attribute.
 func (s *Span) SetAttr(key string, value any) *Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for i := range s.Attrs {
 		if s.Attrs[i].Key == key {
 			s.Attrs[i].Value = value
@@ -63,6 +76,8 @@ func (s *Span) SetAttr(key string, value any) *Span {
 
 // Attr returns the value of the named attribute, nil if absent.
 func (s *Span) Attr(key string) any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, a := range s.Attrs {
 		if a.Key == key {
 			return a.Value
@@ -75,13 +90,17 @@ func (s *Span) Attr(key string) any {
 // callers attach optional phases unconditionally).
 func (s *Span) AddChild(c *Span) *Span {
 	if c != nil {
+		s.mu.Lock()
 		s.Children = append(s.Children, c)
+		s.mu.Unlock()
 	}
 	return s
 }
 
 // Child returns the first child with the given name, nil if absent.
 func (s *Span) Child(name string) *Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, c := range s.Children {
 		if c.Name == name {
 			return c
@@ -90,12 +109,28 @@ func (s *Span) Child(name string) *Span {
 	return nil
 }
 
+// snapshot copies the span's fields under its lock: the scalar fields by
+// value and fresh slices for attrs/children, so the caller can walk them
+// (and recurse into children, which lock themselves) without holding the
+// lock.
+func (s *Span) snapshot() (name string, start time.Time, d time.Duration, attrs []Attr, children []*Span) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	name, start, d = s.Name, s.Start, s.Duration
+	attrs = append(attrs, s.Attrs...)
+	children = append(children, s.Children...)
+	return
+}
+
 // ChildrenDuration sums the direct children's durations — the quantity
 // that must stay within the span's own duration for a well-nested trace.
 func (s *Span) ChildrenDuration() time.Duration {
+	_, _, _, _, children := s.snapshot()
 	var d time.Duration
-	for _, c := range s.Children {
+	for _, c := range children {
+		c.mu.Lock()
 		d += c.Duration
+		c.mu.Unlock()
 	}
 	return d
 }
@@ -112,10 +147,11 @@ type spanJSON struct {
 // MarshalJSON renders {"name":..., "duration_ns":..., "attrs":{...},
 // "children":[...]} with attrs as an object keyed by attribute name.
 func (s *Span) MarshalJSON() ([]byte, error) {
-	j := spanJSON{Name: s.Name, DurationNS: s.Duration.Nanoseconds(), Children: s.Children}
-	if len(s.Attrs) > 0 {
-		j.Attrs = make(map[string]any, len(s.Attrs))
-		for _, a := range s.Attrs {
+	name, _, d, attrs, children := s.snapshot()
+	j := spanJSON{Name: name, DurationNS: d.Nanoseconds(), Children: children}
+	if len(attrs) > 0 {
+		j.Attrs = make(map[string]any, len(attrs))
+		for _, a := range attrs {
 			j.Attrs[a.Key] = a.Value
 		}
 	}
@@ -129,15 +165,17 @@ func (s *Span) UnmarshalJSON(b []byte) error {
 	if err := json.Unmarshal(b, &j); err != nil {
 		return err
 	}
-	s.Name = j.Name
-	s.Duration = time.Duration(j.DurationNS)
-	s.Children = j.Children
-	s.Attrs = nil
 	keys := make([]string, 0, len(j.Attrs))
 	for k := range j.Attrs {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Name = j.Name
+	s.Duration = time.Duration(j.DurationNS)
+	s.Children = j.Children
+	s.Attrs = nil
 	for _, k := range keys {
 		s.Attrs = append(s.Attrs, Attr{Key: k, Value: j.Attrs[k]})
 	}
@@ -153,17 +191,18 @@ func (s *Span) Render(w io.Writer) {
 }
 
 func (s *Span) render(w io.Writer, depth int) {
+	name, _, dur, attrs, children := s.snapshot()
 	indent := strings.Repeat("  ", depth)
 	d := "-"
-	if s.Duration > 0 {
-		d = s.Duration.Round(time.Microsecond).String()
+	if dur > 0 {
+		d = dur.Round(time.Microsecond).String()
 	}
-	fmt.Fprintf(w, "%-36s %12s", indent+s.Name, d)
-	for _, a := range s.Attrs {
+	fmt.Fprintf(w, "%-36s %12s", indent+name, d)
+	for _, a := range attrs {
 		fmt.Fprintf(w, "  %s=%v", a.Key, a.Value)
 	}
 	fmt.Fprintln(w)
-	for _, c := range s.Children {
+	for _, c := range children {
 		c.render(w, depth+1)
 	}
 }

@@ -2,7 +2,9 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -63,7 +65,7 @@ func TestSpanJSONRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	if back.Name != "enumerate" || back.Duration != 1500*time.Nanosecond {
-		t.Fatalf("round trip lost fields: %+v", back)
+		t.Fatalf("round trip lost fields: name=%q duration=%v", back.Name, back.Duration)
 	}
 	// JSON numbers come back as float64; values must survive as numbers.
 	if v, ok := back.Attr("nodes").(float64); !ok || v != 99 {
@@ -71,5 +73,63 @@ func TestSpanJSONRoundTrip(t *testing.T) {
 	}
 	if len(back.Children) != 1 || back.Children[0].Name != "worker" {
 		t.Fatalf("children lost: %+v", back.Children)
+	}
+}
+
+// TestSpanConcurrentStress hammers one span tree from concurrent
+// builders and readers — the flight recorder serves /debug/tracez
+// renders of spans that batch groups may still be attaching children to.
+// Run under -race; the final structural checks catch lost updates.
+func TestSpanConcurrentStress(t *testing.T) {
+	root := StartSpan("root")
+	const writers, perWriter, readers = 8, 100, 4
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				c := NewSpan(fmt.Sprintf("c-%d-%d", i, j), time.Now(), time.Duration(j+1))
+				c.SetAttr("j", j)
+				root.AddChild(c)
+				root.SetAttr(fmt.Sprintf("w%d", i), j)
+			}
+		}(i)
+	}
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				var sb strings.Builder
+				root.Render(&sb)
+				if _, err := json.Marshal(root); err != nil {
+					t.Error(err)
+				}
+				root.ChildrenDuration()
+				root.Child("c-0-0")
+				root.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(root.Children) != writers*perWriter {
+		t.Fatalf("lost children: %d, want %d", len(root.Children), writers*perWriter)
+	}
+	data, err := json.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Span
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Children) != writers*perWriter {
+		t.Fatalf("round trip lost children: %d", len(back.Children))
+	}
+	for i := 0; i < writers; i++ {
+		if v, ok := back.Attr(fmt.Sprintf("w%d", i)).(float64); !ok || v != perWriter-1 {
+			t.Fatalf("attr w%d = %#v, want %d", i, back.Attr(fmt.Sprintf("w%d", i)), perWriter-1)
+		}
 	}
 }

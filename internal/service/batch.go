@@ -56,6 +56,9 @@ type execKey struct {
 	parallel      int
 	schedule      core.Schedule
 	workers       int
+	// profile keeps profiled and unprofiled items apart: a fan-out of an
+	// unprofiled run has no Explain to offer a profiled duplicate.
+	profile bool
 }
 
 // SubmitBatch runs a set of requests as one batch: items are grouped by
@@ -80,6 +83,10 @@ func (s *Service) SubmitBatch(ctx context.Context, items []Request) ([]BatchResu
 		return nil, ErrEmptyBatch
 	}
 	began := time.Now()
+	// The batch is one flight: the recorder shows it in flight while its
+	// groups run, and its root span (all groups) enters retention.
+	fl := s.flights.Start("(batch)", "batch")
+	fl.SetPhase("groups")
 	results := make([]BatchResult, len(items))
 	for i := range results {
 		results[i].Index = i
@@ -157,6 +164,7 @@ func (s *Service) SubmitBatch(ctx context.Context, items []Request) ([]BatchResu
 		}
 	}
 
+	var payload any
 	if s.slowLog != nil && latency >= s.slowLog.threshold {
 		s.metrics.slowQueries.Inc()
 		var embeddings, nodes uint64
@@ -169,7 +177,7 @@ func (s *Service) SubmitBatch(ctx context.Context, items []Request) ([]BatchResu
 				nodes += r.Result.Nodes
 			}
 		}
-		s.slowLog.log(slowQueryRecord{
+		payload = slowQueryRecord{
 			Time:       time.Now().UTC().Format(time.RFC3339Nano),
 			Graph:      "(batch)",
 			Algorithm:  "batch",
@@ -180,8 +188,9 @@ func (s *Service) SubmitBatch(ctx context.Context, items []Request) ([]BatchResu
 			Nodes:      nodes,
 			LatencyNS:  latency.Nanoseconds(),
 			Trace:      root,
-		})
+		}
 	}
+	fl.Finish(root, nil, payload)
 	return results, nil
 }
 
@@ -302,6 +311,7 @@ func (s *Service) runBatchItem(ctx context.Context, began time.Time, grp *batchG
 		parallel:      req.Parallel,
 		schedule:      req.Schedule,
 		workers:       req.Workers,
+		profile:       req.Profile,
 	}
 	if req.OnMatch == nil {
 		if prior, ok := dedup[ek]; ok {
@@ -327,6 +337,7 @@ func (s *Service) runBatchItem(ctx context.Context, began time.Time, grp *batchG
 		Parallel:      req.Parallel,
 		Schedule:      req.Schedule,
 		Workers:       req.Workers,
+		Profile:       req.Profile,
 		Trace:         true,
 	}
 
@@ -371,6 +382,7 @@ func (s *Service) runBatchItem(ctx context.Context, began time.Time, grp *batchG
 	s.metrics.recordSuccess(grp.entry.name, grp.algo, res.Embeddings, cacheHit,
 		res.TimedOut, res.LimitHit, latency)
 	s.metrics.recordKernels(res.Kernels)
+	s.metrics.observeDepthNodes(res.Profile)
 	s.metrics.observePhases(res.FilterTime, res.BuildTime, res.OrderTime,
 		res.EnumTime, !cacheHit)
 

@@ -1,0 +1,72 @@
+package service
+
+import (
+	"context"
+	"time"
+
+	"subgraphmatching/internal/core"
+)
+
+// ExplainResponse is the outcome of an EXPLAIN dry run: the plan-level
+// profile (filter-stage reduction, matching order with cardinalities)
+// without any enumeration having run.
+type ExplainResponse struct {
+	// Profile is the plan breakdown; Analyzed is false and no heat table
+	// is present — use Submit with Request.Profile for EXPLAIN ANALYZE.
+	Profile *core.Profile
+	// CacheHit reports the plan came from the cache (or an in-flight
+	// build) rather than being preprocessed for this call.
+	CacheHit bool
+	// QueueWait is how long admission control held the call.
+	QueueWait time.Duration
+}
+
+// Explain is EXPLAIN without ANALYZE: it resolves the request's plan —
+// from the cache when possible, preprocessing otherwise — and returns
+// what the optimizer decided (per-stage candidate reduction, matching
+// order, per-vertex cardinalities) without enumerating. A dry run holds
+// one admission unit: preprocessing is bounded work, and the plan it
+// builds is cached for the real query to reuse.
+func (s *Service) Explain(ctx context.Context, req Request) (*ExplainResponse, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	if req.Query == nil {
+		return nil, ErrNilQuery
+	}
+	entry, err := s.reg.get(req.Graph)
+	if err != nil {
+		return nil, err
+	}
+	algo := req.algoName()
+	if err := core.Validate(req.Query, entry.g); err != nil {
+		return nil, err
+	}
+	cfg := req.resolveConfig(entry.g)
+	if cfg.UseGlasgow || cfg.UseVF2 || cfg.UseUllmann {
+		return nil, ErrNoExplain
+	}
+
+	fl := s.flights.Start(entry.name, algo+" (explain)")
+	began := time.Now()
+	fl.SetPhase("admission")
+	if err := s.sem.acquire(ctx, entry.name, 1, s.cfg.MaxQueueWait, s.cfg.MaxQueue); err != nil {
+		fl.Finish(nil, err, nil)
+		return nil, err
+	}
+	defer s.sem.release(1)
+	queueWait := time.Since(began)
+
+	fl.SetPhase("plan")
+	plan, src, err := s.planFor(ctx, entry, req.Query, cfg, req.preprocessWorkers(), req.NoCache)
+	if err != nil {
+		fl.Finish(nil, err, nil)
+		return nil, err
+	}
+	fl.Finish(plan.Span, nil, nil)
+	return &ExplainResponse{
+		Profile:   core.ExplainPlan(plan),
+		CacheHit:  src != planBuilt,
+		QueueWait: queueWait,
+	}, nil
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"subgraphmatching/internal/enumerate"
 	"subgraphmatching/internal/intersect"
 	"subgraphmatching/internal/obs"
 )
@@ -36,6 +37,7 @@ type serviceMetrics struct {
 	kernels *obs.CounterVec // service-wide intersection-kernel mix
 
 	admissionWait *obs.Histogram
+	depthNodes    *obs.Histogram // per-depth search-node counts of profiled requests
 
 	planCacheHits      *obs.Counter
 	planCacheMisses    *obs.Counter
@@ -64,6 +66,11 @@ type serviceMetrics struct {
 // batchSizeBuckets cover the useful batch-size range (smatchd caps
 // batches at maxBatchItems = 1024).
 var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// depthNodesBuckets span per-depth search-node counts: decades from a
+// single node up to the hundred-million range deep recursion reaches on
+// dense graphs.
+var depthNodesBuckets = []float64{1, 10, 100, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8}
 
 // newServiceMetrics registers the service's metric families. The gauge
 // functions close over the service's live structures, so a scrape always
@@ -101,6 +108,9 @@ func newServiceMetrics(s *Service) *serviceMetrics {
 
 		admissionWait: r.Histogram("smatch_admission_wait_seconds",
 			"Time requests spent waiting for admission.", obs.DefaultDurationBuckets),
+		depthNodes: r.Histogram("smatch_enum_depth_nodes",
+			"Search nodes expanded per enumeration depth, one observation per depth of each profiled request.",
+			depthNodesBuckets),
 
 		planCacheHits: r.Counter("smatch_plan_cache_hits_total",
 			"Plan cache lookups that found an entry."),
@@ -158,6 +168,13 @@ func newServiceMetrics(s *Service) *serviceMetrics {
 		"Requests waiting for admission.", func() float64 {
 			_, _, queued := s.sem.load()
 			return float64(queued)
+		})
+	r.GaugeFunc("smatch_requests_inflight",
+		"Requests currently in flight, read from the flight recorder's live registry.", func() float64 {
+			if s.flights == nil {
+				return 0
+			}
+			return float64(s.flights.InflightCount())
 		})
 	r.GaugeFunc("smatch_graphs_registered",
 		"Data graphs currently registered.", func() float64 {
@@ -230,6 +247,20 @@ func (m *serviceMetrics) recordKernels(ks intersect.KernelStats) {
 	for i, n := range ks {
 		if n != 0 {
 			m.kernels.With(intersect.Kernel(i).String()).Add(n)
+		}
+	}
+}
+
+// observeDepthNodes feeds the per-depth enumeration-heat histogram:
+// one observation per depth that expanded any search nodes. Unprofiled
+// requests carry no profile and contribute nothing.
+func (m *serviceMetrics) observeDepthNodes(prof *enumerate.SearchProfile) {
+	if prof == nil {
+		return
+	}
+	for _, n := range prof.Nodes {
+		if n != 0 {
+			m.depthNodes.Observe(float64(n))
 		}
 	}
 }

@@ -315,7 +315,8 @@ func TestStatsMatchMetrics(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	for i := 0; i < 5; i++ {
 		q := testutil.RandomConnectedQuery(rng, g, 3+i%3)
-		if _, err := s.Submit(context.Background(), Request{Graph: "main", Query: q}); err != nil {
+		// Profile one request so the depth-nodes histogram has samples.
+		if _, err := s.Submit(context.Background(), Request{Graph: "main", Query: q, Profile: i == 0}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -331,6 +332,17 @@ func TestStatsMatchMetrics(t *testing.T) {
 	if jsonQueries != 5 || promQueries != 5 {
 		t.Errorf("queries: json %d, prom %d, want 5", jsonQueries, promQueries)
 	}
+	// The flight-recorder gauge and the depth-heat histogram read back
+	// through /stats by construction: same sources.
+	if st.Inflight != 0 || st.Inflight != s.flights.InflightCount() {
+		t.Errorf("inflight = %d (recorder %d), want 0", st.Inflight, s.flights.InflightCount())
+	}
+	if st.DepthSamples == 0 {
+		t.Error("profiled request recorded no depth samples")
+	}
+	if st.DepthSamples != s.metrics.depthNodes.Count() {
+		t.Errorf("depth samples: json %d, histogram %d", st.DepthSamples, s.metrics.depthNodes.Count())
+	}
 	// The exposition itself must carry the families.
 	var buf bytes.Buffer
 	s.Metrics().WritePrometheus(&buf)
@@ -338,6 +350,7 @@ func TestStatsMatchMetrics(t *testing.T) {
 		"smatch_requests_total", "smatch_request_duration_seconds",
 		"smatch_plan_cache_hits_total", "smatch_plan_builds_total",
 		"smatch_admission_capacity", "smatch_phase_duration_seconds",
+		"smatch_requests_inflight", "smatch_enum_depth_nodes",
 	} {
 		if !strings.Contains(buf.String(), family) {
 			t.Errorf("exposition missing %s", family)

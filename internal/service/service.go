@@ -12,6 +12,7 @@ import (
 	"subgraphmatching/internal/graph"
 	"subgraphmatching/internal/intersect"
 	"subgraphmatching/internal/obs"
+	"subgraphmatching/internal/obs/flight"
 )
 
 // Config sizes the service. The zero value gets sensible defaults from
@@ -126,6 +127,12 @@ type Request struct {
 	// always runs fresh and the plan is not retained. Benchmarks use it
 	// to measure the cold path.
 	NoCache bool
+	// Profile requests EXPLAIN/ANALYZE: the per-filter-stage reduction
+	// and per-depth enumeration heat attached to Result.Explain. A
+	// per-request limit, not part of the plan identity — profiled and
+	// unprofiled requests share cached plans. External engines (Glasgow,
+	// VF2, Ullmann) have no plan and ignore it.
+	Profile bool
 }
 
 // Response pairs the matching result with serving-side facts.
@@ -149,6 +156,7 @@ type Service struct {
 	builds  buildGroup
 	metrics *serviceMetrics
 	slowLog *slowQueryLogger
+	flights *flight.Recorder
 	start   time.Time
 	closed  atomic.Bool
 }
@@ -157,10 +165,11 @@ type Service struct {
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{
-		cfg:   cfg,
-		cache: newPlanCache(cfg.PlanCacheSize, cfg.PlanCacheBytes),
-		sem:   newSemaphore(int64(cfg.MaxInFlight), cfg.MaxGraphShare),
-		start: time.Now(),
+		cfg:     cfg,
+		cache:   newPlanCache(cfg.PlanCacheSize, cfg.PlanCacheBytes),
+		sem:     newSemaphore(int64(cfg.MaxInFlight), cfg.MaxGraphShare),
+		flights: flight.NewRecorder(0, 0),
+		start:   time.Now(),
 	}
 	s.metrics = newServiceMetrics(s)
 	if s.cache != nil {
@@ -181,9 +190,24 @@ func New(cfg Config) *Service {
 	}
 	if cfg.SlowQueryLog != nil {
 		s.slowLog = &slowQueryLogger{w: cfg.SlowQueryLog, threshold: cfg.SlowQueryThreshold}
+		// The slow-query log is a subscriber of the flight recorder, not
+		// a separate instrumentation path: the serving path decides on
+		// completion whether the request crossed the threshold and
+		// attaches the prepared record as the flight's payload; the
+		// subscriber does the serialized write.
+		s.flights.Subscribe(func(rec *flight.Record) {
+			if sq, ok := rec.Payload.(slowQueryRecord); ok {
+				s.slowLog.log(sq)
+			}
+		})
 	}
 	return s
 }
+
+// Flights exposes the always-on flight recorder: the live in-flight
+// registry plus the latency-bucketed retention of completed request
+// spans. smatchd serves it on /debug/tracez and /debug/requests.
+func (s *Service) Flights() *flight.Recorder { return s.flights }
 
 // Metrics exposes the service's metric registry — smatchd serves it on
 // /metrics in the Prometheus text format.
@@ -263,6 +287,8 @@ func (s *Service) Stats() Stats {
 		st.Cache = s.cache.stats()
 	}
 	st.Admission.Capacity, st.Admission.InUse, st.Admission.Queued = s.sem.load()
+	st.Inflight = s.flights.InflightCount()
+	st.DepthSamples = s.metrics.depthNodes.Count()
 	return st
 }
 
@@ -306,7 +332,7 @@ func (r *Request) preprocessWorkers() int {
 // library-level Match), pass admission control, then serve enumeration
 // from a cached plan when one exists. Cancelling ctx stops the search
 // cooperatively; a ctx deadline tightens the time limit.
-func (s *Service) Submit(ctx context.Context, req Request) (*Response, error) {
+func (s *Service) Submit(ctx context.Context, req Request) (resp *Response, retErr error) {
 	if s.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -318,6 +344,12 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Response, error) {
 		return nil, err
 	}
 	algo := req.algoName()
+	// Every request past graph resolution is on the flight recorder.
+	// The success path finishes the flight explicitly with its span and
+	// slow-log payload; Finish is idempotent, so the deferred call only
+	// catches the error returns.
+	fl := s.flights.Start(entry.name, algo)
+	defer func() { fl.Finish(nil, retErr, nil) }()
 	if err := core.Validate(req.Query, entry.g); err != nil {
 		s.metrics.recordError(entry.name, algo)
 		return nil, err
@@ -325,6 +357,7 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Response, error) {
 	cfg := req.resolveConfig(entry.g)
 
 	// Admission: hold the request's worker count before doing any work.
+	fl.SetPhase("admission")
 	began := time.Now()
 	weight := int64(req.Parallel)
 	if weight < 1 {
@@ -378,6 +411,7 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Response, error) {
 		Parallel:      req.Parallel,
 		Schedule:      req.Schedule,
 		Workers:       req.Workers,
+		Profile:       req.Profile,
 		// The service always traces: spans are built at phase
 		// boundaries only, the slow-query log needs them, and callers
 		// get the breakdown for free on Result.Trace.
@@ -390,9 +424,10 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Response, error) {
 	)
 	if cfg.UseGlasgow || cfg.UseVF2 || cfg.UseUllmann {
 		// The external engines have no preprocessing plan to cache.
+		fl.SetPhase("enumerate")
 		res, err = core.Match(req.Query, entry.g, cfg, limits)
 	} else {
-		res, cacheHit, err = s.matchCached(ctx, entry, req, cfg, limits)
+		res, cacheHit, err = s.matchCached(ctx, entry, req, cfg, limits, fl)
 	}
 	if err != nil {
 		s.metrics.recordError(entry.name, algo)
@@ -418,6 +453,7 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Response, error) {
 	s.metrics.recordSuccess(entry.name, algo, res.Embeddings, cacheHit,
 		res.TimedOut, res.LimitHit, latency)
 	s.metrics.recordKernels(res.Kernels)
+	s.metrics.observeDepthNodes(res.Profile)
 	s.metrics.observePhases(res.FilterTime, res.BuildTime, res.OrderTime,
 		res.EnumTime, !cacheHit)
 
@@ -429,9 +465,13 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Response, error) {
 	root.AddChild(res.Trace)
 	res.Trace = root
 
+	// Slow path: prepare the log record here (the serving path owns the
+	// threshold decision) and hand it to the recorder as the flight's
+	// payload — the subscriber registered in New does the write.
+	var payload any
 	if s.slowLog != nil && latency >= s.slowLog.threshold {
 		s.metrics.slowQueries.Inc()
-		s.slowLog.log(slowQueryRecord{
+		payload = slowQueryRecord{
 			Time:        time.Now().UTC().Format(time.RFC3339Nano),
 			Graph:       entry.name,
 			Algorithm:   algo,
@@ -449,8 +489,9 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Response, error) {
 			LatencyNS:   latency.Nanoseconds(),
 			QueueWaitNS: queueWait.Nanoseconds(),
 			Trace:       res.Trace,
-		})
+		}
 	}
+	fl.Finish(root, nil, payload)
 	return &Response{Result: res, CacheHit: cacheHit, QueueWait: queueWait}, nil
 }
 
@@ -466,12 +507,14 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Response, error) {
 // "plan" span covering its wait on the leader's build. The latter two
 // report CacheHit — the request did not pay preprocessing — and keep
 // the Result's preprocessing times zero for the same reason.
-func (s *Service) matchCached(ctx context.Context, entry *graphEntry, req Request, cfg core.Config, limits core.Limits) (*core.Result, bool, error) {
+func (s *Service) matchCached(ctx context.Context, entry *graphEntry, req Request, cfg core.Config, limits core.Limits, fl *flight.Flight) (*core.Result, bool, error) {
 	start := time.Now()
+	fl.SetPhase("plan")
 	plan, src, err := s.planFor(ctx, entry, req.Query, cfg, req.preprocessWorkers(), req.NoCache)
 	if err != nil {
 		return nil, false, err
 	}
+	fl.SetPhase("enumerate")
 	if src == planBuilt {
 		res, err := s.matchFresh(plan, limits, start)
 		return res, false, err

@@ -91,6 +91,14 @@ type Stats struct {
 	Kernels map[string]uint64 `json:"kernels,omitempty"`
 	// Batches reports the batched-serving counters.
 	Batches BatchStats `json:"batches"`
+	// Inflight is the number of requests currently in flight, read from
+	// the flight recorder's live registry — the same source as the
+	// smatch_requests_inflight gauge.
+	Inflight int `json:"inflight"`
+	// DepthSamples counts the per-depth heat observations profiled
+	// requests have recorded (the smatch_enum_depth_nodes histogram's
+	// sample count).
+	DepthSamples uint64 `json:"enum_depth_samples"`
 }
 
 // BatchStats reports SubmitBatch's amortization: Items - Groups is how

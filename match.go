@@ -128,6 +128,13 @@ func ParseKernelPolicy(s string) (KernelPolicy, error) { return intersect.ParseP
 // and memory use.
 type Result = core.Result
 
+// Profile is the EXPLAIN/ANALYZE breakdown attached to Result.Explain
+// when Options.Explain is set: per-filter-stage candidate reduction,
+// the matching order with per-vertex cardinalities, and the per-depth
+// enumeration heat table. Profile.Render pretty-prints it; the JSON
+// encoding is stable for machine consumption.
+type Profile = core.Profile
+
 // Schedule selects the parallel enumeration scheduler.
 type Schedule = core.Schedule
 
@@ -184,6 +191,14 @@ type Options struct {
 	// under Parallel). Timing fields are always populated; Trace only
 	// controls building the structured tree.
 	Trace bool
+	// Explain attaches the EXPLAIN/ANALYZE Profile to Result.Explain:
+	// what each filter stage eliminated, the matching order the planner
+	// chose, and where the enumeration spent its search nodes, depth by
+	// depth. Off by default — profiling adds a few per-node counter
+	// increments; off, it costs nothing. Not supported by the external
+	// engines (AlgoGlasgow, AlgoVF2, AlgoUllmann), which leave Explain
+	// nil.
+	Explain bool
 }
 
 // Match finds subgraph isomorphisms from q to g. The query must be
@@ -210,6 +225,7 @@ func match(q, g *Graph, opts Options, cancel *atomic.Bool) (*Result, error) {
 		Schedule:      opts.Schedule,
 		Workers:       opts.Workers,
 		Trace:         opts.Trace,
+		Profile:       opts.Explain,
 		Cancel:        cancel,
 	})
 }
