@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race race-stress fuzz-smoke bench-smoke bench-parallel bench-preprocess bench-serve bench-obs bench-kernels bench-batch bench-store
+.PHONY: ci vet build test race race-stress fuzz-smoke bench-smoke bench-parallel bench-preprocess bench-sched bench-serve bench-obs bench-kernels bench-batch bench-store
 
 ci: vet build race race-stress fuzz-smoke bench-smoke
 
@@ -31,7 +31,7 @@ race:
 # register/replace/unregister through the durable manager (and the
 # HTTP surface) and verifies a restart reconstructs the exact state.
 race-stress:
-	$(GO) test -race -run 'Stress' -count 1 ./internal/filter ./internal/candspace ./internal/service ./internal/obs ./internal/obs/flight ./internal/store ./cmd/smatchd
+	$(GO) test -race -run 'Stress' -count 1 ./internal/core ./internal/filter ./internal/candspace ./internal/service ./internal/obs ./internal/obs/flight ./internal/store ./cmd/smatchd
 
 # Short corpus-plus-mutation runs of the fuzz targets: filter soundness
 # (candidate sets never drop a ground-truth embedding vertex),
@@ -43,9 +43,12 @@ race-stress:
 # (Decode of arbitrary bytes never panics, fails typed, or yields the
 # fingerprint-verified graph; valid snapshots round-trip exactly), and
 # profile rendering (Render/Chrome export never panic on arbitrary
-# span trees and always emit parseable output).
+# span trees and always emit parseable output), and split estimation
+# (the cost model stays finite and forced recursive splits enumerate
+# exactly the sequential embedding multiset).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzFilterSoundness -fuzztime 5s ./internal/filter
+	$(GO) test -run '^$$' -fuzz FuzzSplitEstimates -fuzztime 5s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzIntersectKernels -fuzztime 5s ./internal/intersect
 	$(GO) test -run '^$$' -fuzz FuzzBatchGrouping -fuzztime 5s ./internal/service
 	$(GO) test -run '^$$' -fuzz FuzzSnapshotRoundTrip -fuzztime 5s ./internal/store
@@ -63,6 +66,12 @@ bench-parallel:
 # "Parallel preprocessing" section.
 bench-preprocess:
 	$(GO) test -run '^$$' -bench BenchmarkPreprocess -benchmem -benchtime 5x .
+
+# The task-splitting measurement behind EXPERIMENTS.md's "Cost-model
+# splitting" section: static vs cost-model split policies at 1/4/8
+# workers on the skew fixture, reporting proj-speedup and probe-nodes.
+bench-sched:
+	$(GO) test -run '^$$' -bench BenchmarkSplitSkew -benchmem -benchtime 5x .
 
 # The repeated-query serving measurement behind EXPERIMENTS.md's
 # "Serving" section: cold (uncached) vs warm (plan-cache hit) Submit.

@@ -417,6 +417,58 @@ func BenchmarkParallelSkew(b *testing.B) {
 	})
 }
 
+// BenchmarkSplitSkew compares the work-steal task-splitting policies on
+// the skew fixture: the static expand-everything heuristic against the
+// cost-model recursive splitter, at 1/4/8 workers. The headline metric
+// is proj-speedup = totalNodes/maxWorkerNodes (the makespan bound the
+// task partition admits on unconstrained cores); probe-nodes reports the
+// splitter's own expansion overhead so the balance gain can be weighed
+// against what the probes cost. `make bench-sched` runs this grid; see
+// EXPERIMENTS.md "Cost-model splitting".
+func BenchmarkSplitSkew(b *testing.B) {
+	f := getSkewFixture(b)
+	cfg := core.Config{Filter: filter.GQL, Order: order.GQL, Local: enumerate.Intersect}
+	for _, pol := range core.SplitPolicies() {
+		for _, workers := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("%s-%d", pol, workers), func(b *testing.B) {
+				// Uncapped, like BenchmarkParallelSkew: an embedding cap
+				// stops the run as soon as one worker races ahead, which
+				// is exactly the imbalance the metric must observe.
+				limits := core.Limits{Parallel: workers, Split: pol}
+				var emb, probes uint64
+				var proj float64
+				for i := 0; i < b.N; i++ {
+					res, err := core.Match(f.q, f.g, cfg, limits)
+					if err != nil {
+						b.Fatal(err)
+					}
+					emb = res.Embeddings
+					if res.Split != nil {
+						probes = res.Split.Probes
+					}
+					if len(res.WorkerNodes) > 1 {
+						var total, max uint64
+						for _, n := range res.WorkerNodes {
+							total += n
+							if n > max {
+								max = n
+							}
+						}
+						if max > 0 {
+							proj = float64(total) / float64(max)
+						}
+					}
+				}
+				b.ReportMetric(float64(emb), "embeddings")
+				b.ReportMetric(float64(probes), "probe-nodes")
+				if proj > 0 {
+					b.ReportMetric(proj, "proj-speedup")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkObsOverhead measures the cost of the observability layer on
 // the skew workload: the same matches with span tracing off (the
 // default) and on. Instrumentation is batched per phase and per worker

@@ -8,7 +8,7 @@
 //
 //	smatch -q query.graph -d data.graph [-algo Optimized] [-limit 100000]
 //	       [-timeout 5m] [-print 3] [-profile] [-parallel 4] [-workers 4]
-//	       [-schedule steal] [-kernel adaptive] [-trace] [-explain]
+//	       [-schedule steal] [-split cost] [-kernel adaptive] [-trace] [-explain]
 //	smatch -q queries/ -d data.graph [-csv out.csv]   # batch mode
 //	smatch -batch list.txt -d data.graph              # batched service mode:
 //	       list.txt holds query-graph paths, one per line; the queries run
@@ -50,6 +50,7 @@ func main() {
 		parallel  = flag.Int("parallel", 1, "enumeration worker goroutines")
 		workers   = flag.Int("workers", 0, "preprocessing (filter + candidate-space) worker goroutines (0 = same as -parallel)")
 		schedule  = flag.String("schedule", "steal", "parallel scheduler: steal (work stealing) or strided (static partition)")
+		split     = flag.String("split", "cost", "work-steal task splitting: cost (cost-model recursive) or static (all depth-1 pairs)")
 		kernel    = flag.String("kernel", "adaptive", "intersection-kernel policy: adaptive merge gallop hybrid block")
 		profile   = flag.Bool("profile", false, "print a per-depth search profile")
 		trace     = flag.Bool("trace", false, "print the phase-span trace (filter stages, build, order, per-worker enumeration)")
@@ -101,7 +102,7 @@ func main() {
 		return
 	}
 	if err := run(ctx, *queryPath, *dataPath, *algoName, *limit, *timeout, *printN, *parallel, *workers, *schedule,
-		*kernel, *profile, *trace, *explain, *hom, *sym, *estimate); err != nil {
+		*split, *kernel, *profile, *trace, *explain, *hom, *sym, *estimate); err != nil {
 		exitErr(err)
 	}
 }
@@ -166,7 +167,7 @@ func exitErr(err error) {
 }
 
 func run(ctx context.Context, queryPath, dataPath, algoName string, limit uint64, timeout time.Duration, printN, parallel, workers int,
-	scheduleName, kernelName string, profile, trace, explain, hom, sym, estimate bool) error {
+	scheduleName, splitName, kernelName string, profile, trace, explain, hom, sym, estimate bool) error {
 	if queryPath == "" || dataPath == "" {
 		return fmt.Errorf("both -q and -d are required")
 	}
@@ -175,6 +176,10 @@ func run(ctx context.Context, queryPath, dataPath, algoName string, limit uint64
 		return err
 	}
 	sched, err := sm.ParseSchedule(scheduleName)
+	if err != nil {
+		return err
+	}
+	splitPol, err := sm.ParseSplitPolicy(splitName)
 	if err != nil {
 		return err
 	}
@@ -202,7 +207,8 @@ func run(ctx context.Context, queryPath, dataPath, algoName string, limit uint64
 
 	printed := 0
 	opts := sm.Options{Algorithm: algo, MaxEmbeddings: limit, TimeLimit: timeout,
-		Parallel: parallel, Workers: workers, Schedule: sched, Trace: trace, Explain: explain}
+		Parallel: parallel, Workers: workers, Schedule: sched, Split: splitPol,
+		Trace: trace, Explain: explain}
 	if profile || hom || sym || kern != sm.KernelAdaptive {
 		cfg := sm.PresetConfig(algo, q, g)
 		cfg.Profile = profile
@@ -238,6 +244,13 @@ func run(ctx context.Context, queryPath, dataPath, algoName string, limit uint64
 	}
 	fmt.Println()
 	fmt.Printf("search nodes:  %d\n", res.Nodes)
+	if s := res.Split; s != nil {
+		fmt.Printf("split:         policy=%s tasks=%d refined=%d probes=%d", s.Policy, s.Tasks, s.SplitTasks, s.Probes)
+		if s.PredictedNodes > 0 {
+			fmt.Printf(" predicted-nodes=%d", s.PredictedNodes)
+		}
+		fmt.Println()
+	}
 	fmt.Printf("preprocessing: %v (filter %v, build %v, order %v)\n",
 		res.PreprocessTime(), res.FilterTime, res.BuildTime, res.OrderTime)
 	fmt.Printf("enumeration:   %v\n", res.EnumTime)

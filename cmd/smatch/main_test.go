@@ -34,7 +34,7 @@ func TestRunPaperExample(t *testing.T) {
 	defer func() { os.Stdout = old }()
 
 	for _, algo := range []string{"Optimized", "DPiso", "GLW"} {
-		if err := run(context.Background(), qPath, gPath, algo, 1000, time.Minute, 2, 2, 2, "steal", "adaptive", true, true, true, false, false, true); err != nil {
+		if err := run(context.Background(), qPath, gPath, algo, 1000, time.Minute, 2, 2, 2, "steal", "cost", "adaptive", true, true, true, false, false, true); err != nil {
 			t.Errorf("run with %s: %v", algo, err)
 		}
 	}
@@ -53,14 +53,14 @@ func TestRunErrors(t *testing.T) {
 		{"g not found", qPath, gPath + ".missing", "Optimized"},
 	}
 	for _, c := range cases {
-		if err := run(context.Background(), c.q, c.g, c.algo, 0, 0, 0, 1, 0, "steal", "adaptive", false, false, false, false, false, false); err == nil {
+		if err := run(context.Background(), c.q, c.g, c.algo, 0, 0, 0, 1, 0, "steal", "cost", "adaptive", false, false, false, false, false, false); err == nil {
 			t.Errorf("%s: expected error", c.name)
 		}
 	}
-	if err := run(context.Background(), qPath, gPath, "Optimized", 0, 0, 0, 1, 0, "fifo", "adaptive", false, false, false, false, false, false); err == nil {
+	if err := run(context.Background(), qPath, gPath, "Optimized", 0, 0, 0, 1, 0, "fifo", "cost", "adaptive", false, false, false, false, false, false); err == nil {
 		t.Error("bad schedule: expected error")
 	}
-	if err := run(context.Background(), qPath, gPath, "Optimized", 0, 0, 0, 1, 0, "steal", "simd", false, false, false, false, false, false); err == nil {
+	if err := run(context.Background(), qPath, gPath, "Optimized", 0, 0, 0, 1, 0, "steal", "cost", "simd", false, false, false, false, false, false); err == nil {
 		t.Error("bad kernel policy: expected error")
 	}
 }
@@ -73,15 +73,15 @@ func TestRunModes(t *testing.T) {
 	defer func() { os.Stdout = old }()
 
 	// Homomorphism mode.
-	if err := run(context.Background(), qPath, gPath, "Optimized", 100, time.Minute, 0, 1, 0, "steal", "adaptive", false, false, false, true, false, false); err != nil {
+	if err := run(context.Background(), qPath, gPath, "Optimized", 100, time.Minute, 0, 1, 0, "steal", "cost", "adaptive", false, false, false, true, false, false); err != nil {
 		t.Errorf("hom mode: %v", err)
 	}
 	// Symmetry breaking.
-	if err := run(context.Background(), qPath, gPath, "GQL", 100, time.Minute, 0, 1, 0, "strided", "adaptive", false, false, false, false, true, false); err != nil {
+	if err := run(context.Background(), qPath, gPath, "GQL", 100, time.Minute, 0, 1, 0, "strided", "cost", "adaptive", false, false, false, false, true, false); err != nil {
 		t.Errorf("sym mode: %v", err)
 	}
 	// Homomorphism routed away from an external engine.
-	if err := run(context.Background(), qPath, gPath, "GLW", 100, time.Minute, 0, 1, 0, "steal", "adaptive", false, false, false, true, false, false); err != nil {
+	if err := run(context.Background(), qPath, gPath, "GLW", 100, time.Minute, 0, 1, 0, "steal", "cost", "adaptive", false, false, false, true, false, false); err != nil {
 		t.Errorf("hom with GLW preset: %v", err)
 	}
 }

@@ -136,11 +136,17 @@ type Limits struct {
 	// Schedule selects how parallel work is distributed across the
 	// workers. The zero value is ScheduleWorkSteal.
 	Schedule Schedule
-	// SplitFactor tunes when the work-stealing scheduler expands root
-	// candidates into finer depth-1 task pairs: splitting happens while
-	// the root has fewer than Parallel*SplitFactor candidates
-	// (0 = DefaultSplitFactor).
+	// SplitFactor tunes when the work-stealing scheduler refines root
+	// candidates into finer task units: splitting happens while the root
+	// has fewer than Parallel*SplitFactor candidates
+	// (0 = DefaultSplitFactor). Negative values are rejected with
+	// ErrBadSplitFactor.
 	SplitFactor int
+	// Split selects how tasks are sized inside the split regime: the
+	// cost-model splitter (the zero value — estimate subtree weights,
+	// split heavy tasks recursively) or the static expand-everything
+	// heuristic. See SplitPolicy.
+	Split SplitPolicy
 	// Workers sets the worker-goroutine count for the parallelized
 	// preprocessing phases — candidate filtering and candidate-space
 	// construction (0 = inherit Parallel, 1 = sequential
@@ -227,6 +233,11 @@ type Result struct {
 	// variables and published once at worker exit, so collecting them
 	// costs nothing on the task loop.
 	Workers []WorkerStats
+	// Split, set on parallel runs, reports how the scheduler built its
+	// task pool: policy, pool shape, probe work (already folded into
+	// Nodes/Kernels), and the cost model's predicted node count —
+	// compare PredictedNodes against Nodes-Probes for model accuracy.
+	Split *SplitInfo
 	// Trace is the phase-span breakdown, set when Limits.Trace was on.
 	// For Match the root span is "match" with "preprocess" and
 	// "enumerate" children; for MatchPlan it is the "enumerate" span
@@ -399,7 +410,7 @@ func Preprocess(q, g *graph.Graph, cfg Config, workers int) (*Plan, error) {
 		cfg.Local == enumerate.IntersectBlock
 	if needSpace {
 		if cfg.TreeSpace {
-			root := filter.CFLRoot(q, g)
+			root := filter.CFLRootWorkers(q, g, workers)
 			tree := graph.NewBFSTree(q, root)
 			if workers > 1 {
 				plan.Space = candspace.BuildTreeParallel(q, g, cand, tree.Parent, workers)
@@ -465,10 +476,10 @@ func Preprocess(q, g *graph.Graph, cfg Config, workers int) (*Plan, error) {
 	if phi == nil {
 		if cfg.AutoOrder && plan.Space != nil {
 			var best order.Method
-			best, phi, err = order.Best(q, g, cand, plan.Space)
+			best, phi, err = order.BestWorkers(q, g, cand, plan.Space, workers)
 			orderMethod = "auto:" + best.String()
 		} else {
-			phi, err = order.Compute(cfg.Order, q, g, cand)
+			phi, err = order.ComputeWorkers(cfg.Order, q, g, cand, workers)
 			orderMethod = cfg.Order.String()
 		}
 		if err != nil {
@@ -476,7 +487,7 @@ func Preprocess(q, g *graph.Graph, cfg Config, workers int) (*Plan, error) {
 		}
 	}
 	if cfg.Adaptive && cfg.DPWeights && plan.Space != nil {
-		plan.Weights = order.BuildDPWeights(q, plan.Space, phi)
+		plan.Weights = order.BuildDPWeightsWorkers(q, plan.Space, phi, workers)
 	}
 	plan.OrderTime = time.Since(t0)
 	plan.Order = phi
@@ -541,6 +552,9 @@ func (p *Plan) SizeBytes() int64 {
 // preprocessing times live on the plan (a caller reusing a cached plan
 // did not pay them).
 func MatchPlan(plan *Plan, limits Limits) (*Result, error) {
+	if limits.SplitFactor < 0 {
+		return nil, fmt.Errorf("core: %w (got %d)", ErrBadSplitFactor, limits.SplitFactor)
+	}
 	q, g, cfg := plan.Query, plan.Data, plan.Cfg
 	res := &Result{MeanCandidates: plan.MeanCandidates, MemoryBytes: plan.MemoryBytes}
 	enumStart := time.Now()
@@ -618,6 +632,14 @@ func enumerateSpan(start time.Time, res *Result) *obs.Span {
 	}
 	if res.LimitHit {
 		es.SetAttr("limit_hit", true)
+	}
+	if s := res.Split; s != nil {
+		es.SetAttr("split_policy", s.Policy.String()).
+			SetAttr("split_tasks", uint64(s.Tasks)).
+			SetAttr("split_probes", s.Probes)
+		if s.PredictedNodes > 0 {
+			es.SetAttr("split_predicted_nodes", s.PredictedNodes)
+		}
 	}
 	for i, n := range res.Kernels {
 		if n != 0 {

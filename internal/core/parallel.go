@@ -123,35 +123,68 @@ func matchParallel(q, g *graph.Graph, cand [][]uint32, space *candspace.Space,
 		opts.OnMatch = onMatch
 	}
 
+	// The deadline is armed before any search work — including the
+	// splitter's probe expansions, which previously ran unbounded and
+	// uncancellable ahead of SetDeadline.
+	start := time.Now()
+	var deadline time.Time
+	if limits.TimeLimit > 0 {
+		deadline = start.Add(limits.TimeLimit)
+	}
+
 	// Build the task pool. Root-only tasks are the coarse default; when
 	// the root has few candidates relative to the worker count (the
-	// regime where one heavy root serializes a static partition), a
-	// probe engine expands each root into depth-1 (root, second) pairs.
-	// Adaptive mode picks its second vertex dynamically, so its tasks
-	// stay root-grained.
+	// regime where one heavy root serializes a static partition), a probe
+	// engine refines them: the static policy expands every root into all
+	// its depth-1 (root, second) pairs, the cost-model policy (the
+	// default) sizes tasks by estimated subtree weight and splits
+	// recursively — below depth 1 over static orders, and on the
+	// runtime-chosen second vertex in adaptive mode. The probe shares the
+	// run's stop flag and deadline, and its work (expansions, candidates,
+	// kernels) is tallied into SplitInfo and folded into the Result so
+	// profile reconciliation stays exact.
 	splitFactor := limits.SplitFactor
 	if splitFactor == 0 {
 		splitFactor = DefaultSplitFactor
 	}
+	info := &SplitInfo{Policy: limits.Split}
 	var tasks []enumTask
-	if limits.Schedule == ScheduleWorkSteal &&
-		!cfg.Adaptive && q.NumVertices() >= 2 && len(rootCands) < workers*splitFactor {
-		probe, err := enumerate.NewEngine(q, g, cand, space, phi, enumerate.Options{Local: cfg.Local, Kernel: cfg.Kernel})
+	splitRegime := limits.Schedule == ScheduleWorkSteal &&
+		q.NumVertices() >= 2 && len(rootCands) < workers*splitFactor &&
+		!(cfg.Adaptive && limits.Split == SplitStatic)
+	var probeTimedOut bool
+	if splitRegime {
+		probe, err := enumerate.NewEngine(q, g, cand, space, phi, enumerate.Options{
+			Local:           cfg.Local,
+			Kernel:          cfg.Kernel,
+			Adaptive:        cfg.Adaptive,
+			AdaptiveWeights: weights,
+			VF2PPRules:      cfg.VF2PPRules,
+			Cancel:          stop,
+		})
 		if err != nil {
 			return err
 		}
-		var buf []uint32
-		for _, v := range rootCands {
-			buf = probe.ExpandRoot(v, buf[:0])
-			for _, w := range buf {
-				tasks = append(tasks, enumTask{root: v, second: w})
-			}
+		probe.SetDeadline(deadline)
+		switch {
+		case limits.Split == SplitStatic:
+			tasks = buildStaticTasks(probe, rootCands, info)
+		case cfg.Adaptive:
+			est := newSplitEstimator(q, g, cand, space, phi)
+			tasks = buildAdaptiveCostTasks(probe, rootCands, est, workers, info)
+		default:
+			est := newSplitEstimator(q, g, cand, space, phi)
+			tasks = buildCostModelTasks(probe, rootCands, est, q.NumVertices(), workers, info)
 		}
+		finishSplitInfo(info, tasks, probe)
+		probeTimedOut = probe.Stats().TimedOut
 	} else {
 		tasks = make([]enumTask, len(rootCands))
 		for i, v := range rootCands {
 			tasks[i] = enumTask{root: v, second: noSecond}
 		}
+		info.Tasks = len(tasks)
+		info.MaxPrefix = 1
 	}
 	if workers > len(tasks) {
 		workers = len(tasks)
@@ -166,6 +199,7 @@ func matchParallel(q, g *graph.Graph, cand [][]uint32, space *candspace.Space,
 		if err != nil {
 			return err
 		}
+		eng.SetDeadline(deadline)
 		engines[w] = eng
 	}
 
@@ -173,14 +207,6 @@ func matchParallel(q, g *graph.Graph, cand [][]uint32, space *candspace.Space,
 	// locals and writes its own slice element once before exiting — no
 	// shared atomics on the task loop.
 	workerStats := make([]WorkerStats, workers)
-
-	start := time.Now()
-	if limits.TimeLimit > 0 {
-		deadline := start.Add(limits.TimeLimit)
-		for _, eng := range engines {
-			eng.SetDeadline(deadline)
-		}
-	}
 
 	var wg sync.WaitGroup
 	switch limits.Schedule {
@@ -193,6 +219,13 @@ func matchParallel(q, g *graph.Graph, cand [][]uint32, space *candspace.Space,
 				eng := engines[w]
 				var tasks uint64
 				for i := w; i < len(rootCands); i += workers {
+					// Task-granular cancellation: the engines poll the flag
+					// only every few thousand nodes, so without this check a
+					// cancel raced with task start would still enumerate a
+					// subtree per worker.
+					if stop.Load() {
+						break
+					}
 					tasks++
 					if !eng.RunRoot(rootCands[i]) {
 						break
@@ -223,6 +256,10 @@ func matchParallel(q, g *graph.Graph, cand [][]uint32, space *candspace.Space,
 					workerStats[w] = WorkerStats{Tasks: tasks, Steals: steals, FailedSteals: failed}
 				}()
 				for {
+					// Task-granular cancellation (see the strided loop).
+					if stop.Load() {
+						return
+					}
 					t, ok := self.pop()
 					if !ok {
 						stolen, probes := stealInto(self, deques, w)
@@ -235,9 +272,14 @@ func matchParallel(q, g *graph.Graph, cand [][]uint32, space *candspace.Space,
 					}
 					tasks++
 					var cont bool
-					if t.second == noSecond {
+					switch {
+					case t.prefix != nil:
+						cont = eng.RunPrefix(t.prefix)
+					case t.second == noSecond:
 						cont = eng.RunRoot(t.root)
-					} else {
+					case cfg.Adaptive:
+						cont = eng.RunAdaptivePair(t.root, t.second)
+					default:
 						cont = eng.RunRootPair(t.root, t.second)
 					}
 					if !cont {
@@ -277,12 +319,21 @@ func matchParallel(q, g *graph.Graph, cand [][]uint32, space *candspace.Space,
 	} else {
 		res.Embeddings = accepted.Load()
 	}
-	res.Nodes = nodes
+	// Probe expansions are search work: each computed one local-candidate
+	// set, exactly what a search node does. Folding them into Nodes and
+	// Kernels (EXPLAIN carries them as the heat table's probe row) keeps
+	// the totals honest once the splitter makes probing common.
+	res.Nodes = nodes + info.Probes
+	res.Kernels.Add(info.ProbeKernels)
+	if probeTimedOut {
+		timedOut.Store(true)
+	}
 	res.TimedOut = timedOut.Load()
 	res.LimitHit = limitHit.Load()
 	res.EnumTime = time.Since(start)
 	res.Profile = mergedProf
 	res.WorkerNodes = workerNodes
 	res.Workers = workerStats
+	res.Split = info
 	return nil
 }

@@ -52,16 +52,69 @@ func ParseSchedule(s string) (Schedule, error) {
 func Schedules() []Schedule { return []Schedule{ScheduleWorkSteal, ScheduleStrided} }
 
 // DefaultSplitFactor: when the root vertex has fewer than
-// workers*DefaultSplitFactor candidates, the scheduler expands each root
-// candidate into (root, second-vertex) task pairs so that a single heavy
-// root cannot serialize the run. Larger candidate lists already provide
-// enough task-level parallelism to balance through stealing alone.
+// workers*DefaultSplitFactor candidates, the scheduler refines root
+// candidates into finer task units (depth-1 pairs, or cost-model-sized
+// prefixes) so that a single heavy root cannot serialize the run. Larger
+// candidate lists already provide enough task-level parallelism to
+// balance through stealing alone.
 const DefaultSplitFactor = 32
 
+// SplitPolicy selects how the work-stealing scheduler sizes its task
+// units when the root candidate list is small (Limits.Split).
+type SplitPolicy uint8
+
+const (
+	// SplitCostModel (the default) estimates each task's subtree weight
+	// from candidate cardinalities and edge selectivities, refined by the
+	// probed fanout of its pinned prefix, and recursively splits any task
+	// whose estimate exceeds a share of the total — below depth 1 when one
+	// (root, second) pair still dominates. In adaptive (DP-iso) mode heavy
+	// roots split on the runtime-chosen second vertex. The per-task
+	// estimates sum to a predicted node count reported in
+	// Result.Split/EXPLAIN against the measured one.
+	SplitCostModel SplitPolicy = iota
+	// SplitStatic is the pre-cost-model heuristic: in the small-root
+	// regime every root candidate is expanded into all its depth-1
+	// (root, second) pairs, with no weighting and no recursion. Kept as
+	// the baseline the scheduling benchmarks compare against.
+	SplitStatic
+)
+
+var splitPolicyNames = map[SplitPolicy]string{
+	SplitCostModel: "cost",
+	SplitStatic:    "static",
+}
+
+func (p SplitPolicy) String() string {
+	if n, ok := splitPolicyNames[p]; ok {
+		return n
+	}
+	return fmt.Sprintf("SplitPolicy(%d)", p)
+}
+
+// ParseSplitPolicy maps a name (as printed by String) back to a
+// SplitPolicy.
+func ParseSplitPolicy(s string) (SplitPolicy, error) {
+	for p, name := range splitPolicyNames {
+		if name == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown split policy %q (want cost or static)", s)
+}
+
+// SplitPolicies lists the split policies in declaration order.
+func SplitPolicies() []SplitPolicy { return []SplitPolicy{SplitCostModel, SplitStatic} }
+
 // enumTask is one unit of schedulable work: a root candidate, optionally
-// pinned to a depth-1 expansion (second != noSecond).
+// pinned to a depth-1 expansion (second != noSecond), or — for the
+// recursive cost-model splitter — to an arbitrary-length order prefix.
 type enumTask struct {
 	root, second uint32
+	// prefix, when non-nil, pins the order's first len(prefix) vertices
+	// (root and second mirror prefix[0] and prefix[1]); the task runs via
+	// Engine.RunPrefix. Immutable once built — deques share it by header.
+	prefix []uint32
 }
 
 // noSecond marks a root-only task.

@@ -1,0 +1,351 @@
+package core
+
+import (
+	"subgraphmatching/internal/candspace"
+	"subgraphmatching/internal/enumerate"
+	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/intersect"
+)
+
+// Cost-model-driven task splitting. The static SplitFactor heuristic
+// expands every root candidate into all its depth-1 pairs whenever the
+// root list is small; the cost model instead estimates each task's
+// subtree weight — candidate cardinalities scaled by edge selectivities
+// along the order, refined by the probed fanout of the task's pinned
+// prefix — and splits only the tasks whose estimate exceeds a share of
+// the total, recursing below depth 1 when one (root, second) pair still
+// dominates. On skewed data a handful of heavy roots own nearly all the
+// search tree; weighting the split puts the task granularity where the
+// work is instead of shattering the cheap roots too.
+
+const (
+	// splitShareDivisor sets the split threshold: a task is split while
+	// its estimate exceeds total/(workers*splitShareDivisor), i.e. tasks
+	// are sized to at most 1/4 of a worker's fair share.
+	splitShareDivisor = 4
+	// splitMinCost floors the threshold: subtrees this small are cheaper
+	// to run than to probe and re-enqueue.
+	splitMinCost = 64
+	// splitMaxTasksPerWorker caps the task pool; beyond it per-task
+	// dispatch overhead outweighs any balance gain.
+	splitMaxTasksPerWorker = 128
+)
+
+// SplitInfo reports how the parallel scheduler built its task pool: the
+// policy, the pool shape, the probe work spent splitting, and the cost
+// model's node prediction — checkable against the measured Result.Nodes.
+type SplitInfo struct {
+	// Policy that built the task pool.
+	Policy SplitPolicy
+	// Tasks fed to the scheduler; SplitTasks of them pin more than the
+	// root vertex. MaxPrefix is the deepest pinned prefix length
+	// (1 = root-grained tasks only).
+	Tasks      int
+	SplitTasks int
+	MaxPrefix  int
+	// Probes counts probe expansions (one local-candidate computation
+	// each), ProbeCandidates the candidates they produced, and
+	// ProbeKernels the intersection kernels they executed. Probe work is
+	// folded into Result.Nodes/Result.Kernels and carried as the EXPLAIN
+	// heat table's probe row, so profile reconciliation stays exact.
+	Probes          uint64
+	ProbeCandidates uint64
+	ProbeKernels    intersect.KernelStats
+	// PredictedNodes is the cost model's estimate of the enumeration
+	// search nodes (the per-task estimates summed over the final pool);
+	// compare against Result.Nodes minus Probes. Zero under SplitStatic,
+	// which estimates nothing.
+	PredictedNodes uint64
+}
+
+// splitEstimator precomputes the per-depth expected branching and
+// subtree sizes for one (order, candidates) pair. branch[d] is the
+// expected number of depth-(d+1) extensions per search node at depth d:
+// |C(phi[d])| scaled by the selectivity of every backward edge, read off
+// the candidate-space CSR in O(1) per edge (the same model
+// order.EstimateCost ranks orders with). Without a space (Direct/Scan
+// locals) the data graph's edge density stands in for selectivity.
+// subtree[d] is the expected node count of the search subtree rooted at
+// one node at depth d: subtree[n] = 1 (a leaf), subtree[d] = 1 +
+// branch[d]*subtree[d+1].
+type splitEstimator struct {
+	branch  []float64
+	subtree []float64
+}
+
+func newSplitEstimator(q, g *graph.Graph, cand [][]uint32, space *candspace.Space, phi []graph.Vertex) *splitEstimator {
+	n := q.NumVertices()
+	est := &splitEstimator{
+		branch:  make([]float64, n+1),
+		subtree: make([]float64, n+1),
+	}
+	pos := make([]int, n)
+	for i, u := range phi {
+		pos[u] = i
+	}
+	nv := float64(g.NumVertices())
+	density := 0.0
+	if nv > 0 {
+		density = 2 * float64(g.NumEdges()) / (nv * nv)
+	}
+	for d := 0; d < n; d++ {
+		u := phi[d]
+		b := float64(len(cand[u]))
+		for _, un := range q.Neighbors(u) {
+			if pos[un] >= d {
+				continue
+			}
+			b *= backEdgeSelectivity(space, un, u, density)
+		}
+		est.branch[d] = b
+	}
+	est.subtree[n] = 1
+	for d := n - 1; d >= 0; d-- {
+		est.subtree[d] = 1 + est.branch[d]*est.subtree[d+1]
+	}
+	return est
+}
+
+// backEdgeSelectivity estimates the probability that a random candidate
+// of b is adjacent to a random candidate of a: the materialized pair's
+// edge count over the candidate cross product, or the graph density when
+// the pair is absent from the space (tree-compressed spaces, Direct/Scan
+// locals).
+func backEdgeSelectivity(space *candspace.Space, a, b graph.Vertex, density float64) float64 {
+	if space == nil || !space.HasPair(a, b) {
+		return density
+	}
+	ca, cb := space.Candidates(a), space.Candidates(b)
+	if len(ca) == 0 || len(cb) == 0 {
+		return 0
+	}
+	return float64(space.PairSize(a, b)) / (float64(len(ca)) * float64(len(cb)))
+}
+
+// taskCost estimates the search nodes of a task pinned to a
+// prefix of the given length with the probed fanout: the task's entry
+// node plus one expected subtree per probed child.
+func (est *splitEstimator) taskCost(prefixLen, fanout int) float64 {
+	return 1 + float64(fanout)*est.subtree[prefixLen+1]
+}
+
+// splitWork is one candidate task during splitting: its pinned prefix,
+// the probed local candidates of the next order vertex (the children a
+// split would pin), and its cost estimate.
+type splitWork struct {
+	prefix   []uint32
+	children []uint32
+	est      float64
+}
+
+// buildStaticTasks is the SplitStatic policy: expand every root
+// candidate into all its depth-1 pairs. Probe work is tallied; the
+// model predicts nothing. A probe halted by cancellation or the
+// deadline falls back to root-grained tasks for the remaining roots, so
+// the pool always covers the full search space.
+func buildStaticTasks(probe *enumerate.Engine, rootCands []uint32, info *SplitInfo) []enumTask {
+	tasks := make([]enumTask, 0, len(rootCands))
+	var buf []uint32
+	for i, v := range rootCands {
+		if probe.Stopped() {
+			for _, r := range rootCands[i:] {
+				tasks = append(tasks, enumTask{root: r, second: noSecond})
+			}
+			break
+		}
+		buf = probe.ExpandRoot(v, buf[:0])
+		if probe.Stopped() {
+			tasks = append(tasks, enumTask{root: v, second: noSecond})
+			continue
+		}
+		info.Probes++
+		info.ProbeCandidates += uint64(len(buf))
+		for _, w := range buf {
+			tasks = append(tasks, enumTask{root: v, second: w})
+		}
+	}
+	return tasks
+}
+
+// buildCostModelTasks is the SplitCostModel policy over a static order.
+// Every root is probed once for its depth-1 fanout; any task whose
+// estimate exceeds the per-worker share threshold is split into one task
+// per probed child, each probed in turn for its own fanout — recursing
+// below depth 1 until the estimates balance, the prefix reaches the
+// second-to-last vertex, or the pool hits its cap. Estimates are sums
+// over the final pool, so SplitInfo.PredictedNodes predicts exactly the
+// split execution's node count under the model.
+func buildCostModelTasks(probe *enumerate.Engine, rootCands []uint32, est *splitEstimator,
+	n, workers int, info *SplitInfo) []enumTask {
+
+	pending := make([]splitWork, 0, len(rootCands))
+	var final []splitWork
+	var buf []uint32
+	total := 0.0
+	for i, v := range rootCands {
+		if probe.Stopped() {
+			for _, r := range rootCands[i:] {
+				final = append(final, splitWork{prefix: []uint32{r}, est: est.subtree[1]})
+				total += est.subtree[1]
+			}
+			break
+		}
+		buf = probe.ExpandRoot(v, buf[:0])
+		if probe.Stopped() {
+			final = append(final, splitWork{prefix: []uint32{v}, est: est.subtree[1]})
+			total += est.subtree[1]
+			continue
+		}
+		info.Probes++
+		info.ProbeCandidates += uint64(len(buf))
+		w := splitWork{
+			prefix:   []uint32{v},
+			children: append([]uint32(nil), buf...),
+			est:      est.taskCost(1, len(buf)),
+		}
+		pending = append(pending, w)
+		total += w.est
+	}
+
+	threshold := total / float64(workers*splitShareDivisor)
+	if threshold < splitMinCost {
+		threshold = splitMinCost
+	}
+	maxTasks := workers * splitMaxTasksPerWorker
+
+	for len(pending) > 0 {
+		w := pending[0]
+		pending = pending[1:]
+		L := len(w.prefix)
+		split := w.est > threshold && L < n-1 && len(w.children) > 0 &&
+			len(final)+len(pending)+len(w.children) <= maxTasks && !probe.Stopped()
+		if !split {
+			final = append(final, w)
+			continue
+		}
+		for _, c := range w.children {
+			cp := append(append(make([]uint32, 0, L+1), w.prefix...), c)
+			buf = probe.ExpandPrefix(cp, buf[:0])
+			child := splitWork{prefix: cp}
+			if probe.Stopped() {
+				// Halted mid-split: keep the child unprobed on the model's
+				// unrefined estimate so coverage stays complete.
+				child.est = est.subtree[L+1]
+				final = append(final, child)
+				continue
+			}
+			info.Probes++
+			info.ProbeCandidates += uint64(len(buf))
+			child.children = append([]uint32(nil), buf...)
+			child.est = est.taskCost(L+1, len(buf))
+			pending = append(pending, child)
+		}
+	}
+
+	tasks := make([]enumTask, len(final))
+	predicted := 0.0
+	for i, w := range final {
+		predicted += w.est
+		switch len(w.prefix) {
+		case 1:
+			tasks[i] = enumTask{root: w.prefix[0], second: noSecond}
+		case 2:
+			tasks[i] = enumTask{root: w.prefix[0], second: w.prefix[1]}
+		default:
+			tasks[i] = enumTask{root: w.prefix[0], second: w.prefix[1], prefix: w.prefix}
+		}
+	}
+	info.PredictedNodes = uint64(predicted)
+	return tasks
+}
+
+// buildAdaptiveCostTasks is the SplitCostModel policy under DP-iso's
+// adaptive ordering, which chooses its real order at runtime: a heavy
+// root splits on the runtime-chosen second vertex (the one
+// selectExtendable picks after mapping the root — re-derived identically
+// by RunAdaptivePair), probed through ExpandAdaptiveRoot. The recursion
+// stops there: deeper adaptive prefixes have no stable vertex to pin.
+// The estimator runs over the BFS delta as a proxy for the dynamic
+// order, which is exact at the split boundary (depths 0-1) and
+// approximate below it.
+func buildAdaptiveCostTasks(probe *enumerate.Engine, rootCands []uint32, est *splitEstimator,
+	workers int, info *SplitInfo) []enumTask {
+
+	type rootProbe struct {
+		root     uint32
+		children []uint32
+		est      float64
+		probed   bool
+	}
+	probes := make([]rootProbe, 0, len(rootCands))
+	var buf []uint32
+	total := 0.0
+	for i, v := range rootCands {
+		if probe.Stopped() {
+			for _, r := range rootCands[i:] {
+				probes = append(probes, rootProbe{root: r, est: est.subtree[1]})
+				total += est.subtree[1]
+			}
+			break
+		}
+		buf = probe.ExpandAdaptiveRoot(v, buf[:0])
+		if probe.Stopped() {
+			probes = append(probes, rootProbe{root: v, est: est.subtree[1]})
+			total += est.subtree[1]
+			continue
+		}
+		info.Probes++
+		info.ProbeCandidates += uint64(len(buf))
+		rp := rootProbe{root: v, children: append([]uint32(nil), buf...), est: est.taskCost(1, len(buf)), probed: true}
+		probes = append(probes, rp)
+		total += rp.est
+	}
+
+	threshold := total / float64(workers*splitShareDivisor)
+	if threshold < splitMinCost {
+		threshold = splitMinCost
+	}
+	maxTasks := workers * splitMaxTasksPerWorker
+
+	var tasks []enumTask
+	predicted := 0.0
+	for _, rp := range probes {
+		if rp.probed && rp.est > threshold && len(rp.children) > 0 &&
+			len(tasks)+len(rp.children) <= maxTasks {
+			for _, w := range rp.children {
+				tasks = append(tasks, enumTask{root: rp.root, second: w})
+				predicted += est.subtree[2]
+			}
+			continue
+		}
+		tasks = append(tasks, enumTask{root: rp.root, second: noSecond})
+		predicted += rp.est
+	}
+	info.PredictedNodes = uint64(predicted)
+	return tasks
+}
+
+// finishSplitInfo fills the pool-shape fields and the probe engine's
+// kernel tally once the task pool is final.
+func finishSplitInfo(info *SplitInfo, tasks []enumTask, probe *enumerate.Engine) {
+	info.Tasks = len(tasks)
+	for _, t := range tasks {
+		pl := 1
+		switch {
+		case t.prefix != nil:
+			pl = len(t.prefix)
+		case t.second != noSecond:
+			pl = 2
+		}
+		if pl > 1 {
+			info.SplitTasks++
+		}
+		if pl > info.MaxPrefix {
+			info.MaxPrefix = pl
+		}
+	}
+	if info.MaxPrefix == 0 {
+		info.MaxPrefix = 1
+	}
+	info.ProbeKernels = probe.Stats().Kernels
+}

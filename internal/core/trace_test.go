@@ -182,6 +182,11 @@ func TestParallelWorkerStats(t *testing.T) {
 		if tasks == 0 {
 			t.Errorf("%v: zero tasks executed", sched)
 		}
+		if res.Split != nil {
+			// Probe expansions are search work done before the workers
+			// start; Nodes carries them, the per-worker tallies don't.
+			nodes += res.Split.Probes
+		}
 		if nodes != res.Nodes {
 			t.Errorf("%v: worker nodes sum %d != Nodes %d", sched, nodes, res.Nodes)
 		}

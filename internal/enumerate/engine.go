@@ -166,6 +166,12 @@ func (E *Engine) Stats() *Stats {
 	return &E.engine.stats
 }
 
+// Stopped reports whether the engine has aborted — cancellation,
+// deadline, an OnMatch abort, or the embedding cap. Schedulers probing
+// through ExpandRoot/ExpandPrefix check it to tell an empty expansion
+// from a halted one.
+func (E *Engine) Stopped() bool { return E.engine.aborted }
+
 // ResetStats clears the cumulative statistics and the abort flag without
 // touching the armed deadline. Schedulers call it once per worker before
 // the task loop.
@@ -205,15 +211,39 @@ func (E *Engine) RunRoot(v uint32) bool {
 	return !e.aborted
 }
 
+// probeHalt polls the cancellation flag and deadline once. The probe
+// entry points (ExpandRoot, ExpandPrefix, ExpandAdaptiveRoot) expand no
+// search nodes, so enterNode's amortized ticker never fires for them;
+// each probe call polls directly instead — a degenerate root expansion
+// must respond to ctx cancellation and Limits.TimeLimit like any other
+// search work.
+func (e *engine) probeHalt() bool {
+	if e.aborted {
+		return true
+	}
+	if e.opts.Cancel != nil && e.opts.Cancel.Load() {
+		e.aborted = true
+		return true
+	}
+	if !e.deadline.IsZero() && time.Now().After(e.deadline) {
+		e.stats.TimedOut = true
+		e.aborted = true
+		return true
+	}
+	return false
+}
+
 // ExpandRoot computes the depth-1 local candidates reached when the
 // start vertex maps to v, appended to dst — the task-splitting probe a
 // scheduler uses to break one heavy root candidate into finer (root,
 // second) task units for RunRootPair. Candidates conflicting with v are
-// already filtered out. Only static orders can be pre-split; in adaptive
-// mode ExpandRoot returns dst unchanged and the root must be run whole.
+// already filtered out. Only static orders can be pre-split this way; in
+// adaptive mode ExpandRoot returns dst unchanged (see
+// ExpandAdaptiveRoot). Once cancelled or past the deadline it returns
+// dst unchanged immediately.
 func (E *Engine) ExpandRoot(v uint32, dst []uint32) []uint32 {
 	e := &E.engine
-	if e.opts.Adaptive || e.q.NumVertices() < 2 {
+	if e.opts.Adaptive || e.q.NumVertices() < 2 || e.probeHalt() {
 		return dst
 	}
 	root := e.phi[0]
@@ -225,6 +255,83 @@ func (E *Engine) ExpandRoot(v uint32, dst []uint32) []uint32 {
 	}
 	e.unassign(root, v)
 	return dst
+}
+
+// ExpandPrefix generalizes ExpandRoot to deeper pins: with the order's
+// first len(prefix) vertices mapped to prefix, it appends the local
+// candidates of the next order vertex to dst — the recursive splitting
+// probe. A prefix whose assignments conflict yields no candidates. The
+// same cancellation contract as ExpandRoot applies.
+func (E *Engine) ExpandPrefix(prefix, dst []uint32) []uint32 {
+	e := &E.engine
+	L := len(prefix)
+	if e.opts.Adaptive || L == 0 || L >= e.q.NumVertices() || e.probeHalt() {
+		return dst
+	}
+	assigned := 0
+	for i, v := range prefix {
+		if i > 0 && e.visited[v] {
+			break
+		}
+		e.assign(e.phi[i], v)
+		assigned++
+	}
+	if assigned == L {
+		for _, w := range e.computeLC(L, e.phi[L]) {
+			if !e.visited[w] {
+				dst = append(dst, w)
+			}
+		}
+	}
+	for i := assigned - 1; i >= 0; i-- {
+		e.unassign(e.phi[i], prefix[i])
+	}
+	return dst
+}
+
+// RunPrefix enumerates the subtree with the order's first len(prefix)
+// positions pre-assigned to prefix — the task unit produced by the
+// recursive cost-model splitter. Prefixes of length 1 and 2 behave like
+// RunRoot and RunRootPair. A conflicting prefix (as RunRootPair, only a
+// caller fabricating tasks produces one) is a no-op. The same stop
+// contract as RunRoot applies.
+func (E *Engine) RunPrefix(prefix []uint32) bool {
+	e := &E.engine
+	if e.aborted {
+		return false
+	}
+	L := len(prefix)
+	if L == 0 || L > e.q.NumVertices() || e.opts.Adaptive {
+		return true
+	}
+	assigned := 0
+	ok := true
+	for i, v := range prefix {
+		u := e.phi[i]
+		if i > 0 {
+			if e.visited[v] {
+				ok = false
+				break
+			}
+			if e.symPeers != nil && e.symViolator(u, v) != graph.NoVertex {
+				ok = false
+				break
+			}
+		}
+		e.assign(u, v)
+		assigned++
+	}
+	if ok {
+		if e.opts.FailingSets {
+			e.runFS(L)
+		} else {
+			e.runPlain(L)
+		}
+	}
+	for i := assigned - 1; i >= 0; i-- {
+		e.unassign(e.phi[i], prefix[i])
+	}
+	return !e.aborted
 }
 
 // RunRootPair enumerates the subtree with the first two order positions

@@ -135,9 +135,9 @@ func RunParallelTraced(m Method, q, g *graph.Graph, workers int, tr *StageTrace)
 	case Steady:
 		return runSteadyParallel(q, g, workers, tally, tr), tally, nil
 	case CFL:
-		return runCFLParallel(q, g, CFLRoot(q, g), workers, tally, tr), tally, nil
+		return runCFLParallel(q, g, CFLRootWorkers(q, g, workers), workers, tally, tr), tally, nil
 	case CECI:
-		return runCECIParallel(q, g, CECIRoot(q, g), workers, tally, tr), tally, nil
+		return runCECIParallel(q, g, CECIRootWorkers(q, g, workers), workers, tally, tr), tally, nil
 	default:
 		return nil, nil, fmt.Errorf("filter: unknown method %v", m)
 	}

@@ -2,16 +2,30 @@ package filter
 
 import (
 	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/par"
 )
 
 // Root selection rules of the tree-based filters. Each is exported
 // because the corresponding ordering methods (package order) must use the
 // same deterministic root.
+//
+// The dominant cost of every rule is sizing NLF/LDF candidate sets — one
+// label-frequency scan of the data graph per query vertex — so each rule
+// has a Workers form that fans the sizing out over internal/par and
+// reduces with a sequential argmin. The result is identical for every
+// worker count: the scores are written per task index and the tie-break
+// (lowest vertex id wins) lives entirely in the reduction.
 
 // CFLRoot picks CFL's start vertex: among the (up to) three core vertices
 // with minimum label-frequency/degree ratio, the one with the smallest
 // NLF candidate set. Queries without a 2-core fall back to all vertices.
 func CFLRoot(q, g *graph.Graph) graph.Vertex {
+	return CFLRootWorkers(q, g, 1)
+}
+
+// CFLRootWorkers is CFLRoot with the NLF candidate-set sizing of the top
+// ranked vertices fanned out over `workers` goroutines.
+func CFLRootWorkers(q, g *graph.Graph, workers int) graph.Vertex {
 	core := q.TwoCore()
 	pool := make([]graph.Vertex, 0, q.NumVertices())
 	for u := 0; u < q.NumVertices(); u++ {
@@ -39,12 +53,17 @@ func CFLRoot(q, g *graph.Graph) graph.Vertex {
 		}
 	}
 	s := newState(q, g)
+	sizes := make([]int, len(top))
+	counters := rootCounters(q, g, workers, len(top))
+	par.Run(workers, len(top), func(w, t int) uint64 {
+		sizes[t] = len(s.nlfCandidatesWith(counters[w], top[t]))
+		return uint64(sizes[t]) + 1
+	})
 	best := top[0]
 	bestSize := -1
-	for _, u := range top {
-		size := len(s.nlfCandidates(u))
-		if bestSize < 0 || size < bestSize {
-			best, bestSize = u, size
+	for i, u := range top {
+		if bestSize < 0 || sizes[i] < bestSize {
+			best, bestSize = u, sizes[i]
 		}
 	}
 	return best
@@ -52,29 +71,70 @@ func CFLRoot(q, g *graph.Graph) graph.Vertex {
 
 // CECIRoot picks CECI's start vertex: argmin |C_NLF(u)| / d(u).
 func CECIRoot(q, g *graph.Graph) graph.Vertex {
+	return CECIRootWorkers(q, g, 1)
+}
+
+// CECIRootWorkers is CECIRoot with the per-vertex NLF sizing fanned out
+// over `workers` goroutines.
+func CECIRootWorkers(q, g *graph.Graph, workers int) graph.Vertex {
 	s := newState(q, g)
-	best := graph.Vertex(0)
-	bestScore := -1.0
-	for u := 0; u < q.NumVertices(); u++ {
-		uu := graph.Vertex(u)
-		score := float64(len(s.nlfCandidates(uu))) / float64(q.Degree(uu))
-		if bestScore < 0 || score < bestScore {
-			best, bestScore = uu, score
-		}
-	}
-	return best
+	n := q.NumVertices()
+	scores := make([]float64, n)
+	counters := rootCounters(q, g, workers, n)
+	par.Run(workers, n, func(w, t int) uint64 {
+		uu := graph.Vertex(t)
+		size := len(s.nlfCandidatesWith(counters[w], uu))
+		scores[t] = float64(size) / float64(q.Degree(uu))
+		return uint64(size) + 1
+	})
+	return argminRoot(scores)
 }
 
 // DPIsoRoot picks DP-iso's start vertex: argmin |C_LDF(u)| / d(u).
 func DPIsoRoot(q, g *graph.Graph) graph.Vertex {
+	return DPIsoRootWorkers(q, g, 1)
+}
+
+// DPIsoRootWorkers is DPIsoRoot with the per-vertex LDF sizing fanned
+// out over `workers` goroutines. The LDF rule needs no per-worker
+// scratch: ldfCandidates only reads the immutable graphs.
+func DPIsoRootWorkers(q, g *graph.Graph, workers int) graph.Vertex {
 	s := newState(q, g)
+	n := q.NumVertices()
+	scores := make([]float64, n)
+	par.Run(workers, n, func(_, t int) uint64 {
+		uu := graph.Vertex(t)
+		size := len(s.ldfCandidates(uu))
+		scores[t] = float64(size) / float64(q.Degree(uu))
+		return uint64(size) + 1
+	})
+	return argminRoot(scores)
+}
+
+// rootCounters allocates one NLF scratch counter per worker par.Run will
+// actually use (mirroring its clamp of workers to [1, n]).
+func rootCounters(q, g *graph.Graph, workers, n int) []*graph.LabelCounter {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	cs := make([]*graph.LabelCounter, workers)
+	for w := range cs {
+		cs[w] = graph.NewLabelCounter(graph.MaxLabelOf(q, g))
+	}
+	return cs
+}
+
+// argminRoot is the deterministic reduction shared by the root rules:
+// the lowest-scoring vertex, lowest id on ties.
+func argminRoot(scores []float64) graph.Vertex {
 	best := graph.Vertex(0)
 	bestScore := -1.0
-	for u := 0; u < q.NumVertices(); u++ {
-		uu := graph.Vertex(u)
-		score := float64(len(s.ldfCandidates(uu))) / float64(q.Degree(uu))
+	for u, score := range scores {
 		if bestScore < 0 || score < bestScore {
-			best, bestScore = uu, score
+			best, bestScore = graph.Vertex(u), score
 		}
 	}
 	return best

@@ -91,9 +91,16 @@ func (s *state) ldfCandidates(u graph.Vertex) []uint32 {
 
 // nlfCandidates returns the sorted LDF+NLF candidate set of u.
 func (s *state) nlfCandidates(u graph.Vertex) []uint32 {
+	return s.nlfCandidatesWith(s.counter, u)
+}
+
+// nlfCandidatesWith is nlfCandidates against an explicit scratch
+// counter, so root selection can size several candidate sets
+// concurrently over one shared state.
+func (s *state) nlfCandidatesWith(counter *graph.LabelCounter, u graph.Vertex) []uint32 {
 	var out []uint32
 	for _, v := range s.g.VerticesWithLabel(s.q.Label(u)) {
-		if s.g.Degree(v) >= s.q.Degree(u) && s.nlfOK(u, v) {
+		if s.g.Degree(v) >= s.q.Degree(u) && s.nlfOKWith(counter, u, v) {
 			out = append(out, v)
 		}
 	}

@@ -3,6 +3,7 @@ package order
 import (
 	"subgraphmatching/internal/candspace"
 	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/par"
 )
 
 // EstimateCost estimates the search-tree size induced by a matching
@@ -81,17 +82,39 @@ func edgeSelectivity(space *candspace.Space, a, b graph.Vertex) float64 {
 // light-weight automatic order chooser built on the study's finding that
 // no single ordering method dominates (Section 6).
 func Best(q, g *graph.Graph, cand [][]uint32, space *candspace.Space) (Method, []graph.Vertex, error) {
+	return BestWorkers(q, g, cand, space, 1)
+}
+
+// BestWorkers is Best with the per-method order computation and cost
+// probes fanned out over `workers` goroutines. Each method's (order,
+// cost) pair depends only on the method, so the fan-out is trivially
+// deterministic; the reduction scans methods in their canonical sequence
+// and keeps the first minimum, exactly like the sequential loop (the
+// first error in method order wins too).
+func BestWorkers(q, g *graph.Graph, cand [][]uint32, space *candspace.Space, workers int) (Method, []graph.Vertex, error) {
+	ms := Methods()
+	phis := make([][]graph.Vertex, len(ms))
+	costs := make([]float64, len(ms))
+	errs := make([]error, len(ms))
+	par.Run(workers, len(ms), func(_, t int) uint64 {
+		phi, err := Compute(ms[t], q, g, cand)
+		if err != nil {
+			errs[t] = err
+			return 1
+		}
+		phis[t] = phi
+		costs[t] = EstimateCost(q, space, phi)
+		return uint64(len(phi)) + 1
+	})
 	bestM := GQL
 	var bestPhi []graph.Vertex
 	bestCost := -1.0
-	for _, m := range Methods() {
-		phi, err := Compute(m, q, g, cand)
-		if err != nil {
-			return 0, nil, err
+	for i, m := range ms {
+		if errs[i] != nil {
+			return 0, nil, errs[i]
 		}
-		cost := EstimateCost(q, space, phi)
-		if bestCost < 0 || cost < bestCost {
-			bestM, bestPhi, bestCost = m, phi, cost
+		if bestCost < 0 || costs[i] < bestCost {
+			bestM, bestPhi, bestCost = m, phis[i], costs[i]
 		}
 	}
 	return bestM, bestPhi, nil

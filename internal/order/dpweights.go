@@ -3,6 +3,7 @@ package order
 import (
 	"subgraphmatching/internal/candspace"
 	"subgraphmatching/internal/graph"
+	"subgraphmatching/internal/par"
 )
 
 // BuildDPWeights builds DP-iso's weight array over the candidate space:
@@ -19,6 +20,22 @@ import (
 // children) have weight 1. The result indexes [queryVertex][candIdx] and
 // plugs into enumerate.Options.AdaptiveWeights.
 func BuildDPWeights(q *graph.Graph, space *candspace.Space, delta []graph.Vertex) [][]float64 {
+	return BuildDPWeightsWorkers(q, space, delta, 1)
+}
+
+// dpWeightsMinFanout gates the per-level fan-out: levels with fewer
+// candidates than this run inline, because spawning goroutines per BFS
+// level costs more than the weight sums they would compute.
+const dpWeightsMinFanout = 64
+
+// BuildDPWeightsWorkers is BuildDPWeights with each level's
+// per-candidate weight sums fanned out over `workers` goroutines. The
+// levels themselves stay sequential (level i reads the weights of every
+// deeper level), but within a level each candidate's weight depends only
+// on already-finished levels, so the output is byte-identical for every
+// worker count: w[ci] is a fixed-order product of fixed-order sums
+// regardless of which worker computes it.
+func BuildDPWeightsWorkers(q *graph.Graph, space *candspace.Space, delta []graph.Vertex, workers int) [][]float64 {
 	n := q.NumVertices()
 	pos := make([]int, n)
 	for i, u := range delta {
@@ -45,24 +62,40 @@ func BuildDPWeights(q *graph.Graph, space *candspace.Space, delta []graph.Vertex
 	}
 
 	weights := make([][]float64, n)
-	candIndexOf := func(u graph.Vertex, v uint32) int { return space.CandidateIndex(u, v) }
 	for i := n - 1; i >= 0; i-- {
 		u := delta[i]
 		c := space.Candidates(u)
 		w := make([]float64, len(c))
-		for ci := range c {
+		if len(treeChildren[u]) == 0 {
+			// Leaf of the tree-like decomposition: every candidate has
+			// weight 1, no adjacency walks to fan out.
+			for ci := range w {
+				w[ci] = 1
+			}
+			weights[u] = w
+			continue
+		}
+		pw := workers
+		if len(c) < dpWeightsMinFanout {
+			pw = 1
+		}
+		par.Run(pw, len(c), func(_, ci int) uint64 {
 			prod := 1.0
+			var walked uint64
 			for _, child := range treeChildren[u] {
 				sum := 0.0
-				for _, v := range space.Adjacency(u, child, ci) {
-					if j := candIndexOf(child, v); j >= 0 {
+				adj := space.Adjacency(u, child, ci)
+				walked += uint64(len(adj))
+				for _, v := range adj {
+					if j := space.CandidateIndex(child, v); j >= 0 {
 						sum += weights[child][j]
 					}
 				}
 				prod *= sum
 			}
 			w[ci] = prod
-		}
+			return walked + 1
+		})
 		weights[u] = w
 	}
 	return weights

@@ -64,6 +64,15 @@ func Methods() []Method { return []Method{QSI, GQL, CFL, CECI, DPIso, RI, VF2PP}
 // CECI, DPIso); the structure-only methods (QSI, RI, VF2PP) ignore them
 // and may receive nil.
 func Compute(m Method, q, g *graph.Graph, cand [][]uint32) ([]graph.Vertex, error) {
+	return ComputeWorkers(m, q, g, cand, 1)
+}
+
+// ComputeWorkers is Compute with the root-selection scans of the
+// BFS-rooted methods (CECI, DPIso) fanned out over `workers`
+// goroutines; the orders are identical for every workers value. The
+// remaining methods are inherently sequential (greedy extensions) and
+// ignore workers.
+func ComputeWorkers(m Method, q, g *graph.Graph, cand [][]uint32, workers int) ([]graph.Vertex, error) {
 	if q.NumVertices() == 0 {
 		return nil, fmt.Errorf("order: empty query graph")
 	}
@@ -79,9 +88,9 @@ func Compute(m Method, q, g *graph.Graph, cand [][]uint32) ([]graph.Vertex, erro
 	case CFL:
 		return ComputeCFL(q, g, cand), nil
 	case CECI:
-		return ComputeCECI(q, g), nil
+		return ComputeCECIWorkers(q, g, workers), nil
 	case DPIso:
-		return ComputeDPIso(q, g), nil
+		return ComputeDPIsoWorkers(q, g, workers), nil
 	case RI:
 		return ComputeRI(q), nil
 	case VF2PP:

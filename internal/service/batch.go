@@ -55,6 +55,8 @@ type execKey struct {
 	timeLimit     time.Duration
 	parallel      int
 	schedule      core.Schedule
+	split         core.SplitPolicy
+	splitFactor   int
 	workers       int
 	// profile keeps profiled and unprofiled items apart: a fan-out of an
 	// unprofiled run has no Explain to offer a profiled duplicate.
@@ -310,6 +312,8 @@ func (s *Service) runBatchItem(ctx context.Context, began time.Time, grp *batchG
 		timeLimit:     timeLimit,
 		parallel:      req.Parallel,
 		schedule:      req.Schedule,
+		split:         req.Split,
+		splitFactor:   req.SplitFactor,
 		workers:       req.Workers,
 		profile:       req.Profile,
 	}
@@ -336,6 +340,8 @@ func (s *Service) runBatchItem(ctx context.Context, began time.Time, grp *batchG
 		OnMatch:       req.OnMatch,
 		Parallel:      req.Parallel,
 		Schedule:      req.Schedule,
+		Split:         req.Split,
+		SplitFactor:   req.SplitFactor,
 		Workers:       req.Workers,
 		Profile:       req.Profile,
 		Trace:         true,
@@ -382,6 +388,7 @@ func (s *Service) runBatchItem(ctx context.Context, began time.Time, grp *batchG
 	s.metrics.recordSuccess(grp.entry.name, grp.algo, res.Embeddings, cacheHit,
 		res.TimedOut, res.LimitHit, latency)
 	s.metrics.recordKernels(res.Kernels)
+	s.metrics.recordSplit(res.Split, res.Nodes)
 	s.metrics.observeDepthNodes(res.Profile)
 	s.metrics.observePhases(res.FilterTime, res.BuildTime, res.OrderTime,
 		res.EnumTime, !cacheHit)

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"subgraphmatching/internal/core"
 	"subgraphmatching/internal/enumerate"
 	"subgraphmatching/internal/intersect"
 	"subgraphmatching/internal/obs"
@@ -35,6 +36,15 @@ type serviceMetrics struct {
 	phase      *obs.HistogramVec
 
 	kernels *obs.CounterVec // service-wide intersection-kernel mix
+
+	// Scheduler splitting: task/split/probe volumes across parallel
+	// requests, plus the cost model's predicted-over-measured node ratio
+	// so a drifting estimator shows up on a dashboard before it shows up
+	// as load imbalance.
+	splitTasks      *obs.CounterVec // by split policy
+	splitSplitTasks *obs.Counter
+	splitProbes     *obs.Counter
+	splitAccuracy   *obs.Histogram
 
 	admissionWait *obs.Histogram
 	depthNodes    *obs.Histogram // per-depth search-node counts of profiled requests
@@ -72,6 +82,11 @@ var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 // dense graphs.
 var depthNodesBuckets = []float64{1, 10, 100, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8}
 
+// splitAccuracyBuckets cover the predicted/measured node ratio: 1.0 is a
+// perfect cost model, the decades either side catch systematic under-
+// and over-estimation.
+var splitAccuracyBuckets = []float64{0.01, 0.1, 0.25, 0.5, 0.75, 1, 1.5, 2, 4, 10, 100}
+
 // newServiceMetrics registers the service's metric families. The gauge
 // functions close over the service's live structures, so a scrape always
 // reads current occupancy without any recording path.
@@ -105,6 +120,17 @@ func newServiceMetrics(s *Service) *serviceMetrics {
 		kernels: r.CounterVec("smatch_intersect_kernel_total",
 			"Pairwise intersection-kernel executions by kernel across completed requests.",
 			"kernel"),
+
+		splitTasks: r.CounterVec("smatch_split_tasks_total",
+			"Enumeration tasks scheduled across parallel requests, by split policy.",
+			"policy"),
+		splitSplitTasks: r.Counter("smatch_split_refined_tasks_total",
+			"Tasks pinned below depth 1 by the recursive splitter."),
+		splitProbes: r.Counter("smatch_split_probe_nodes_total",
+			"Splitter probe expansions across parallel requests."),
+		splitAccuracy: r.Histogram("smatch_split_prediction_ratio",
+			"Cost-model predicted over measured search nodes per parallel request.",
+			splitAccuracyBuckets),
 
 		admissionWait: r.Histogram("smatch_admission_wait_seconds",
 			"Time requests spent waiting for admission.", obs.DefaultDurationBuckets),
@@ -248,6 +274,23 @@ func (m *serviceMetrics) recordKernels(ks intersect.KernelStats) {
 		if n != 0 {
 			m.kernels.With(intersect.Kernel(i).String()).Add(n)
 		}
+	}
+}
+
+// recordSplit folds one request's scheduler-splitting outcome into the
+// service-wide families. Sequential requests carry no SplitInfo and
+// contribute nothing; the accuracy ratio is observed only when the cost
+// model actually predicted (static splits and root-grained pools have no
+// prediction to check).
+func (m *serviceMetrics) recordSplit(info *core.SplitInfo, resultNodes uint64) {
+	if info == nil {
+		return
+	}
+	m.splitTasks.With(info.Policy.String()).Add(uint64(info.Tasks))
+	m.splitSplitTasks.Add(uint64(info.SplitTasks))
+	m.splitProbes.Add(info.Probes)
+	if measured := resultNodes - info.Probes; info.PredictedNodes > 0 && measured > 0 {
+		m.splitAccuracy.Observe(float64(info.PredictedNodes) / float64(measured))
 	}
 }
 

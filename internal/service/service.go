@@ -120,6 +120,12 @@ type Request struct {
 	Parallel      int
 	Schedule      core.Schedule
 	Workers       int
+	// Split and SplitFactor carry the meanings of core.Limits: the
+	// work-steal task-splitting policy and its engagement threshold.
+	// Per-request execution knobs, not part of the plan identity — like
+	// Parallel and Schedule, they never enter the plan-cache key.
+	Split       core.SplitPolicy
+	SplitFactor int
 	// OnMatch optionally receives every embedding (see core.Limits);
 	// Stream sets it from its sink argument.
 	OnMatch func(mapping []uint32) bool
@@ -410,6 +416,8 @@ func (s *Service) Submit(ctx context.Context, req Request) (resp *Response, retE
 		OnMatch:       req.OnMatch,
 		Parallel:      req.Parallel,
 		Schedule:      req.Schedule,
+		Split:         req.Split,
+		SplitFactor:   req.SplitFactor,
 		Workers:       req.Workers,
 		Profile:       req.Profile,
 		// The service always traces: spans are built at phase
@@ -453,6 +461,7 @@ func (s *Service) Submit(ctx context.Context, req Request) (resp *Response, retE
 	s.metrics.recordSuccess(entry.name, algo, res.Embeddings, cacheHit,
 		res.TimedOut, res.LimitHit, latency)
 	s.metrics.recordKernels(res.Kernels)
+	s.metrics.recordSplit(res.Split, res.Nodes)
 	s.metrics.observeDepthNodes(res.Profile)
 	s.metrics.observePhases(res.FilterTime, res.BuildTime, res.OrderTime,
 		res.EnumTime, !cacheHit)
